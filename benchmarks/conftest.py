@@ -1,0 +1,48 @@
+"""Shared machinery for the figure-regeneration benches.
+
+Every bench runs one paper figure at a reduced scale (documented in
+EXPERIMENTS.md), prints the same series the paper plots, saves them
+under ``benchmarks/results/``, and asserts the qualitative shape the
+paper reports.  ``pytest benchmarks/ --benchmark-only`` regenerates
+everything.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import run_figure_by_id
+from repro.experiments.reporting import format_figure, format_figure_csv
+
+#: Default scale for figure benches (fraction of the paper's entity
+#: counts and budget).  Heavier sweeps use _SCALE_HEAVY.
+SCALE = 0.06
+SCALE_HEAVY = 0.04
+SEED = 7
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_figure_bench(benchmark, figure_id: str, scale: float = SCALE, seed: int = SEED):
+    """Run one figure sweep under pytest-benchmark and persist output."""
+    result = benchmark.pedantic(
+        lambda: run_figure_by_id(figure_id, scale=scale, seed=seed),
+        rounds=1,
+        iterations=1,
+    )
+    report = format_figure(result)
+    print()
+    print(report)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{figure_id}.txt").write_text(report, encoding="utf-8")
+    (RESULTS_DIR / f"{figure_id}.csv").write_text(
+        format_figure_csv(result), encoding="utf-8"
+    )
+    return result
+
+
+def series_mean(result, algorithm: str, measure: str = "quality") -> float:
+    values = result.series(algorithm, measure)
+    return sum(values) / len(values)

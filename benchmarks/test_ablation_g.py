@@ -1,0 +1,37 @@
+"""Ablation: the Appendix C cost model's fan-out ``g`` in MQA_D&C.
+
+Compares the cost-model-chosen ``g`` against fixed fan-outs.  The cost
+model should land within the efficiency range of the best fixed choice
+while keeping quality comparable.
+"""
+
+from repro.core.divide_conquer import DivideConquerConfig, MQADivideConquer
+from repro.simulation.engine import EngineConfig, SimulationEngine
+from repro.workloads.base import WorkloadParams
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def _run(config: DivideConquerConfig):
+    params = WorkloadParams(num_workers=400, num_tasks=400, num_instances=6)
+    workload = SyntheticWorkload(params, seed=7)
+    engine = SimulationEngine(
+        workload, MQADivideConquer(config), EngineConfig(budget=25.0, grid_gamma=6)
+    )
+    return engine.run()
+
+
+def test_ablation_subproblem_count(benchmark):
+    cost_model = benchmark.pedantic(
+        lambda: _run(DivideConquerConfig()), rounds=1, iterations=1
+    )
+    fixed = {g: _run(DivideConquerConfig(fixed_g=g)) for g in (2, 4, 8)}
+
+    print()
+    print(f"cost model: quality={cost_model.total_quality:9.2f} "
+          f"cpu={cost_model.average_cpu_seconds:.4f}s")
+    for g, result in fixed.items():
+        print(f"fixed g={g}:  quality={result.total_quality:9.2f} "
+              f"cpu={result.average_cpu_seconds:.4f}s")
+
+    best_fixed_quality = max(r.total_quality for r in fixed.values())
+    assert cost_model.total_quality >= 0.9 * best_fixed_quality

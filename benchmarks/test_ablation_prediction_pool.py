@@ -1,0 +1,50 @@
+"""Ablation: prediction pool composition.
+
+Measures the effect of (a) the ``<w_hat, t_hat>`` pair family and
+(b) the reservation filter on the realized quality of GREEDY with
+prediction — the two pool-construction choices DESIGN.md calls out.
+"""
+
+from repro.core.greedy import MQAGreedy
+from repro.simulation.engine import EngineConfig, SimulationEngine
+from repro.workloads.base import WorkloadParams
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def _run(include_ff: bool, reservation_filter: bool):
+    params = WorkloadParams(num_workers=400, num_tasks=400, num_instances=6)
+    workload = SyntheticWorkload(params, seed=7)
+    engine = SimulationEngine(
+        workload,
+        MQAGreedy(),
+        EngineConfig(
+            budget=25.0,
+            grid_gamma=6,
+            use_prediction=True,
+            include_future_future_pairs=include_ff,
+            reservation_filter=reservation_filter,
+        ),
+    )
+    return engine.run()
+
+
+def test_ablation_prediction_pool(benchmark):
+    baseline = benchmark.pedantic(
+        lambda: _run(include_ff=True, reservation_filter=True),
+        rounds=1,
+        iterations=1,
+    )
+    variants = {
+        "no <w^,t^> pairs": _run(include_ff=False, reservation_filter=True),
+        "no reservation filter": _run(include_ff=True, reservation_filter=False),
+        "neither": _run(include_ff=False, reservation_filter=False),
+    }
+
+    print()
+    print(f"baseline (both on):      quality={baseline.total_quality:9.2f}")
+    for name, result in variants.items():
+        print(f"{name:24s} quality={result.total_quality:9.2f}")
+
+    # All variants are functional and in the same ballpark.
+    for result in variants.values():
+        assert result.total_quality > 0.7 * baseline.total_quality

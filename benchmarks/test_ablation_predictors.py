@@ -1,0 +1,40 @@
+"""Ablation: the count predictor plugged into the grid prediction.
+
+The paper uses linear regression and notes other predictors can be
+plugged in.  This bench measures the Fig. 10 relative error of all four
+predictors on the same synthetic stream.
+"""
+
+from repro.core.random_assign import RandomAssigner
+from repro.prediction.predictors import make_predictor
+from repro.simulation.engine import EngineConfig, SimulationEngine
+from repro.workloads.base import WorkloadParams
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def _error(predictor_name: str) -> float:
+    params = WorkloadParams(num_workers=900, num_tasks=900, num_instances=10)
+    workload = SyntheticWorkload(params, seed=13)
+    engine = SimulationEngine(
+        workload,
+        RandomAssigner(),
+        EngineConfig(budget=0.0, grid_gamma=10, window=3),
+        predictor=make_predictor(predictor_name),
+    )
+    result = engine.run()
+    return result.average_worker_prediction_error
+
+
+def test_ablation_predictors(benchmark):
+    linear = benchmark.pedantic(lambda: _error("linear"), rounds=1, iterations=1)
+    others = {name: _error(name) for name in ("mean", "last", "exponential")}
+
+    print()
+    print(f"linear regression: {100 * linear:.2f}%")
+    for name, error in others.items():
+        print(f"{name:18s} {100 * error:.2f}%")
+
+    # Every predictor stays in a sane error band on the stable stream.
+    assert linear < 0.5
+    for error in others.values():
+        assert error < 0.5

@@ -1,0 +1,21 @@
+"""Bench: Fig. 10 — prediction accuracy vs window size ``w``.
+
+Paper shape: average relative errors stay low and are not very
+sensitive to ``w``; real-data worker error is the most sensitive curve.
+"""
+
+from conftest import SCALE, run_figure_bench
+
+
+def test_fig10_prediction_accuracy(benchmark):
+    result = run_figure_bench(benchmark, "fig10", scale=SCALE)
+    for curve in result.algorithms:
+        errors = result.series(curve)
+        # Errors are in percent; they must stay bounded and finite.
+        assert all(0.0 <= e < 100.0 for e in errors)
+        # Insensitivity to w beyond the 2-point-regression spike:
+        # the spread across w in {3,4,5} stays within a factor 2.
+        tail = errors[2:]
+        assert max(tail) <= 2.0 * min(tail) + 1e-9
+    # Synthetic task curve is the most stable one in our setup.
+    assert max(result.series("Task(S)")) < 30.0

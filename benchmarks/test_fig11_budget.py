@@ -1,0 +1,28 @@
+"""Bench: Fig. 11 — effect of the budget ``B`` (synthetic, WP vs WoP).
+
+Paper shape: quality grows with ``B`` for every algorithm; GREEDY and
+D&C dominate RANDOM; RANDOM is the fastest and D&C_WP the slowest.
+"""
+
+from conftest import SCALE, run_figure_bench, series_mean
+
+
+def test_fig11_budget(benchmark):
+    result = run_figure_bench(benchmark, "fig11", scale=SCALE)
+
+    for algorithm in ("GREEDY_WP", "D&C_WP", "GREEDY_WoP", "D&C_WoP"):
+        qualities = result.series(algorithm)
+        assert qualities[0] < qualities[-1], f"{algorithm} must grow with B"
+
+    for mode in ("WP", "WoP"):
+        assert series_mean(result, f"GREEDY_{mode}") > series_mean(
+            result, f"RANDOM_{mode}"
+        )
+        assert series_mean(result, f"D&C_{mode}") > series_mean(
+            result, f"RANDOM_{mode}"
+        )
+
+    # RANDOM is the cheapest to run.
+    assert series_mean(result, "RANDOM_WoP", "cpu_seconds") < series_mean(
+        result, "GREEDY_WP", "cpu_seconds"
+    )

@@ -1,0 +1,21 @@
+"""Bench: Fig. 12 — effect of the quality range ``[q-, q+]`` (real data).
+
+Paper shape: quality rises with the score range for all algorithms;
+D&C and GREEDY dominate RANDOM; RANDOM is fastest.
+"""
+
+from conftest import SCALE, run_figure_bench, series_mean
+
+
+def test_fig12_quality_range(benchmark):
+    result = run_figure_bench(benchmark, "fig12", scale=SCALE)
+
+    for algorithm in result.algorithms:
+        qualities = result.series(algorithm)
+        assert qualities[0] < qualities[-1], f"{algorithm} must grow with [q-,q+]"
+
+    assert series_mean(result, "GREEDY") > series_mean(result, "RANDOM")
+    assert series_mean(result, "D&C") > series_mean(result, "RANDOM")
+    assert series_mean(result, "RANDOM", "cpu_seconds") < series_mean(
+        result, "GREEDY", "cpu_seconds"
+    )

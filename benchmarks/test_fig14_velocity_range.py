@@ -1,0 +1,19 @@
+"""Bench: Fig. 14 — effect of the velocity range ``[v-, v+]`` (synthetic).
+
+Paper shape: quality *falls* as workers get faster — long, expensive
+pairs become valid and burn the budget, reducing the number of selected
+pairs (the paper's own explanation).
+"""
+
+from conftest import SCALE, run_figure_bench, series_mean
+
+
+def test_fig14_velocity_range(benchmark):
+    result = run_figure_bench(benchmark, "fig14", scale=SCALE)
+
+    for algorithm in ("GREEDY", "D&C", "RANDOM"):
+        qualities = result.series(algorithm)
+        assert qualities[-1] < qualities[0], f"{algorithm} must fall with velocity"
+
+    assert series_mean(result, "GREEDY") > series_mean(result, "RANDOM")
+    assert series_mean(result, "D&C") > series_mean(result, "RANDOM")

@@ -1,0 +1,19 @@
+"""Bench: Fig. 15 — effect of the number of tasks ``m`` (synthetic).
+
+Paper shape: quality and runtime grow smoothly with ``m``.
+"""
+
+from conftest import SCALE, run_figure_bench, series_mean
+
+
+def test_fig15_num_tasks(benchmark):
+    result = run_figure_bench(benchmark, "fig15", scale=SCALE)
+
+    for algorithm in ("GREEDY", "D&C"):
+        qualities = result.series(algorithm)
+        assert qualities[0] < qualities[-1], f"{algorithm} must grow with m"
+        runtimes = result.series(algorithm, "cpu_seconds")
+        assert runtimes[0] < runtimes[-1] * 3.0  # grows (with slack for noise)
+
+    assert series_mean(result, "GREEDY") > series_mean(result, "RANDOM")
+    assert series_mean(result, "D&C") > series_mean(result, "RANDOM")

@@ -1,0 +1,18 @@
+"""Bench: Fig. 16 — effect of the number of workers ``n`` (synthetic).
+
+Paper shape: quality and runtime grow with ``n``; the growth is smooth
+(good scalability).
+"""
+
+from conftest import SCALE, run_figure_bench, series_mean
+
+
+def test_fig16_num_workers(benchmark):
+    result = run_figure_bench(benchmark, "fig16", scale=SCALE)
+
+    for algorithm in ("GREEDY", "D&C"):
+        qualities = result.series(algorithm)
+        assert qualities[0] < qualities[-1], f"{algorithm} must grow with n"
+
+    assert series_mean(result, "GREEDY") > series_mean(result, "RANDOM")
+    assert series_mean(result, "D&C") > series_mean(result, "RANDOM")

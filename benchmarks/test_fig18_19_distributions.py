@@ -1,0 +1,23 @@
+"""Bench: Figs. 18-19 — worker/task location distribution combinations.
+
+Paper shape: D&C and GREEDY achieve high quality across all nine
+combinations, always above RANDOM (Fig. 18); runtimes vary with the
+combination (Fig. 19).
+"""
+
+from conftest import SCALE_HEAVY, run_figure_bench, series_mean
+
+
+def test_fig18_19_distributions(benchmark):
+    result = run_figure_bench(benchmark, "fig18_19", scale=SCALE_HEAVY)
+
+    for combo in result.x_labels:
+        greedy = result.point(combo, "GREEDY").quality
+        dc = result.point(combo, "D&C").quality
+        random_quality = result.point(combo, "RANDOM").quality
+        assert greedy > random_quality, f"GREEDY must beat RANDOM on {combo}"
+        assert dc > random_quality, f"D&C must beat RANDOM on {combo}"
+
+    assert series_mean(result, "RANDOM", "cpu_seconds") < series_mean(
+        result, "GREEDY", "cpu_seconds"
+    )

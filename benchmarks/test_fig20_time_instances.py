@@ -1,0 +1,20 @@
+"""Bench: Fig. 20 — effect of the number of time instances ``R``.
+
+Paper shape: the total quality grows with ``R`` (each instance brings a
+fresh budget ``B``); the per-instance runtime falls (fewer entities per
+instance for fixed totals).
+"""
+
+from conftest import SCALE, run_figure_bench, series_mean
+
+
+def test_fig20_time_instances(benchmark):
+    result = run_figure_bench(benchmark, "fig20", scale=SCALE)
+
+    for algorithm in ("GREEDY", "D&C"):
+        qualities = result.series(algorithm)
+        assert qualities[0] < qualities[-1], f"{algorithm} must grow with R"
+        runtimes = result.series(algorithm, "cpu_seconds")
+        assert runtimes[-1] < runtimes[0] * 1.5  # falls or stays level
+
+    assert series_mean(result, "GREEDY") > series_mean(result, "RANDOM")

@@ -1,0 +1,18 @@
+"""Bench: Fig. 21 — effect of the unit price ``C``.
+
+Paper shape: quality falls as ``C`` grows (fewer pairs affordable under
+the fixed budget).
+"""
+
+from conftest import SCALE, run_figure_bench, series_mean
+
+
+def test_fig21_unit_price(benchmark):
+    result = run_figure_bench(benchmark, "fig21", scale=SCALE)
+
+    for algorithm in ("GREEDY", "D&C", "RANDOM"):
+        qualities = result.series(algorithm)
+        assert qualities[-1] < qualities[0], f"{algorithm} must fall with C"
+
+    assert series_mean(result, "GREEDY") > series_mean(result, "RANDOM")
+    assert series_mean(result, "D&C") > series_mean(result, "RANDOM")

@@ -1,0 +1,19 @@
+"""Bench: Fig. 22 — window size ``w`` under three worker distributions.
+
+Paper shape: the window size affects quality only slightly for GREEDY
+and RANDOM; all three algorithms keep their relative order under
+Gaussian, Uniform and Zipf worker distributions.
+"""
+
+from conftest import SCALE_HEAVY, run_figure_bench
+
+
+def test_fig22_window_size(benchmark):
+    result = run_figure_bench(benchmark, "fig22", scale=SCALE_HEAVY)
+
+    for panel in ("GAUS", "UNIF", "ZIPF"):
+        greedy = result.series(f"GREEDY ({panel})")
+        random_quality = result.series(f"RANDOM ({panel})")
+        assert sum(greedy) > sum(random_quality), f"GREEDY > RANDOM on {panel}"
+        # Window size has only a mild effect on GREEDY quality.
+        assert max(greedy) <= 1.5 * min(greedy)

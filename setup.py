@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+`python setup.py develop` / legacy editable installs offline.
+"""
+
+from setuptools import setup
+
+setup()

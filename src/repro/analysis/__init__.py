@@ -1,0 +1,22 @@
+"""Analysis utilities: the NP-hardness reduction and diagnostics.
+
+:mod:`repro.analysis.hardness` materializes the Lemma 2.1 reduction
+(0-1 Knapsack -> MQA) as executable code: a knapsack instance becomes a
+one-instance MQA problem whose optimal assignment *is* the optimal
+knapsack packing.  Useful as an educational artifact and as an
+independent correctness check of the exact solver.
+"""
+
+from repro.analysis.hardness import (
+    KnapsackInstance,
+    knapsack_to_mqa,
+    solve_knapsack_dp,
+    solve_knapsack_via_mqa,
+)
+
+__all__ = [
+    "KnapsackInstance",
+    "knapsack_to_mqa",
+    "solve_knapsack_dp",
+    "solve_knapsack_via_mqa",
+]

@@ -1,0 +1,110 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+Usage::
+
+    mqa-experiments list
+    mqa-experiments fig11 --scale 0.1 --seed 7
+    mqa-experiments all --scale 0.05 --csv out/
+
+Each figure command runs the corresponding sweep and prints the quality
+and runtime series (the same rows the paper plots).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.figures import FIGURES, run_figure_by_id
+from repro.experiments.reporting import figure_to_json, format_figure, format_figure_csv
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mqa-experiments",
+        description="Regenerate the figures of 'Prediction-Based Task "
+        "Assignment in Spatial Crowdsourcing' (ICDE 2017).",
+    )
+    parser.add_argument(
+        "figure",
+        help="figure id (see `list`), `all`, or `list`",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="entity-count/budget scale relative to the paper (default 0.1)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="random seed (default 7)")
+    parser.add_argument(
+        "--csv",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write <figure>.csv files into DIR",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="independent repetitions per sweep point, averaged (default 1)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write <figure>.json files into DIR",
+    )
+    return parser
+
+
+def _run_one(
+    figure_id: str,
+    scale: float,
+    seed: int,
+    csv_dir: Path | None,
+    json_dir: Path | None,
+    repeats: int = 1,
+) -> None:
+    result = run_figure_by_id(figure_id, scale=scale, seed=seed, repeats=repeats)
+    print(format_figure(result))
+    if csv_dir is not None:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+        path = csv_dir / f"{figure_id}.csv"
+        path.write_text(format_figure_csv(result), encoding="utf-8")
+        print(f"wrote {path}")
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
+        path = json_dir / f"{figure_id}.json"
+        path.write_text(figure_to_json(result), encoding="utf-8")
+        print(f"wrote {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.figure == "list":
+        width = max(len(f) for f in FIGURES) + 2
+        for figure_id, (_, description) in sorted(FIGURES.items()):
+            print(f"{figure_id:<{width}}{description}")
+        return 0
+
+    if args.figure == "all":
+        for figure_id in sorted(FIGURES):
+            _run_one(figure_id, args.scale, args.seed, args.csv, args.json, args.repeats)
+        return 0
+
+    if args.figure not in FIGURES:
+        known = ", ".join(sorted(FIGURES))
+        print(f"unknown figure {args.figure!r}; expected one of: {known}", file=sys.stderr)
+        return 2
+
+    _run_one(args.figure, args.scale, args.seed, args.csv, args.json, args.repeats)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

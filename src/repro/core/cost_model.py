@@ -1,0 +1,103 @@
+"""The Appendix C cost model for choosing the D&C fan-out ``g``.
+
+The divide-and-conquer cost is modeled as the sum of four terms:
+
+- ``F_D`` — decomposing the problem: ``m' n' + (m' g + m') log_g(m')``;
+- ``F_C`` — recursively conquering: ``2 (m' - 1) deg_t^2 / (g - 1)``;
+- ``F_M`` — merging with conflict resolution:
+  ``2 deg_t^2 (m' log(m') / log(g) - g (m' - 1) / (g - 1))``;
+- ``F_B`` — budget adjustment: ``2 g^2 (m'^2 - 1) / (g^2 - 1)``.
+
+``m'`` is the number of (current + predicted) tasks, ``n'`` the number
+of workers, and ``deg_t`` the average number of valid pairs per task.
+The paper takes the derivative (Eq. 13) and scans integers upward from
+``g = 2`` until it turns positive; :func:`best_subproblem_count`
+evaluates the full cost at every integer in range and takes the argmin,
+which is equivalent for this unimodal-in-practice cost and robust to
+the derivative's poles.  Both forms are exported and cross-checked in
+tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+_MIN_G = 2
+
+
+def dc_cost(g: int, num_tasks: int, num_workers: int, avg_pairs_per_task: float) -> float:
+    """``cost_{D&C}(g)`` (Eq. 12)."""
+    if g < _MIN_G:
+        raise ValueError(f"g must be >= {_MIN_G}, got {g}")
+    if num_tasks < 2:
+        raise ValueError("the cost model needs at least two tasks to divide")
+    m, n = float(num_tasks), float(num_workers)
+    deg_sq = avg_pairs_per_task * avg_pairs_per_task
+    log_g_m = math.log(m) / math.log(g)
+
+    decompose = m * n + (m * g + m) * log_g_m
+    conquer = 2.0 * (m - 1.0) * deg_sq / (g - 1.0)
+    merge = 2.0 * deg_sq * (m * math.log(m) / math.log(g) - g * (m - 1.0) / (g - 1.0))
+    budget = 2.0 * g * g * (m * m - 1.0) / (g * g - 1.0)
+    return decompose + conquer + merge + budget
+
+
+def dc_cost_derivative(
+    g: float, num_tasks: int, num_workers: int, avg_pairs_per_task: float
+) -> float:
+    """``d cost_{D&C} / d g`` as printed in Eq. 13.
+
+    The paper scans ``g = 2, 3, ...`` until this turns positive.
+    """
+    if g < _MIN_G:
+        raise ValueError(f"g must be >= {_MIN_G}, got {g}")
+    m = float(num_tasks)
+    deg_sq = avg_pairs_per_task * avg_pairs_per_task
+    log_g = math.log(g)
+    first = m * math.log(m) * (g * log_g - g - 1.0 - 2.0 * deg_sq) / (g * log_g * log_g)
+    second = 4.0 * g * (m * m - 1.0) / ((g * g - 1.0) ** 2)
+    return first - second
+
+
+def best_subproblem_count(
+    num_tasks: int,
+    num_workers: int,
+    avg_pairs_per_task: float,
+    max_g: int = 16,
+) -> int:
+    """The integer ``g`` minimizing :func:`dc_cost`.
+
+    Scans ``g`` in ``[2, min(max_g, num_tasks)]``; with fewer than two
+    tasks no division happens and 2 is returned as a harmless default.
+    """
+    if num_tasks < 2:
+        return _MIN_G
+    upper = max(_MIN_G, min(max_g, num_tasks))
+    best_g = _MIN_G
+    best_cost = math.inf
+    for g in range(_MIN_G, upper + 1):
+        cost = dc_cost(g, num_tasks, num_workers, avg_pairs_per_task)
+        if cost < best_cost:
+            best_cost = cost
+            best_g = g
+    return best_g
+
+
+def best_subproblem_count_derivative(
+    num_tasks: int,
+    num_workers: int,
+    avg_pairs_per_task: float,
+    max_g: int = 16,
+) -> int:
+    """The paper's derivative scan: first ``g`` where Eq. 13 >= 0.
+
+    Returns ``max_g`` (clamped to the task count) when the derivative
+    stays negative throughout the scan.
+    """
+    if num_tasks < 2:
+        return _MIN_G
+    upper = max(_MIN_G, min(max_g, num_tasks))
+    for g in range(_MIN_G, upper + 1):
+        if dc_cost_derivative(g, num_tasks, num_workers, avg_pairs_per_task) >= 0.0:
+            return g
+    return upper

@@ -1,0 +1,288 @@
+"""The MQA divide-and-conquer algorithm (Section V, Figs. 7-9).
+
+``MQA_D&C`` recursively partitions the tasks into ``g`` subproblems
+(``g`` chosen by the Appendix C cost model), solves single-task leaves
+with the greedy best-worker selection, merges sibling solutions while
+resolving worker conflicts (Fig. 8), and finally runs the budget-
+constrained selection (Fig. 9, lines 17-28) when the merged result may
+overshoot the budget.
+
+Decomposition (Fig. 7) sweeps anchors by longitude: the unclaimed task
+with the smallest x (ties by smallest y; predicted tasks use their
+sample center, the "mean of the longitude") seeds each subgroup, which
+is filled with its nearest unclaimed tasks.
+
+Merging (Fig. 8) resolves each conflicting worker — one assigned to
+different tasks in different subproblems — by keeping the better pair
+(Lemmas 4.1/4.2 + Eq. 10 over the two-candidate set) and reassigning
+the loser's task to its best still-unused worker.  Budget enforcement
+is deferred to the final budget-constrained selection, which reuses
+the greedy loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import Assigner, AssignmentResult
+from repro.core.cost_model import best_subproblem_count
+from repro.core.greedy import GreedyConfig, greedy_select
+from repro.core.pruning import cap_candidates, dominance_skyline, probability_prune
+from repro.core.selection import select_best_row
+from repro.model.instance import ProblemInstance
+from repro.model.pairs import PairPool
+
+
+@dataclass(frozen=True)
+class DivideConquerConfig:
+    """Tuning knobs of :class:`MQADivideConquer`.
+
+    Attributes:
+        delta: Eq. 9 confidence level for the final selection.
+        candidate_cap: candidate-set cap shared with the greedy stages.
+        fixed_g: bypass the cost model with a fixed fan-out (ablation
+            bench); ``None`` (default) uses Appendix C.
+        max_g: upper limit of the cost-model scan.
+        selection_objective: see :class:`~repro.core.greedy.GreedyConfig`.
+    """
+
+    delta: float = 0.5
+    candidate_cap: int = 64
+    fixed_g: int | None = None
+    max_g: int = 16
+    selection_objective: str = "probability"
+
+    def __post_init__(self) -> None:
+        if self.fixed_g is not None and self.fixed_g < 2:
+            raise ValueError(f"fixed_g must be >= 2, got {self.fixed_g}")
+        if self.max_g < 2:
+            raise ValueError(f"max_g must be >= 2, got {self.max_g}")
+        if self.selection_objective not in ("probability", "efficiency"):
+            raise ValueError(
+                f"unknown selection objective {self.selection_objective!r}"
+            )
+
+    def greedy_config(self) -> GreedyConfig:
+        """The equivalent knobs for the shared greedy machinery."""
+        return GreedyConfig(
+            delta=self.delta,
+            candidate_cap=self.candidate_cap,
+            selection_objective=self.selection_objective,
+        )
+
+
+class MQADivideConquer(Assigner):
+    """Procedure ``MQA_D&C`` of the paper."""
+
+    name = "dc"
+
+    def __init__(self, config: DivideConquerConfig | None = None) -> None:
+        self._config = config if config is not None else DivideConquerConfig()
+
+    @property
+    def config(self) -> DivideConquerConfig:
+        return self._config
+
+    def assign(
+        self,
+        problem: ProblemInstance,
+        budget_current: float,
+        budget_future: float,
+        rng: np.random.Generator,
+    ) -> AssignmentResult:
+        pool = problem.pool
+        if len(pool) == 0:
+            return self._result_from_rows(problem, [], budget_current)
+
+        budget_max = budget_current + budget_future
+        all_rows = np.arange(len(pool))
+        merged = self._solve(problem, all_rows, budget_max)
+
+        # Fig. 9 lines 12-15: keep the merged result when even its
+        # cost upper bound fits; otherwise re-select under the budget.
+        upper_bound_total = float(pool.cost_ub[merged].sum()) if merged else 0.0
+        current_cost = float(
+            sum(pool.cost_mean[r] for r in merged if pool.is_current[r])
+        )
+        if upper_bound_total > budget_max or current_cost > budget_current:
+            merged = greedy_select(
+                pool,
+                np.asarray(merged, dtype=np.int64),
+                budget_current,
+                budget_max,
+                self._config.greedy_config(),
+            )
+        return self._result_from_rows(problem, merged, budget_current)
+
+    # ---- divide ------------------------------------------------------------
+
+    def _solve(self, problem: ProblemInstance, rows: np.ndarray, budget_max: float) -> list[int]:
+        """Recursive conquer over the pair rows ``rows``."""
+        pool = problem.pool
+        task_ids = np.unique(pool.task_idx[rows])
+        if task_ids.size == 0:
+            return []
+        if task_ids.size == 1:
+            return self._solve_leaf(pool, rows)
+
+        fan_out = self._choose_g(pool, rows, task_ids.size)
+        subgroups = self._decompose(problem, task_ids, fan_out)
+
+        merged: list[int] = []
+        for subgroup in subgroups:
+            membership = np.isin(pool.task_idx[rows], subgroup)
+            sub_rows = rows[membership]
+            if sub_rows.size == 0:
+                continue
+            solution = self._solve(problem, sub_rows, budget_max)
+            merged = self._merge(pool, rows, merged, solution)
+        return merged
+
+    def _choose_g(self, pool: PairPool, rows: np.ndarray, num_tasks: int) -> int:
+        if self._config.fixed_g is not None:
+            return min(self._config.fixed_g, num_tasks)
+        num_workers = int(np.unique(pool.worker_idx[rows]).size)
+        avg_pairs_per_task = rows.size / num_tasks
+        g = best_subproblem_count(
+            num_tasks, num_workers, avg_pairs_per_task, max_g=self._config.max_g
+        )
+        return min(g, num_tasks)
+
+    def _decompose(
+        self, problem: ProblemInstance, task_ids: np.ndarray, fan_out: int
+    ) -> list[np.ndarray]:
+        """Fig. 7: anchor-sweep task grouping.
+
+        Anchors sweep by longitude; each subgroup is the anchor plus
+        its nearest unclaimed tasks, ``ceil(m'/g)`` tasks per group.
+        """
+        xs = np.array([problem.tasks[t].location.x for t in task_ids])
+        ys = np.array([problem.tasks[t].location.y for t in task_ids])
+        group_size = -(-task_ids.size // fan_out)  # ceil division
+
+        unclaimed = np.ones(task_ids.size, dtype=bool)
+        groups: list[np.ndarray] = []
+        while unclaimed.any():
+            open_positions = np.nonzero(unclaimed)[0]
+            # Anchor: smallest longitude, ties by smallest latitude.
+            anchor_order = np.lexsort((ys[open_positions], xs[open_positions]))
+            anchor = open_positions[anchor_order[0]]
+            distances = np.hypot(
+                xs[open_positions] - xs[anchor], ys[open_positions] - ys[anchor]
+            )
+            take = open_positions[np.argsort(distances, kind="stable")[:group_size]]
+            unclaimed[take] = False
+            groups.append(task_ids[take])
+        return groups
+
+    # ---- conquer -----------------------------------------------------------
+
+    def _solve_leaf(self, pool: PairPool, rows: np.ndarray) -> list[int]:
+        """Single-task subproblem: pick the best worker (Fig. 9 line 8)."""
+        candidates = self._pruned_candidates(pool, rows)
+        if candidates.size == 0:
+            return []
+        return [select_best_row(pool, candidates, self._config.selection_objective)]
+
+    def _pruned_candidates(self, pool: PairPool, rows: np.ndarray) -> np.ndarray:
+        """Lemma 4.1 + cap + Lemma 4.2 over an arbitrary row set."""
+        candidates = dominance_skyline(pool, rows)
+        candidates = cap_candidates(pool, candidates, self._config.candidate_cap)
+        return probability_prune(pool, candidates)
+
+    # ---- merge -------------------------------------------------------------
+
+    def _merge(
+        self,
+        pool: PairPool,
+        rows_scope: np.ndarray,
+        merged: list[int],
+        incoming: list[int],
+    ) -> list[int]:
+        """Fig. 8: merge ``incoming`` into ``merged``, resolving conflicts.
+
+        ``rows_scope`` is every valid pair row of the problem being
+        merged; replacements for displaced tasks are searched there.
+        """
+        assignment_by_task: dict[int, int] = {
+            int(pool.task_idx[r]): r for r in merged
+        }
+        worker_of: dict[int, int] = {int(pool.worker_idx[r]): r for r in merged}
+
+        conflicts: list[int] = []
+        for row in incoming:
+            worker = int(pool.worker_idx[row])
+            if worker in worker_of:
+                conflicts.append(row)
+            else:
+                self._accept(pool, assignment_by_task, worker_of, row)
+
+        # Fig. 8 line 3: handle the conflicting worker with the highest
+        # traveling cost in the incoming subproblem first.
+        conflicts.sort(key=lambda r: (-pool.cost_mean[r], r))
+        for row in conflicts:
+            worker = int(pool.worker_idx[row])
+            incumbent = worker_of.get(worker)
+            if incumbent is None:
+                # The incumbent was displaced while resolving an earlier
+                # conflict; the worker is free again.
+                self._accept(pool, assignment_by_task, worker_of, row)
+                continue
+            best = self._better_of(pool, incumbent, row)
+            if best == row:
+                self._retract(pool, assignment_by_task, worker_of, incumbent)
+                self._accept(pool, assignment_by_task, worker_of, row)
+                displaced_task = int(pool.task_idx[incumbent])
+            else:
+                displaced_task = int(pool.task_idx[row])
+            replacement = self._find_replacement(
+                pool, rows_scope, displaced_task, worker_of
+            )
+            if replacement is not None:
+                self._accept(pool, assignment_by_task, worker_of, replacement)
+
+        return sorted(assignment_by_task.values())
+
+    @staticmethod
+    def _accept(pool, assignment_by_task, worker_of, row: int) -> None:
+        assignment_by_task[int(pool.task_idx[row])] = row
+        worker_of[int(pool.worker_idx[row])] = row
+
+    @staticmethod
+    def _retract(pool, assignment_by_task, worker_of, row: int) -> None:
+        assignment_by_task.pop(int(pool.task_idx[row]), None)
+        worker_of.pop(int(pool.worker_idx[row]), None)
+
+    def _better_of(self, pool: PairPool, first: int, second: int) -> int:
+        """Fig. 8 line 4: the better of two conflicting pairs.
+
+        Lemma pruning then the Eq. 10 selection over the two-candidate
+        set.  Budget enforcement is deferred to the final budget-
+        constrained selection, so Eq. 9 is not applied here.
+        """
+        candidates = self._pruned_candidates(pool, np.array([first, second]))
+        if candidates.size == 0:
+            return first
+        return select_best_row(pool, candidates, self._config.selection_objective)
+
+    def _find_replacement(
+        self,
+        pool: PairPool,
+        rows_scope: np.ndarray,
+        task: int,
+        worker_of: dict[int, int],
+    ) -> int | None:
+        """Fig. 8 lines 6/8: best unused worker for a displaced task."""
+        of_task = rows_scope[pool.task_idx[rows_scope] == task]
+        if of_task.size == 0:
+            return None
+        used = np.array(sorted(worker_of), dtype=np.int64)
+        free = of_task[~np.isin(pool.worker_idx[of_task], used)]
+        if free.size == 0:
+            return None
+        candidates = self._pruned_candidates(pool, free)
+        if candidates.size == 0:
+            return None
+        return select_best_row(pool, candidates, self._config.selection_objective)

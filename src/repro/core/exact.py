@@ -1,0 +1,94 @@
+"""Exact MQA optimum for small single instances (ground truth).
+
+The MQA problem is NP-hard (Lemma 2.1), so no polynomial exact solver
+exists; this branch-and-bound enumerates worker-disjoint, task-disjoint
+subsets of *current* pairs within the budget and maximizes the quality
+sum.  It is exponential and intended for instances with at most a few
+dozen pairs — the test suite uses it to bound the heuristics'
+optimality gap, and the quickstart uses it as the clairvoyant
+single-instance reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.instance import ProblemInstance
+
+_EPS = 1e-9
+
+
+def exact_assignment(
+    problem: ProblemInstance,
+    budget: float,
+    max_pairs: int = 64,
+) -> tuple[list[int], float]:
+    """Optimal current-pair selection under the budget.
+
+    Args:
+        problem: the instance (predicted pairs, if any, are ignored —
+            the exact optimum is defined over materializable pairs).
+        budget: the per-instance budget ``B``.
+        max_pairs: safety limit; raises when the instance has more
+            current pairs than this (the search is exponential).
+
+    Returns:
+        ``(rows, total_quality)`` — pool row indices of one optimal
+        selection and its quality score.
+    """
+    pool = problem.pool
+    rows = np.nonzero(pool.is_current)[0]
+    if rows.size > max_pairs:
+        raise ValueError(
+            f"{rows.size} current pairs exceed the exact-search limit {max_pairs}"
+        )
+    if rows.size == 0:
+        return [], 0.0
+
+    # Order by quality descending so the optimistic bound tightens fast.
+    rows = rows[np.lexsort((rows, -pool.quality_mean[rows]))]
+    qualities = pool.quality_mean[rows]
+    costs = pool.cost_mean[rows]
+    workers = pool.worker_idx[rows]
+    tasks = pool.task_idx[rows]
+    # Suffix sums of quality: an upper bound on what the remaining
+    # pairs could still add (ignoring conflicts and budget).
+    suffix_quality = np.concatenate([np.cumsum(qualities[::-1])[::-1], [0.0]])
+
+    best_quality = -1.0
+    best_selection: list[int] = []
+
+    def search(index: int, used_workers: frozenset, used_tasks: frozenset,
+               spent: float, quality: float, chosen: list[int]) -> None:
+        nonlocal best_quality, best_selection
+        if quality > best_quality:
+            best_quality = quality
+            best_selection = list(chosen)
+        if index == len(rows):
+            return
+        if quality + suffix_quality[index] <= best_quality + _EPS:
+            return  # optimistic bound cannot beat the incumbent
+
+        # Branch 1: take pair `index` if feasible.
+        worker, task = int(workers[index]), int(tasks[index])
+        cost = float(costs[index])
+        if (
+            worker not in used_workers
+            and task not in used_tasks
+            and spent + cost <= budget + _EPS
+        ):
+            chosen.append(index)
+            search(
+                index + 1,
+                used_workers | {worker},
+                used_tasks | {task},
+                spent + cost,
+                quality + float(qualities[index]),
+                chosen,
+            )
+            chosen.pop()
+        # Branch 2: skip it.
+        search(index + 1, used_workers, used_tasks, spent, quality, chosen)
+
+    search(0, frozenset(), frozenset(), 0.0, 0.0, [])
+    return sorted(int(rows[i]) for i in best_selection), float(best_quality)

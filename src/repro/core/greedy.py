@@ -1,0 +1,186 @@
+"""The MQA greedy algorithm (Fig. 5), vectorized.
+
+Each iteration selects one best worker-and-task pair over current and
+predicted entities:
+
+1. feasibility: the pair's guaranteed lower-bound cost must fit in the
+   remaining combined budget (Fig. 5 line 6); a *current* pair's exact
+   cost must additionally fit in the remaining current-instance budget
+   (the hard per-instance constraint of Definition 4);
+2. budget confidence: Eq. 9 must exceed ``delta``;
+3. dominance pruning (Lemma 4.1) shrinks the survivors to a skyline;
+4. a cap + increase-probability pruning (Lemma 4.2) refine it;
+5. the Eq. 10 winner is selected, and all pairs sharing its worker or
+   task are removed (Fig. 5 line 13).
+
+The loop ends when no feasible candidate remains; predicted pairs are
+then dropped (line 14) via the shared finalization.
+
+The selection loop is exposed as :func:`greedy_select` because the D&C
+algorithm reuses it verbatim for its budget-constrained selection
+(Fig. 9 lines 17-28).  :class:`GreedyConfig` exposes the pruning
+switches for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import Assigner, AssignmentResult
+from repro.core.pruning import cap_candidates, dominance_skyline, probability_prune
+from repro.core.selection import budget_confident_rows, select_best_row
+from repro.model.instance import ProblemInstance
+from repro.model.pairs import PairPool
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class GreedyConfig:
+    """Tuning knobs of :class:`MQAGreedy`.
+
+    Attributes:
+        delta: Eq. 9 confidence level; a pair must fit the combined
+            budget with probability above ``delta``.
+        candidate_cap: upper bound on the candidate-set size before the
+            O(K^2) probabilistic stages (performance guard; the paper's
+            candidate sets are small because dominance pruning is
+            aggressive).
+        use_dominance_pruning: apply Lemma 4.1 (ablation switch).
+        use_probability_pruning: apply Lemma 4.2 (ablation switch).
+        selection_objective: ``"probability"`` (the paper's Eq. 10) or
+            ``"efficiency"`` (expected quality per unit cost; a
+            budget-aware alternative, see EXPERIMENTS.md).
+    """
+
+    delta: float = 0.5
+    candidate_cap: int = 64
+    use_dominance_pruning: bool = True
+    use_probability_pruning: bool = True
+    selection_objective: str = "probability"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.delta < 1.0:
+            raise ValueError(f"delta must be in [0, 1), got {self.delta}")
+        if self.candidate_cap < 1:
+            raise ValueError(f"candidate_cap must be >= 1, got {self.candidate_cap}")
+        if self.selection_objective not in ("probability", "efficiency"):
+            raise ValueError(
+                f"unknown selection objective {self.selection_objective!r}"
+            )
+
+
+def greedy_select(
+    pool: PairPool,
+    rows: np.ndarray,
+    budget_current: float,
+    budget_max: float,
+    config: GreedyConfig,
+) -> list[int]:
+    """Iterative best-pair selection restricted to ``rows``.
+
+    Implements the selection loop of Fig. 5 (and, when ``rows`` is the
+    merged D&C result set, of ``MQA_Budget_Constrained_Selection`` in
+    Fig. 9).  Returns the selected pool rows in selection order; the
+    selection never assigns a worker or task twice.
+
+    Budget accounting: a *current* pair's exact cost charges the
+    current-instance budget (the hard Definition 4 constraint); a pair
+    involving predicted entities charges its *expected* cost against
+    the future share ``budget_max - budget_current`` (its guaranteed
+    lower bound is often near zero, which would let reservations run
+    unbounded), so
+    reserving workers for predicted pairs can never starve the current
+    instance's budget.  Eq. 9 is evaluated against the combined
+    ``budget_max``, as in the paper.
+    """
+    num_pairs = len(pool)
+    if num_pairs == 0 or len(rows) == 0:
+        return []
+
+    alive = np.zeros(num_pairs, dtype=bool)
+    alive[np.asarray(rows, dtype=np.int64)] = True
+    # One global sort by cost upper bound; per-iteration skylines
+    # filter this order instead of re-sorting.
+    cost_ub_order = np.argsort(pool.cost_ub, kind="stable")
+
+    budget_future = max(budget_max - budget_current, 0.0)
+    spent_current = 0.0
+    spent_future = 0.0
+    spent_lower_bound = 0.0
+    selected: list[int] = []
+
+    while True:
+        feasible = alive.copy()
+        # Hard per-instance constraint for materializable pairs;
+        # future-share constraint for predicted pairs.
+        feasible &= np.where(
+            pool.is_current,
+            pool.cost_mean <= budget_current - spent_current + _EPS,
+            pool.cost_mean <= budget_future - spent_future + _EPS,
+        )
+        candidate_rows = np.nonzero(feasible)[0]
+        if candidate_rows.size == 0:
+            break
+
+        candidate_rows = budget_confident_rows(
+            pool, candidate_rows, spent_lower_bound, budget_max, config.delta
+        )
+        if candidate_rows.size == 0:
+            break
+
+        if config.use_dominance_pruning:
+            confident = np.zeros(num_pairs, dtype=bool)
+            confident[candidate_rows] = True
+            ordered = cost_ub_order[confident[cost_ub_order]]
+            candidate_rows = dominance_skyline(
+                pool, ordered, presorted_by_cost_ub=np.arange(ordered.size)
+            )
+        candidate_rows = cap_candidates(pool, candidate_rows, config.candidate_cap)
+        if config.use_probability_pruning:
+            candidate_rows = probability_prune(pool, candidate_rows)
+
+        best = select_best_row(pool, candidate_rows, config.selection_objective)
+        selected.append(best)
+        spent_lower_bound += float(pool.cost_lb[best])
+        if pool.is_current[best]:
+            spent_current += float(pool.cost_mean[best])
+        else:
+            spent_future += float(pool.cost_mean[best])
+        worker = pool.worker_idx[best]
+        task = pool.task_idx[best]
+        alive &= (pool.worker_idx != worker) & (pool.task_idx != task)
+
+    return selected
+
+
+class MQAGreedy(Assigner):
+    """Procedure ``MQA_Greedy`` of the paper (vectorized)."""
+
+    name = "greedy"
+
+    def __init__(self, config: GreedyConfig | None = None) -> None:
+        self._config = config if config is not None else GreedyConfig()
+
+    @property
+    def config(self) -> GreedyConfig:
+        return self._config
+
+    def assign(
+        self,
+        problem: ProblemInstance,
+        budget_current: float,
+        budget_future: float,
+        rng: np.random.Generator,
+    ) -> AssignmentResult:
+        pool = problem.pool
+        selected = greedy_select(
+            pool,
+            np.arange(len(pool)),
+            budget_current,
+            budget_current + budget_future,
+            self._config,
+        )
+        return self._result_from_rows(problem, selected, budget_current)

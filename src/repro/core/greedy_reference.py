@@ -1,0 +1,159 @@
+"""Object-level reference implementation of ``MQA_Greedy``.
+
+This follows Fig. 5 of the paper line by line over
+:class:`~repro.model.pairs.CandidatePair`-style scalar values, with no
+numpy in the selection loop.  It exists to pin down the semantics: the
+test suite asserts that the vectorized :class:`~repro.core.greedy.
+MQAGreedy` selects the same pairs on randomized instances.  It is
+O(iterations x pairs^2) and intended for small problems only.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.base import Assigner, AssignmentResult
+from repro.core.greedy import GreedyConfig
+from repro.model.instance import ProblemInstance
+from repro.uncertainty.comparison import prob_greater, prob_less_or_equal, prob_within_budget
+from repro.uncertainty.values import UncertainValue
+
+_EPS = 1e-9
+
+
+class ReferenceGreedy(Assigner):
+    """Unoptimized ``MQA_Greedy`` for cross-validation."""
+
+    name = "greedy-reference"
+
+    def __init__(self, config: GreedyConfig | None = None) -> None:
+        self._config = config if config is not None else GreedyConfig()
+
+    def assign(
+        self,
+        problem: ProblemInstance,
+        budget_current: float,
+        budget_future: float,
+        rng: np.random.Generator,
+    ) -> AssignmentResult:
+        pool = problem.pool
+        config = self._config
+        budget_max = budget_current + budget_future
+
+        costs = [pool.cost_value(r) for r in range(len(pool))]
+        qualities = [pool.quality_value(r) for r in range(len(pool))]
+
+        alive = set(range(len(pool)))
+        budget_future = max(budget_max - budget_current, 0.0)
+        spent_current = 0.0
+        spent_future = 0.0
+        spent_lower_bound = 0.0
+        selected: list[int] = []
+
+        while True:
+            feasible = [
+                r
+                for r in alive
+                if self._is_feasible(
+                    pool, costs[r], r, spent_current, spent_future,
+                    budget_current, budget_future,
+                )
+            ]
+            feasible = [
+                r
+                for r in feasible
+                if prob_within_budget(spent_lower_bound, costs[r], budget_max) > config.delta
+            ]
+            if not feasible:
+                break
+
+            candidates: list[int] = []
+            if config.use_dominance_pruning:
+                for row in feasible:
+                    if not self._dominated(costs, qualities, row, feasible):
+                        candidates.append(row)
+            else:
+                candidates = list(feasible)
+
+            candidates = self._cap(pool, candidates, config.candidate_cap)
+            if config.use_probability_pruning:
+                candidates = [
+                    r
+                    for r in candidates
+                    if not self._probably_worse(costs, qualities, r, candidates)
+                ]
+
+            best = self._select(pool, qualities, candidates)
+            selected.append(best)
+            spent_lower_bound += costs[best].lower
+            if pool.is_current[best]:
+                spent_current += costs[best].mean
+            else:
+                spent_future += costs[best].mean
+            worker = pool.worker_idx[best]
+            task = pool.task_idx[best]
+            alive = {
+                r
+                for r in alive
+                if pool.worker_idx[r] != worker and pool.task_idx[r] != task
+            }
+
+        return self._result_from_rows(problem, selected, budget_current)
+
+    @staticmethod
+    def _is_feasible(pool, cost, row, spent_current, spent_future, budget_current, budget_future):
+        if pool.is_current[row]:
+            return cost.mean <= budget_current - spent_current + _EPS
+        return cost.mean <= budget_future - spent_future + _EPS
+
+    @staticmethod
+    def _dominated(costs, qualities, row, others) -> bool:
+        """Lemma 4.1 against every other candidate."""
+        for other in others:
+            if other == row:
+                continue
+            if costs[other].upper < costs[row].lower and (
+                qualities[other].lower > qualities[row].upper
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _probably_worse(costs, qualities, row, others) -> bool:
+        """Lemma 4.2 (intent-corrected; see core.pruning) against others."""
+        for other in others:
+            if other == row:
+                continue
+            quality_better = prob_greater(qualities[row], qualities[other])
+            cost_better = prob_less_or_equal(costs[row], costs[other])
+            if quality_better < 0.5 and cost_better < 0.5:
+                return True
+        return False
+
+    @staticmethod
+    def _cap(pool, candidates: list[int], cap: int) -> list[int]:
+        if len(candidates) <= cap:
+            return candidates
+        ranked = sorted(
+            candidates,
+            key=lambda r: (-pool.quality_mean[r], pool.cost_mean[r], r),
+        )
+        return ranked[:cap]
+
+    @staticmethod
+    def _select(pool, qualities: list[UncertainValue], candidates: list[int]) -> int:
+        """Eq. 10: maximize the product of superiority probabilities."""
+        if not candidates:
+            raise ValueError("cannot select from an empty candidate set")
+        scores: dict[int, float] = {}
+        for row in candidates:
+            log_score = 0.0
+            for other in candidates:
+                if other == row:
+                    continue
+                probability = prob_greater(qualities[row], qualities[other])
+                log_score += math.log(probability) if probability > 0.0 else -math.inf
+            scores[row] = log_score
+        return min(candidates, key=lambda r: (-scores[r], pool.cost_mean[r], r))

@@ -1,0 +1,113 @@
+"""Candidate-set pruning (Lemmas 4.1 and 4.2), vectorized.
+
+Dominance pruning (Lemma 4.1)
+    Pair ``<w_i, t_j>`` is pruned when some candidate ``<w_a, t_b>``
+    has ``ub_c_ab < lb_c_ij`` *and* ``lb_q_ab > ub_q_ij`` — i.e. the
+    candidate is guaranteed both cheaper and better.
+
+Increase-probability pruning (Lemma 4.2)
+    The paper's statement prunes a pair when its own superiority
+    probabilities exceed 0.5, which would eliminate the *best* pairs;
+    the evident intent (and what Example 5 exercises) is the converse:
+    prune ``<w_i, t_j>`` when, against some candidate,
+    ``Pr{q_ij > q_ab} < 0.5`` and ``Pr{c_ij <= c_ab} < 0.5`` — the
+    pair is probably worse on both dimensions.  We implement the
+    intent (see DESIGN.md).  For deterministic pairs this degenerates
+    to strict dominance, consistent with Lemma 4.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.pairs import PairPool
+from repro.uncertainty.vector import prob_greater_vec, prob_less_or_equal_vec
+
+
+def dominance_skyline(
+    pool: PairPool, rows: np.ndarray, presorted_by_cost_ub: np.ndarray | None = None
+) -> np.ndarray:
+    """Rows of ``rows`` that survive Lemma 4.1 dominance pruning.
+
+    A row ``j`` is dominated iff some row ``a`` has
+    ``cost_ub[a] < cost_lb[j]`` and ``quality_lb[a] > quality_ub[j]``.
+
+    Implementation: sort the rows by ``cost_ub``; every potential
+    dominator of ``j`` then lies in the strict prefix of rows with
+    ``cost_ub < cost_lb[j]``, and only its maximal ``quality_lb``
+    matters — a prefix-max plus a binary search per row, O(N log N)
+    total instead of O(N^2).
+
+    Args:
+        pool: the owning pair pool.
+        rows: candidate row indices (any order).
+        presorted_by_cost_ub: optional precomputed ordering of ``rows``
+            by ``cost_ub`` (an argsort result), letting callers in a
+            selection loop amortize the sort.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size <= 1:
+        return rows
+
+    if presorted_by_cost_ub is None:
+        order = np.argsort(pool.cost_ub[rows], kind="stable")
+    else:
+        order = presorted_by_cost_ub
+    sorted_rows = rows[order]
+    sorted_ub_cost = pool.cost_ub[sorted_rows]
+    prefix_max_lb_quality = np.maximum.accumulate(pool.quality_lb[sorted_rows])
+
+    # Strict prefix with cost_ub < cost_lb[j]: positions [0, cut_j).
+    cut = np.searchsorted(sorted_ub_cost, pool.cost_lb[sorted_rows], side="left")
+    has_prefix = cut > 0
+    best_quality_before = np.where(
+        has_prefix, prefix_max_lb_quality[np.maximum(cut - 1, 0)], -np.inf
+    )
+    dominated = best_quality_before > pool.quality_ub[sorted_rows]
+    survivors = sorted_rows[~dominated]
+    return np.sort(survivors)
+
+
+def probability_prune(pool: PairPool, rows: np.ndarray) -> np.ndarray:
+    """Rows of ``rows`` that survive Lemma 4.2 pruning.
+
+    Pairwise O(K^2); callers cap K (the greedy keeps at most
+    ``candidate_cap`` rows).  A row is pruned when *some* other row is
+    probably better on quality and probably no worse on cost.  Mutual
+    elimination cannot occur: ``Pr{q_i > q_j} < 0.5`` implies
+    ``Pr{q_j > q_i} > 0.5`` under the normal approximation (ties give
+    exactly 0.5, which does not prune).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    size = rows.size
+    if size <= 1:
+        return rows
+
+    q_mean = pool.quality_mean[rows]
+    q_var = pool.quality_var[rows]
+    c_mean = pool.cost_mean[rows]
+    c_var = pool.cost_var[rows]
+
+    quality_better = prob_greater_vec(
+        q_mean[:, None], q_var[:, None], q_mean[None, :], q_var[None, :]
+    )
+    cost_better = prob_less_or_equal_vec(
+        c_mean[:, None], c_var[:, None], c_mean[None, :], c_var[None, :]
+    )
+    worse_both = (quality_better < 0.5) & (cost_better < 0.5)
+    np.fill_diagonal(worse_both, False)
+    pruned = worse_both.any(axis=1)
+    return rows[~pruned]
+
+
+def cap_candidates(pool: PairPool, rows: np.ndarray, cap: int) -> np.ndarray:
+    """Keep at most ``cap`` rows, preferring high expected quality.
+
+    A performance guard for the O(K^2) probabilistic stages; ties are
+    broken by lower expected cost, then by row index for determinism.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size <= cap:
+        return rows
+    order = np.lexsort((rows, pool.cost_mean[rows], -pool.quality_mean[rows]))
+    return rows[order[:cap]]

@@ -1,0 +1,65 @@
+"""The RANDOM baseline (Section VI).
+
+Randomly assigns workers to tasks under the budget constraint: valid
+pairs are visited in uniformly random order and accepted whenever both
+endpoints are still free and the budget allows.  RANDOM ignores quality
+entirely — the paper uses it as the quality floor and the runtime
+ceiling reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Assigner, AssignmentResult
+from repro.model.instance import ProblemInstance
+
+_EPS = 1e-9
+
+
+class RandomAssigner(Assigner):
+    """Uniformly random feasible assignment."""
+
+    name = "random"
+
+    def assign(
+        self,
+        problem: ProblemInstance,
+        budget_current: float,
+        budget_future: float,
+        rng: np.random.Generator,
+    ) -> AssignmentResult:
+        pool = problem.pool
+        num_pairs = len(pool)
+        if num_pairs == 0:
+            return self._result_from_rows(problem, [], budget_current)
+
+        order = rng.permutation(num_pairs)
+
+        used_workers: set[int] = set()
+        used_tasks: set[int] = set()
+        spent_current = 0.0
+        spent_future = 0.0
+        selected: list[int] = []
+
+        for row in order:
+            row = int(row)
+            worker = int(pool.worker_idx[row])
+            task = int(pool.task_idx[row])
+            if worker in used_workers or task in used_tasks:
+                continue
+            if pool.is_current[row]:
+                cost = float(pool.cost_mean[row])
+                if spent_current + cost > budget_current + _EPS:
+                    continue
+                spent_current += cost
+            else:
+                cost = float(pool.cost_mean[row])
+                if spent_future + cost > budget_future + _EPS:
+                    continue
+                spent_future += cost
+            used_workers.add(worker)
+            used_tasks.add(task)
+            selected.append(row)
+
+        return self._result_from_rows(problem, selected, budget_current)

@@ -1,0 +1,91 @@
+"""Best-pair selection among candidates (Eqs. 9 and 10).
+
+Given the pruned candidate set ``S_p``, the greedy (and the D&C merge)
+must pick one pair that (a) satisfies the budget constraint with
+confidence above ``delta`` (Eq. 9) and (b) maximizes the probability of
+having the largest quality increase among the candidates — the product
+of pairwise superiority probabilities (Eq. 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.pairs import PairPool
+from repro.uncertainty.vector import phi_vec, prob_greater_vec
+
+_VARIANCE_FLOOR = 1e-24
+
+
+def budget_confident_rows(
+    pool: PairPool,
+    rows: np.ndarray,
+    selected_lower_bound_sum: float,
+    budget_max: float,
+    delta: float,
+) -> np.ndarray:
+    """Rows passing the Eq. 9 budget-confidence test.
+
+    A row survives when ``Pr{sum of selected lb costs + c_ij <= B_max}``
+    exceeds ``delta``.  Deterministic costs degenerate to the exact
+    feasibility indicator.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return rows
+    headroom = budget_max - selected_lower_bound_sum - pool.cost_mean[rows]
+    variance = pool.cost_var[rows]
+    deterministic = variance <= _VARIANCE_FLOOR
+    safe_std = np.sqrt(np.where(deterministic, 1.0, variance))
+    prob = np.where(deterministic, (headroom >= 0.0).astype(float), phi_vec(headroom / safe_std))
+    return rows[prob > delta]
+
+
+#: Cost floor for the efficiency objective: a co-located pair (cost 0)
+#: must not divide by zero, and a near-zero cost should not make a
+#: mediocre pair look infinitely efficient.
+_EFFICIENCY_COST_FLOOR = 1e-3
+
+
+def select_best_row(pool: PairPool, rows: np.ndarray, objective: str = "probability") -> int:
+    """The winning candidate among ``rows``.
+
+    Objectives:
+
+    - ``"probability"`` (the paper's Eq. 10): maximize
+      ``prod_{a != i} Pr{q_i > q_a}`` (computed in log space; a zero
+      factor sends the product to -inf, which is correct — such a pair
+      is certainly beaten by someone).
+    - ``"efficiency"``: maximize expected quality per unit expected
+      cost.  Not in the paper; a budget-aware alternative that the
+      deviation analysis in EXPERIMENTS.md motivates (quality-first
+      selection burns budget on distant max-quality pairs).
+
+    Ties are broken by lower expected cost, then by row index, so
+    selection is deterministic.  Raises :class:`ValueError` on an
+    empty candidate set or an unknown objective.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        raise ValueError("cannot select from an empty candidate set")
+    if objective not in ("probability", "efficiency"):
+        raise ValueError(f"unknown selection objective {objective!r}")
+    if rows.size == 1:
+        return int(rows[0])
+
+    if objective == "efficiency":
+        scores = pool.quality_mean[rows] / np.maximum(
+            pool.cost_mean[rows], _EFFICIENCY_COST_FLOOR
+        )
+    else:
+        q_mean = pool.quality_mean[rows]
+        q_var = pool.quality_var[rows]
+        probabilities = prob_greater_vec(
+            q_mean[:, None], q_var[:, None], q_mean[None, :], q_var[None, :]
+        )
+        np.fill_diagonal(probabilities, 1.0)
+        with np.errstate(divide="ignore"):
+            scores = np.log(probabilities).sum(axis=1)
+
+    order = np.lexsort((rows, pool.cost_mean[rows], -scores))
+    return int(rows[order[0]])

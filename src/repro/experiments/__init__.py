@@ -1,0 +1,46 @@
+"""Experiment harness: regenerate every figure of the evaluation.
+
+Each figure of Section VI (and the appendix) has a function in
+:mod:`repro.experiments.figures` that sweeps the paper's parameter,
+runs the configured algorithms through the simulation engine, and
+returns a :class:`~repro.experiments.runner.FigureResult` whose rows
+mirror the published series.  The ``scale`` argument shrinks entity
+counts and budgets proportionally so the sweep fits a laptop/CI budget
+(see EXPERIMENTS.md for the scales used in the recorded runs).
+"""
+
+from repro.experiments.config import ExperimentConfig, PAPER_DEFAULTS, scaled_config
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    FigureResult,
+    SeriesPoint,
+    run_figure,
+    standard_algorithms,
+    wp_wop_algorithms,
+)
+from repro.experiments.figures import FIGURES, get_figure, run_figure_by_id
+from repro.experiments.reporting import (
+    figure_from_json,
+    figure_to_json,
+    format_figure,
+    format_figure_csv,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_DEFAULTS",
+    "scaled_config",
+    "AlgorithmSpec",
+    "FigureResult",
+    "SeriesPoint",
+    "run_figure",
+    "standard_algorithms",
+    "wp_wop_algorithms",
+    "FIGURES",
+    "get_figure",
+    "run_figure_by_id",
+    "format_figure",
+    "format_figure_csv",
+    "figure_to_json",
+    "figure_from_json",
+]

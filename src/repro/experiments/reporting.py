@@ -1,0 +1,103 @@
+"""Plain-text and CSV rendering of figure results.
+
+The bench harness prints, for every figure, the same rows the paper
+plots: one block for the quality series and one for the runtime series
+(Fig. 10 reports prediction error instead of quality).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.experiments.runner import FigureResult, SeriesPoint
+
+
+def _render_block(result: FigureResult, measure: str, header: str) -> str:
+    out = io.StringIO()
+    label_width = max(len(a) for a in result.algorithms) + 2
+    column_width = max(max(len(x) for x in result.x_labels) + 2, 10)
+
+    out.write(f"{header}\n")
+    out.write(" " * label_width)
+    for x in result.x_labels:
+        out.write(f"{x:>{column_width}}")
+    out.write("\n")
+    for algorithm in result.algorithms:
+        out.write(f"{algorithm:<{label_width}}")
+        for value in result.series(algorithm, measure):
+            if value != value:  # NaN
+                out.write(f"{'-':>{column_width}}")
+            elif measure == "cpu_seconds":
+                out.write(f"{value:>{column_width}.4f}")
+            else:
+                out.write(f"{value:>{column_width}.2f}")
+        out.write("\n")
+    return out.getvalue()
+
+
+def format_figure(result: FigureResult) -> str:
+    """Human-readable report: quality block plus runtime block."""
+    out = io.StringIO()
+    out.write(f"== {result.figure_id}: {result.title} ==\n")
+    out.write(f"x axis: {result.x_name}\n\n")
+    quality_header = (
+        "Average relative error (%)"
+        if result.figure_id == "fig10"
+        else "Overall quality score"
+    )
+    out.write(_render_block(result, "quality", quality_header))
+    out.write("\n")
+    out.write(_render_block(result, "cpu_seconds", "Running time (s/instance)"))
+    return out.getvalue()
+
+
+def format_figure_csv(result: FigureResult) -> str:
+    """Machine-readable dump: one row per (x, algorithm) point."""
+    out = io.StringIO()
+    out.write("figure,x,algorithm,quality,cpu_seconds,assigned,cost\n")
+    for point in result.points:
+        out.write(
+            f"{result.figure_id},{point.x_label},{point.algorithm},"
+            f"{point.quality:.4f},{point.cpu_seconds:.6f},"
+            f"{point.assigned},{point.cost:.4f}\n"
+        )
+    return out.getvalue()
+
+
+def figure_to_json(result: FigureResult) -> str:
+    """Serialize a figure result (round-trips with :func:`figure_from_json`)."""
+    payload = {
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "x_name": result.x_name,
+        "x_labels": result.x_labels,
+        "algorithms": result.algorithms,
+        "points": [
+            {
+                "x_label": p.x_label,
+                "algorithm": p.algorithm,
+                "quality": p.quality,
+                "cpu_seconds": p.cpu_seconds,
+                "assigned": p.assigned,
+                "cost": p.cost,
+                "worker_prediction_error": p.worker_prediction_error,
+                "task_prediction_error": p.task_prediction_error,
+            }
+            for p in result.points
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def figure_from_json(text: str) -> FigureResult:
+    """Rebuild a :class:`FigureResult` written by :func:`figure_to_json`."""
+    payload = json.loads(text)
+    return FigureResult(
+        figure_id=payload["figure_id"],
+        title=payload["title"],
+        x_name=payload["x_name"],
+        x_labels=list(payload["x_labels"]),
+        algorithms=list(payload["algorithms"]),
+        points=[SeriesPoint(**point) for point in payload["points"]],
+    )

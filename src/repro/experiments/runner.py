@@ -1,0 +1,186 @@
+"""Generic sweep runner shared by all figure definitions.
+
+A figure is a sweep over one x-axis parameter; at each x value every
+configured algorithm runs a full simulation and reports its overall
+quality score and average per-instance CPU time — the paper's two
+measures.  Workloads are built once per x value and shared across
+algorithms (the fair-comparison requirement).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.base import Assigner
+from repro.core.divide_conquer import MQADivideConquer
+from repro.core.greedy import MQAGreedy
+from repro.core.random_assign import RandomAssigner
+from repro.experiments.config import ExperimentConfig
+from repro.simulation.engine import EngineConfig, SimulationEngine
+from repro.simulation.metrics import SimulationResult
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One curve of a figure: an assigner plus a prediction mode."""
+
+    label: str
+    make_assigner: Callable[[], Assigner]
+    use_prediction: bool = True
+
+
+def standard_algorithms() -> list[AlgorithmSpec]:
+    """GREEDY / D&C / RANDOM, all with prediction (Figs. 12-22)."""
+    return [
+        AlgorithmSpec("GREEDY", MQAGreedy),
+        AlgorithmSpec("D&C", MQADivideConquer),
+        AlgorithmSpec("RANDOM", RandomAssigner),
+    ]
+
+
+def wp_wop_algorithms() -> list[AlgorithmSpec]:
+    """The six WP/WoP curves of Figs. 11 and 23-27."""
+    return [
+        AlgorithmSpec("GREEDY_WP", MQAGreedy, use_prediction=True),
+        AlgorithmSpec("D&C_WP", MQADivideConquer, use_prediction=True),
+        AlgorithmSpec("RANDOM_WP", RandomAssigner, use_prediction=True),
+        AlgorithmSpec("GREEDY_WoP", MQAGreedy, use_prediction=False),
+        AlgorithmSpec("D&C_WoP", MQADivideConquer, use_prediction=False),
+        AlgorithmSpec("RANDOM_WoP", RandomAssigner, use_prediction=False),
+    ]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x value, algorithm) measurement."""
+
+    x_label: str
+    algorithm: str
+    quality: float
+    cpu_seconds: float
+    assigned: int
+    cost: float
+    worker_prediction_error: float | None = None
+    task_prediction_error: float | None = None
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """All measurements of one figure sweep."""
+
+    figure_id: str
+    title: str
+    x_name: str
+    x_labels: list[str]
+    algorithms: list[str]
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def point(self, x_label: str, algorithm: str) -> SeriesPoint:
+        """Lookup one measurement (raises ``KeyError`` when absent)."""
+        for p in self.points:
+            if p.x_label == x_label and p.algorithm == algorithm:
+                return p
+        raise KeyError(f"no point for x={x_label!r}, algorithm={algorithm!r}")
+
+    def series(self, algorithm: str, measure: str = "quality") -> list[float]:
+        """One curve: the ``measure`` attribute across x labels."""
+        return [getattr(self.point(x, algorithm), measure) for x in self.x_labels]
+
+
+def run_simulation(
+    workload: Workload,
+    spec: AlgorithmSpec,
+    config: ExperimentConfig,
+) -> SimulationResult:
+    """One cell: one algorithm over one workload."""
+    engine = SimulationEngine(
+        workload,
+        spec.make_assigner(),
+        EngineConfig(
+            budget=config.budget,
+            unit_cost=config.unit_cost,
+            use_prediction=spec.use_prediction,
+            grid_gamma=config.grid_gamma,
+            window=config.window,
+        ),
+        seed=config.seed,
+    )
+    return engine.run()
+
+
+def _mean_or_none(values: list[float | None]) -> float | None:
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    return sum(present) / len(present)
+
+
+def run_figure(
+    figure_id: str,
+    title: str,
+    x_name: str,
+    x_values: Sequence,
+    make_workload: Callable[[object, ExperimentConfig], Workload],
+    make_config: Callable[[object], ExperimentConfig],
+    algorithms: Sequence[AlgorithmSpec],
+    x_formatter: Callable[[object], str] = str,
+    repeats: int = 1,
+) -> FigureResult:
+    """Sweep ``x_values``, running every algorithm at each point.
+
+    Args:
+        figure_id / title: identification for reports.
+        x_name: the swept parameter's display name.
+        x_values: the sweep values.
+        make_workload: builds the workload for one x value (given the
+            resolved config), shared across algorithms at that point.
+        make_config: resolves the experiment config for one x value.
+        algorithms: the curves to measure.
+        x_formatter: pretty-printer for x values.
+        repeats: independent repetitions per point (distinct workload
+            seeds); reported measurements are the means.  One run per
+            point (the default) matches the paper's single-run curves;
+            more repeats smooth seed noise at proportional cost.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    points: list[SeriesPoint] = []
+    x_labels = [x_formatter(x) for x in x_values]
+    for x, x_label in zip(x_values, x_labels):
+        base_config = make_config(x)
+        configs = [
+            base_config.with_fields(seed=base_config.seed + 1000 * r)
+            for r in range(repeats)
+        ]
+        workloads = [make_workload(x, c) for c in configs]
+        for spec in algorithms:
+            runs = [
+                run_simulation(workload, spec, config)
+                for workload, config in zip(workloads, configs)
+            ]
+            points.append(
+                SeriesPoint(
+                    x_label=x_label,
+                    algorithm=spec.label,
+                    quality=sum(r.total_quality for r in runs) / repeats,
+                    cpu_seconds=sum(r.average_cpu_seconds for r in runs) / repeats,
+                    assigned=round(sum(r.total_assigned for r in runs) / repeats),
+                    cost=sum(r.total_cost for r in runs) / repeats,
+                    worker_prediction_error=_mean_or_none(
+                        [r.average_worker_prediction_error for r in runs]
+                    ),
+                    task_prediction_error=_mean_or_none(
+                        [r.average_task_prediction_error for r in runs]
+                    ),
+                )
+            )
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        x_name=x_name,
+        x_labels=x_labels,
+        algorithms=[spec.label for spec in algorithms],
+        points=points,
+    )

@@ -1,0 +1,20 @@
+"""Spatial primitives: points, axis-aligned boxes, and the grid index.
+
+The paper works in the unit square ``U = [0, 1]^2`` (Section III-A).
+Everything in this package is 2-dimensional and dependency-free; numpy
+enters only at the vectorized layers above.
+"""
+
+from repro.geo.point import Point, euclidean_distance, travel_time
+from repro.geo.box import Box, min_box_distance, max_box_distance
+from repro.geo.grid import GridIndex
+
+__all__ = [
+    "Point",
+    "euclidean_distance",
+    "travel_time",
+    "Box",
+    "min_box_distance",
+    "max_box_distance",
+    "GridIndex",
+]

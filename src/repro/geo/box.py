@@ -1,0 +1,116 @@
+"""Axis-aligned boxes: the support of uniform-kernel location estimates.
+
+Section III-A models every predicted worker/task sample as a *uniform*
+distribution centered at the sample, bounded per dimension by
+``[s[r] - h_r, s[r] + h_r]``.  A :class:`Box` is that support.  Boxes
+also arise degenerately for *current* entities, whose position is a
+single point (a zero-width box); the moment formulas in
+:mod:`repro.uncertainty.moments` handle both uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """An axis-aligned rectangle ``[x_lo, x_hi] x [y_lo, y_hi]``."""
+
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+
+    def __post_init__(self) -> None:
+        if self.x_lo > self.x_hi or self.y_lo > self.y_hi:
+            raise ValueError(f"malformed box bounds: {self}")
+
+    @classmethod
+    def from_point(cls, point: Point) -> "Box":
+        """A degenerate (zero-area) box at a known location."""
+        return cls(point.x, point.x, point.y, point.y)
+
+    @classmethod
+    def from_center(cls, center: Point, half_width_x: float, half_width_y: float) -> "Box":
+        """The support of a uniform kernel centered at ``center``.
+
+        This is the per-sample box of Section III-A with bandwidths
+        ``h_1 = half_width_x`` and ``h_2 = half_width_y``.
+        """
+        if half_width_x < 0.0 or half_width_y < 0.0:
+            raise ValueError("kernel half-widths must be non-negative")
+        return cls(
+            center.x - half_width_x,
+            center.x + half_width_x,
+            center.y - half_width_y,
+            center.y + half_width_y,
+        )
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x_lo + self.x_hi) / 2.0, (self.y_lo + self.y_hi) / 2.0)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the box is a single point (a current entity)."""
+        return self.x_lo == self.x_hi and self.y_lo == self.y_hi
+
+    def interval(self, dimension: int) -> tuple[float, float]:
+        """The ``[lb, ub]`` interval of the box along one dimension."""
+        if dimension == 0:
+            return (self.x_lo, self.x_hi)
+        if dimension == 1:
+            return (self.y_lo, self.y_hi)
+        raise IndexError(f"Box has two dimensions, got {dimension}")
+
+    def clipped(self, lo: float = 0.0, hi: float = 1.0) -> "Box":
+        """Clip the box to the data space (kernels near the boundary)."""
+        return Box(
+            min(max(self.x_lo, lo), hi),
+            min(max(self.x_hi, lo), hi),
+            min(max(self.y_lo, lo), hi),
+            min(max(self.y_hi, lo), hi),
+        )
+
+    def contains(self, point: Point) -> bool:
+        return self.x_lo <= point.x <= self.x_hi and self.y_lo <= point.y <= self.y_hi
+
+
+def _interval_gap(a_lo: float, a_hi: float, b_lo: float, b_hi: float) -> float:
+    """Smallest distance between two 1-D intervals (0 if they overlap)."""
+    if a_hi < b_lo:
+        return b_lo - a_hi
+    if b_hi < a_lo:
+        return a_lo - b_hi
+    return 0.0
+
+
+def _interval_span(a_lo: float, a_hi: float, b_lo: float, b_hi: float) -> float:
+    """Largest distance between points of two 1-D intervals."""
+    return max(abs(a_hi - b_lo), abs(b_hi - a_lo))
+
+
+def min_box_distance(a: Box, b: Box) -> float:
+    """Smallest Euclidean distance between any two points of ``a``/``b``.
+
+    This is the lower bound ``lb_c`` of a pair's traveling distance when
+    one or both endpoints are uniform-kernel boxes (used by the
+    dominance pruning of Lemma 4.1).
+    """
+    dx = _interval_gap(a.x_lo, a.x_hi, b.x_lo, b.x_hi)
+    dy = _interval_gap(a.y_lo, a.y_hi, b.y_lo, b.y_hi)
+    return math.hypot(dx, dy)
+
+
+def max_box_distance(a: Box, b: Box) -> float:
+    """Largest Euclidean distance between any two points of ``a``/``b``.
+
+    This is the upper bound ``ub_c`` of a pair's traveling distance.
+    """
+    dx = _interval_span(a.x_lo, a.x_hi, b.x_lo, b.x_hi)
+    dy = _interval_span(a.y_lo, a.y_hi, b.y_lo, b.y_hi)
+    return math.hypot(dx, dy)

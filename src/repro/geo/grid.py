@@ -1,0 +1,124 @@
+"""The grid index over the unit square (Section III-A).
+
+The prediction approach divides ``U = [0, 1]^2`` into ``gamma^2`` cells
+of side length ``1 / gamma`` and keeps per-cell statistics.  The paper
+uses 400 cells (``gamma = 20``) in its accuracy experiment (Fig. 10);
+the best ``gamma`` "can be guided by a cost model in [9]" and is a
+plain constructor parameter here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.geo.box import Box
+from repro.geo.point import Point
+
+
+class GridIndex:
+    """A ``gamma x gamma`` uniform grid over ``[0, 1]^2``.
+
+    Cells are numbered row-major: ``cell = row * gamma + col`` with
+    ``col`` indexing the x axis and ``row`` the y axis.
+    """
+
+    def __init__(self, gamma: int) -> None:
+        if gamma < 1:
+            raise ValueError(f"gamma must be a positive integer, got {gamma}")
+        self._gamma = int(gamma)
+        self._side = 1.0 / self._gamma
+
+    @property
+    def gamma(self) -> int:
+        """Cells per axis."""
+        return self._gamma
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells, ``gamma^2``."""
+        return self._gamma * self._gamma
+
+    @property
+    def cell_side(self) -> float:
+        """Side length of every cell, ``1 / gamma``."""
+        return self._side
+
+    def cell_of(self, point: Point) -> int:
+        """Cell index containing ``point``.
+
+        Points on the top/right boundary (coordinate exactly 1.0) are
+        assigned to the last cell so the whole closed square is covered.
+        """
+        col = self._clamp_axis(point.x)
+        row = self._clamp_axis(point.y)
+        return row * self._gamma + col
+
+    def _clamp_axis(self, coordinate: float) -> int:
+        if not 0.0 <= coordinate <= 1.0:
+            raise ValueError(f"coordinate {coordinate} outside the unit square")
+        return min(int(coordinate * self._gamma), self._gamma - 1)
+
+    def cell_box(self, cell: int) -> Box:
+        """The axis-aligned bounds of cell ``cell``."""
+        row, col = self._validate_cell(cell)
+        return Box(
+            col * self._side,
+            (col + 1) * self._side,
+            row * self._side,
+            (row + 1) * self._side,
+        )
+
+    def cell_center(self, cell: int) -> Point:
+        row, col = self._validate_cell(cell)
+        return Point((col + 0.5) * self._side, (row + 0.5) * self._side)
+
+    def _validate_cell(self, cell: int) -> tuple[int, int]:
+        if not 0 <= cell < self.num_cells:
+            raise IndexError(f"cell {cell} out of range for gamma={self._gamma}")
+        return divmod(cell, self._gamma)
+
+    def cells(self) -> Iterator[int]:
+        """Iterate over all cell indices."""
+        return iter(range(self.num_cells))
+
+    def count_points(self, points: Iterable[Point]) -> np.ndarray:
+        """Histogram of points per cell (length ``num_cells``).
+
+        This is the per-instance per-cell count the prediction sliding
+        window is built from (``|W_p^{(i)}|`` in Section III-A).
+        """
+        counts = np.zeros(self.num_cells, dtype=np.int64)
+        for point in points:
+            counts[self.cell_of(point)] += 1
+        return counts
+
+    def count_coordinates(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`count_points` over coordinate arrays."""
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.shape != ys.shape:
+            raise ValueError("xs and ys must have the same shape")
+        if xs.size and (xs.min() < 0.0 or xs.max() > 1.0 or ys.min() < 0.0 or ys.max() > 1.0):
+            raise ValueError("coordinates outside the unit square")
+        cols = np.minimum((xs * self._gamma).astype(np.int64), self._gamma - 1)
+        rows = np.minimum((ys * self._gamma).astype(np.int64), self._gamma - 1)
+        cells = rows * self._gamma + cols
+        return np.bincount(cells, minlength=self.num_cells).astype(np.int64)
+
+    def sample_in_cell(self, cell: int, rng: np.random.Generator, size: int) -> list[Point]:
+        """Draw ``size`` points uniformly inside cell ``cell``.
+
+        Sampling is with replacement across calls, matching the paper's
+        "sampling with replacement" of predicted worker/task samples.
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        box = self.cell_box(cell)
+        xs = rng.uniform(box.x_lo, box.x_hi, size=size)
+        ys = rng.uniform(box.y_lo, box.y_hi, size=size)
+        return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+    def __repr__(self) -> str:
+        return f"GridIndex(gamma={self._gamma})"

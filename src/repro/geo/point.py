@@ -1,0 +1,60 @@
+"""Points in the unit square and Euclidean distance.
+
+The paper measures the traveling cost of a worker-and-task pair as
+``c_ij = C * dist(l_i(p), l_j)`` with ``dist`` the Euclidean distance
+(Section II-C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A location in the 2-D data space ``U = [0, 1]^2``.
+
+    Coordinates slightly outside the unit square are tolerated (real
+    check-in data may round onto the boundary); validation happens at
+    workload-construction time, not here.
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return the coordinates as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def __getitem__(self, index: int) -> float:
+        if index == 0:
+            return self.x
+        if index == 1:
+            return self.y
+        raise IndexError(f"Point has two dimensions, got index {index}")
+
+
+def euclidean_distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points (the paper's ``dist``)."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def travel_time(worker_location: Point, task_location: Point, velocity: float) -> float:
+    """Time for a worker moving at ``velocity`` to reach the task.
+
+    Raises :class:`ValueError` for non-positive velocities; a worker
+    that cannot move can never reach a task, and silently returning
+    ``inf`` would hide workload-generation bugs.
+    """
+    if velocity <= 0.0:
+        raise ValueError(f"velocity must be positive, got {velocity}")
+    return euclidean_distance(worker_location, task_location) / velocity

@@ -1,0 +1,17 @@
+"""Bipartite matching substrate.
+
+The MQA heuristics do not need optimal matchings, but two baselines do:
+the clairvoyant/offline quality-maximizing assignment used in the
+examples and tests (Kuhn-Munkres), and a simple greedy matcher.  Both
+are implemented from scratch; the test suite cross-validates the
+Hungarian solver against ``scipy.optimize.linear_sum_assignment``.
+"""
+
+from repro.matching.hungarian import hungarian_min_cost, hungarian_max_weight
+from repro.matching.bipartite import greedy_max_weight_matching
+
+__all__ = [
+    "hungarian_min_cost",
+    "hungarian_max_weight",
+    "greedy_max_weight_matching",
+]

@@ -1,0 +1,144 @@
+"""Kuhn-Munkres (Hungarian) assignment, O(n^3), from scratch.
+
+The implementation is the shortest-augmenting-path formulation with
+dual potentials.  ``hungarian_min_cost`` solves rectangular problems
+with ``rows <= cols`` by transposing internally when needed;
+``hungarian_max_weight`` is the maximization wrapper that also supports
+*partial* assignment (a row may stay unmatched if every remaining
+weight is non-positive) by padding with zero-weight dummy columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_INF = float("inf")
+
+
+def hungarian_min_cost(cost: np.ndarray) -> tuple[list[tuple[int, int]], float]:
+    """Minimum-cost perfect matching of rows onto columns.
+
+    Args:
+        cost: 2-D array; every row is matched to exactly one distinct
+            column (requires ``rows <= cols``; transposed internally
+            otherwise).
+
+    Returns:
+        ``(assignment, total_cost)`` with ``assignment`` a list of
+        ``(row, col)`` pairs covering every row.
+    """
+    cost = np.asarray(cost, dtype=float)
+    if cost.ndim != 2:
+        raise ValueError(f"cost must be 2-D, got shape {cost.shape}")
+    if cost.size == 0:
+        return [], 0.0
+    if not np.isfinite(cost).all():
+        raise ValueError("cost matrix must be finite")
+
+    transposed = cost.shape[0] > cost.shape[1]
+    if transposed:
+        cost = cost.T
+    n, m = cost.shape
+
+    # 1-indexed potentials and matching, the classic formulation.
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    match = [0] * (m + 1)  # match[j] = row matched to column j
+    way = [0] * (m + 1)
+
+    for i in range(1, n + 1):
+        match[0] = i
+        j0 = 0
+        minv = [_INF] * (m + 1)
+        used = [False] * (m + 1)
+        while True:
+            used[j0] = True
+            i0 = match[j0]
+            delta = _INF
+            j1 = 0
+            row = cost[i0 - 1]
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                current = row[j - 1] - u[i0] - v[j]
+                if current < minv[j]:
+                    minv[j] = current
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(m + 1):
+                if used[j]:
+                    u[match[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if match[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            match[j0] = match[j1]
+            j0 = j1
+
+    assignment = []
+    total = 0.0
+    for j in range(1, m + 1):
+        if match[j]:
+            row, col = match[j] - 1, j - 1
+            total += cost[row, col]
+            if transposed:
+                assignment.append((col, row))
+            else:
+                assignment.append((row, col))
+    assignment.sort()
+    return assignment, float(total)
+
+
+def hungarian_max_weight(
+    weights: np.ndarray, allow_unmatched: bool = True
+) -> tuple[list[tuple[int, int]], float]:
+    """Maximum-total-weight assignment of rows to columns.
+
+    Args:
+        weights: 2-D weight matrix; larger is better.  Entries may be
+            ``-inf`` to forbid a pairing.
+        allow_unmatched: when True (default), rows whose best option is
+            non-positive are left unmatched (dummy columns with weight
+            0 are added), which is the behaviour the quality-maximizing
+            baseline needs — an invalid or worthless pair is simply not
+            made.
+
+    Returns:
+        ``(assignment, total_weight)``; forbidden or dummy pairings are
+        never reported.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 2:
+        raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+    n, m = weights.shape
+    if n == 0 or m == 0:
+        return [], 0.0
+
+    finite = np.where(np.isfinite(weights), weights, 0.0)
+    largest = float(np.abs(finite).max(initial=0.0)) + 1.0
+    forbidden_cost = 4.0 * largest * max(n, m)
+
+    # Minimize the negated weights; forbidden cells get a huge cost.
+    cost = np.where(np.isfinite(weights), -weights, forbidden_cost)
+    if allow_unmatched:
+        # Dummy columns with zero weight: matching a row to one means
+        # leaving it unmatched.
+        cost = np.hstack([cost, np.zeros((n, n))])
+
+    assignment, _ = hungarian_min_cost(cost)
+    real_pairs = []
+    total = 0.0
+    for row, col in assignment:
+        if col >= m:
+            continue  # dummy column: row left unmatched
+        if not np.isfinite(weights[row, col]):
+            continue  # forbidden cell chosen only if unavoidable
+        real_pairs.append((row, col))
+        total += float(weights[row, col])
+    return real_pairs, total

@@ -1,0 +1,101 @@
+"""Workers and tasks (Definitions 1-2), current and predicted.
+
+A *current* entity has an exact location; its support box is the
+degenerate box at that point.  A *predicted* entity (denoted
+``w_hat`` / ``t_hat`` in the paper) is a uniform-kernel sample: its
+``location`` is the sample point and its ``box`` the kernel support.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.geo.box import Box
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Worker:
+    """A dynamically moving worker ``w_i`` (Definition 1).
+
+    Attributes:
+        id: unique identifier within a simulation run.
+        location: position ``l_i(p)`` (sample center when predicted).
+        velocity: free-movement speed ``v_i``.
+        arrival: timestamp at which the worker joined the system.
+        predicted: True for a grid-prediction sample ``w_hat``.
+        box: support of the location distribution; degenerate for
+            current workers.
+    """
+
+    id: int
+    location: Point
+    velocity: float
+    arrival: float = 0.0
+    predicted: bool = False
+    box: Box = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.velocity <= 0.0:
+            raise ValueError(f"worker {self.id}: velocity must be positive")
+        if self.box is None:
+            object.__setattr__(self, "box", Box.from_point(self.location))
+
+    @property
+    def is_current(self) -> bool:
+        return not self.predicted
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """A time-constrained spatial task ``t_j`` (Definition 2).
+
+    Attributes:
+        id: unique identifier within a simulation run.
+        location: task position ``l_j`` (sample center when predicted).
+        deadline: absolute time ``e_j`` by which a worker must arrive.
+        arrival: timestamp at which the task was posted.
+        predicted: True for a grid-prediction sample ``t_hat``.
+        box: support of the location distribution; degenerate for
+            current tasks.
+    """
+
+    id: int
+    location: Point
+    deadline: float
+    arrival: float = 0.0
+    predicted: bool = False
+    box: Box = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.deadline < self.arrival:
+            raise ValueError(
+                f"task {self.id}: deadline {self.deadline} precedes arrival {self.arrival}"
+            )
+        if self.box is None:
+            object.__setattr__(self, "box", Box.from_point(self.location))
+
+    @property
+    def is_current(self) -> bool:
+        return not self.predicted
+
+    def remaining_time(self, now: float) -> float:
+        """Time left until the deadline (may be negative if expired)."""
+        return self.deadline - now
+
+    def is_expired(self, now: float) -> bool:
+        """True when no worker could possibly arrive in time anymore."""
+        return self.deadline < now
+
+
+def mean_velocity(workers: Sequence[Worker]) -> float:
+    """Average speed of a worker set.
+
+    Predicted workers have no observed velocity; the paper's framework
+    assigns them the mean speed of the current population.  Returns 0.0
+    for an empty set (callers must guard).
+    """
+    if not workers:
+        return 0.0
+    return sum(w.velocity for w in workers) / len(workers)

@@ -1,0 +1,404 @@
+"""Problem instances: all valid candidate pairs at one time instance.
+
+``build_problem`` assembles the four pair families of Section III-B —
+``<w, t>``, ``<w_hat, t>``, ``<w, t_hat>``, ``<w_hat, t_hat>`` — into a
+single columnar :class:`~repro.model.pairs.PairPool`:
+
+- current-current pairs have exact (certain) costs and qualities;
+- pairs with predicted endpoints get delta-method cost statistics from
+  the uniform-kernel boxes (Eqs. 2-5), quality statistics estimated
+  from the current quality-score samples (Cases 1-3), and existence
+  probabilities ``p_hat_ij``;
+- when ``discount_by_existence`` is on (the default), the quality of a
+  predicted pair is the quality of the *materialized* pair times its
+  Bernoulli existence indicator, so its contribution to the expected
+  objective is priced correctly.
+
+Everything is vectorized; the scalar reference path lives in the
+object-level API (``CandidatePair``) and the test suite checks the two
+agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.model.entities import Task, Worker
+from repro.model.pairs import CandidatePair, PairPool
+from repro.model.quality import QualityModel
+from repro.uncertainty.vector import distance_stats_vec
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """One MQA decision problem (one time instance).
+
+    ``workers`` and ``tasks`` list current entities first, then
+    predicted ones; ``pool`` indexes into those lists.
+    """
+
+    workers: list[Worker]
+    tasks: list[Task]
+    num_current_workers: int
+    num_current_tasks: int
+    pool: PairPool
+    now: float
+
+    def pair(self, row: int) -> CandidatePair:
+        """Materialize pool row ``row`` as a :class:`CandidatePair`."""
+        return CandidatePair(
+            worker=self.workers[int(self.pool.worker_idx[row])],
+            task=self.tasks[int(self.pool.task_idx[row])],
+            cost=self.pool.cost_value(row),
+            quality=self.pool.quality_value(row),
+            existence=float(self.pool.existence[row]),
+        )
+
+    def pairs(self, rows: Sequence[int]) -> list[CandidatePair]:
+        """Materialize several pool rows."""
+        return [self.pair(int(r)) for r in rows]
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pool)
+
+
+def _worker_columns(workers: Sequence[Worker]):
+    xs = np.array([w.location.x for w in workers], dtype=float)
+    ys = np.array([w.location.y for w in workers], dtype=float)
+    velocity = np.array([w.velocity for w in workers], dtype=float)
+    arrival = np.array([w.arrival for w in workers], dtype=float)
+    return xs, ys, velocity, arrival
+
+
+def _task_columns(tasks: Sequence[Task]):
+    xs = np.array([t.location.x for t in tasks], dtype=float)
+    ys = np.array([t.location.y for t in tasks], dtype=float)
+    deadline = np.array([t.deadline for t in tasks], dtype=float)
+    arrival = np.array([t.arrival for t in tasks], dtype=float)
+    return xs, ys, deadline, arrival
+
+
+def _box_intervals(entities: Sequence[Worker] | Sequence[Task]):
+    x_lo = np.array([e.box.x_lo for e in entities], dtype=float)
+    x_hi = np.array([e.box.x_hi for e in entities], dtype=float)
+    y_lo = np.array([e.box.y_lo for e in entities], dtype=float)
+    y_hi = np.array([e.box.y_hi for e in entities], dtype=float)
+    return x_lo, x_hi, y_lo, y_hi
+
+
+def _masked_stats(values: np.ndarray, mask: np.ndarray, axis: int):
+    """Per-row/column sample statistics of ``values`` where ``mask``.
+
+    Returns ``(count, mean, variance, minimum, maximum)`` along the
+    requested axis.  Rows/columns with zero samples get zeros for the
+    moments and +/-inf extremes (callers substitute fallbacks).
+    """
+    count = mask.sum(axis=axis)
+    safe_count = np.maximum(count, 1)
+    total = np.where(mask, values, 0.0).sum(axis=axis)
+    mean = total / safe_count
+    total_sq = np.where(mask, values * values, 0.0).sum(axis=axis)
+    variance = np.maximum(total_sq / safe_count - mean * mean, 0.0)
+    minimum = np.where(mask, values, np.inf).min(axis=axis, initial=np.inf)
+    maximum = np.where(mask, values, -np.inf).max(axis=axis, initial=-np.inf)
+    return count, mean, variance, minimum, maximum
+
+
+def _discount_quality(mean, var, lb, ub, probability):
+    """Vectorized Bernoulli discount (see UncertainValue.discounted)."""
+    mean_d = probability * mean
+    var_d = np.maximum(probability * (var + mean * mean) - mean_d * mean_d, 0.0)
+    lb_d = np.where(probability < 1.0, np.minimum(0.0, lb), lb)
+    ub_d = np.maximum(ub, lb_d)
+    return mean_d, var_d, lb_d, ub_d
+
+
+def _block_pool(valid, worker_offset, task_offset, cost, quality, existence, is_current):
+    """Assemble one pair family into a :class:`PairPool`.
+
+    ``cost`` and ``quality`` are ``(mean, var, lb, ub)`` tuples of
+    matrices aligned with the ``valid`` mask; ``existence`` a matrix of
+    the same shape (broadcastable).
+    """
+    rows, cols = np.nonzero(valid)
+    if rows.size == 0:
+        return PairPool.empty()
+    existence = np.broadcast_to(existence, valid.shape)
+    pick = lambda matrix: np.broadcast_to(matrix, valid.shape)[rows, cols]  # noqa: E731
+    return PairPool(
+        worker_idx=rows + worker_offset,
+        task_idx=cols + task_offset,
+        cost_mean=pick(cost[0]),
+        cost_var=pick(cost[1]),
+        cost_lb=pick(cost[2]),
+        cost_ub=pick(cost[3]),
+        quality_mean=pick(quality[0]),
+        quality_var=pick(quality[1]),
+        quality_lb=pick(quality[2]),
+        quality_ub=pick(quality[3]),
+        existence=existence[rows, cols],
+        is_current=np.full(rows.size, is_current, dtype=bool),
+    )
+
+
+def build_problem(
+    current_workers: Sequence[Worker],
+    current_tasks: Sequence[Task],
+    predicted_workers: Sequence[Worker],
+    predicted_tasks: Sequence[Task],
+    quality_model: QualityModel,
+    unit_cost: float,
+    now: float,
+    discount_by_existence: bool = True,
+    reservation_filter: bool = True,
+    include_future_future_pairs: bool = True,
+    exact_predicted_quality: bool = False,
+) -> ProblemInstance:
+    """Build the candidate-pair pool for one time instance.
+
+    Args:
+        current_workers / current_tasks: entities available now
+            (``W_p`` / ``T_p``).
+        predicted_workers / predicted_tasks: grid-prediction samples
+            for the next instance (``W_{p+1}`` / ``T_{p+1}``); pass
+            empty sequences for the without-prediction (WoP) mode.
+        quality_model: supplier of pair quality scores.
+        unit_cost: the unit price ``C`` per distance.
+        now: the current timestamp ``p``.
+        discount_by_existence: multiply predicted pairs' quality by
+            their existence probability (DESIGN.md).
+        reservation_filter: keep a mixed pair (one current entity, one
+            predicted) only when its expected quality beats the best
+            *currently available* pair of that current entity.
+            Selecting such a pair reserves the current worker/task for
+            the future; when a better current match exists, the
+            reservation is an expected-value loss and merely strings
+            the entity along (DESIGN.md discusses this refinement of
+            the paper's selection).
+        include_future_future_pairs: include the ``<w_hat, t_hat>``
+            family (Section III-B, Case 3).  These pairs can never
+            materialize and reserve no current entity; disabling them
+            removes their perturbation of the candidate sets while
+            keeping the genuine (mixed) reservations.
+        exact_predicted_quality: price predicted pairs with the quality
+            model directly (exact scores, zero variance) instead of the
+            Section III-B sample statistics.  Used by the clairvoyant
+            (oracle) mode, where the "predicted" entities are the real
+            next-instance arrivals and their pair qualities are known.
+    """
+    if unit_cost < 0.0:
+        raise ValueError(f"unit cost must be non-negative, got {unit_cost}")
+    for worker in predicted_workers:
+        if not worker.predicted:
+            raise ValueError(f"worker {worker.id} passed as predicted but not flagged")
+    for task in predicted_tasks:
+        if not task.predicted:
+            raise ValueError(f"task {task.id} passed as predicted but not flagged")
+
+    n, m = len(current_workers), len(current_tasks)
+    k, l = len(predicted_workers), len(predicted_tasks)
+    pools: list[PairPool] = []
+
+    prior_mean, prior_var, prior_lb, prior_ub = quality_model.prior()
+
+    # ---- current x current -------------------------------------------------
+    if n and m:
+        wx, wy, w_vel, w_arr = _worker_columns(current_workers)
+        tx, ty, t_deadline, t_arr = _task_columns(current_tasks)
+        dist = np.hypot(wx[:, None] - tx[None, :], wy[:, None] - ty[None, :])
+        departure = np.maximum(now, np.maximum(w_arr[:, None], t_arr[None, :]))
+        horizon = t_deadline[None, :] - departure
+        valid_cc = (horizon > 0.0) & (dist <= horizon * w_vel[:, None])
+        quality_cc = quality_model.quality_matrix(current_workers, current_tasks)
+        if quality_cc.shape != (n, m):
+            raise ValueError(
+                f"quality matrix shape {quality_cc.shape} != ({n}, {m})"
+            )
+        cost_cc = unit_cost * dist
+        zeros = np.zeros_like(dist)
+        pools.append(
+            _block_pool(
+                valid_cc,
+                worker_offset=0,
+                task_offset=0,
+                cost=(cost_cc, zeros, cost_cc, cost_cc),
+                quality=(quality_cc, zeros, quality_cc, quality_cc),
+                existence=np.ones_like(dist),
+                is_current=True,
+            )
+        )
+    else:
+        valid_cc = np.zeros((n, m), dtype=bool)
+        quality_cc = np.zeros((n, m), dtype=float)
+
+    # ---- quality samples from the current instance (Cases 1-3) ------------
+    # Case 1 <w_hat, t_j>: per-task sample stats over valid current workers.
+    task_count, task_mean, task_var, task_min, task_max = _masked_stats(
+        quality_cc, valid_cc, axis=0
+    )
+    # Case 2 <w_i, t_hat>: per-worker sample stats over valid current tasks.
+    worker_count, worker_mean, worker_var, worker_min, worker_max = _masked_stats(
+        quality_cc, valid_cc, axis=1
+    )
+    # Case 3 <w_hat, t_hat>: all valid current pair scores pooled.
+    total_valid = int(valid_cc.sum())
+    if total_valid > 0:
+        pooled = quality_cc[valid_cc]
+        global_mean = float(pooled.mean())
+        global_var = float(pooled.var())
+        global_min = float(pooled.min())
+        global_max = float(pooled.max())
+    else:
+        global_mean, global_var = prior_mean, prior_var
+        global_min, global_max = prior_lb, prior_ub
+
+    def _fallback(count, mean, var, lo, hi):
+        """Substitute global/prior stats where no samples exist."""
+        empty = count == 0
+        return (
+            np.where(empty, global_mean, mean),
+            np.where(empty, global_var, var),
+            np.where(empty, global_min, lo),
+            np.where(empty, global_max, hi),
+        )
+
+    task_mean, task_var, task_min, task_max = _fallback(
+        task_count, task_mean, task_var, task_min, task_max
+    )
+    worker_mean, worker_var, worker_min, worker_max = _fallback(
+        worker_count, worker_mean, worker_var, worker_min, worker_max
+    )
+
+    def _exact_quality(row_entities, col_entities):
+        """Certain quality columns straight from the quality model."""
+        matrix = quality_model.quality_matrix(row_entities, col_entities)
+        zeros = np.zeros_like(matrix)
+        return (matrix, zeros, matrix, matrix)
+
+    # ---- predicted workers x current tasks --------------------------------
+    if k and m:
+        pw_intervals = _box_intervals(predicted_workers)
+        ct_points = _box_intervals(current_tasks)
+        d_mean, d_var, d_lb, d_ub = distance_stats_vec(pw_intervals, ct_points)
+        pw_vel = np.array([w.velocity for w in predicted_workers], dtype=float)
+        pw_arr = np.array([w.arrival for w in predicted_workers], dtype=float)
+        tx_, ty_, t_deadline, t_arr = _task_columns(current_tasks)
+        departure = np.maximum(now, np.maximum(pw_arr[:, None], t_arr[None, :]))
+        horizon = t_deadline[None, :] - departure
+        valid = (horizon > 0.0) & (d_lb <= horizon * pw_vel[:, None])
+        existence = np.minimum(task_count / max(n, 1), 1.0)[None, :]
+        if exact_predicted_quality:
+            quality = _exact_quality(predicted_workers, current_tasks)
+        else:
+            quality = (
+                task_mean[None, :],
+                task_var[None, :],
+                task_min[None, :],
+                task_max[None, :],
+            )
+        if discount_by_existence:
+            quality = _discount_quality(*quality, existence)
+        if reservation_filter:
+            has_current = task_count > 0
+            best_current = np.where(has_current, task_max, -np.inf)
+            valid &= (quality[0] > best_current[None, :]) | ~has_current[None, :]
+        pools.append(
+            _block_pool(
+                valid,
+                worker_offset=n,
+                task_offset=0,
+                cost=(unit_cost * d_mean, unit_cost**2 * d_var, unit_cost * d_lb, unit_cost * d_ub),
+                quality=quality,
+                existence=existence,
+                is_current=False,
+            )
+        )
+
+    # ---- current workers x predicted tasks --------------------------------
+    if n and l:
+        cw_points = _box_intervals(current_workers)
+        pt_intervals = _box_intervals(predicted_tasks)
+        d_mean, d_var, d_lb, d_ub = distance_stats_vec(cw_points, pt_intervals)
+        _, _, w_vel, w_arr = _worker_columns(current_workers)
+        pt_deadline = np.array([t.deadline for t in predicted_tasks], dtype=float)
+        pt_arr = np.array([t.arrival for t in predicted_tasks], dtype=float)
+        departure = np.maximum(now, np.maximum(w_arr[:, None], pt_arr[None, :]))
+        horizon = pt_deadline[None, :] - departure
+        valid = (horizon > 0.0) & (d_lb <= horizon * w_vel[:, None])
+        existence = np.minimum(worker_count / max(m, 1), 1.0)[:, None]
+        if exact_predicted_quality:
+            quality = _exact_quality(current_workers, predicted_tasks)
+        else:
+            quality = (
+                worker_mean[:, None],
+                worker_var[:, None],
+                worker_min[:, None],
+                worker_max[:, None],
+            )
+        if discount_by_existence:
+            quality = _discount_quality(*quality, existence)
+        if reservation_filter:
+            has_current = worker_count > 0
+            best_current = np.where(has_current, worker_max, -np.inf)
+            valid &= (quality[0] > best_current[:, None]) | ~has_current[:, None]
+        pools.append(
+            _block_pool(
+                valid,
+                worker_offset=0,
+                task_offset=m,
+                cost=(unit_cost * d_mean, unit_cost**2 * d_var, unit_cost * d_lb, unit_cost * d_ub),
+                quality=quality,
+                existence=existence,
+                is_current=False,
+            )
+        )
+
+    # ---- predicted workers x predicted tasks -------------------------------
+    if k and l and include_future_future_pairs:
+        pw_intervals = _box_intervals(predicted_workers)
+        pt_intervals = _box_intervals(predicted_tasks)
+        d_mean, d_var, d_lb, d_ub = distance_stats_vec(pw_intervals, pt_intervals)
+        pw_vel = np.array([w.velocity for w in predicted_workers], dtype=float)
+        pw_arr = np.array([w.arrival for w in predicted_workers], dtype=float)
+        pt_deadline = np.array([t.deadline for t in predicted_tasks], dtype=float)
+        pt_arr = np.array([t.arrival for t in predicted_tasks], dtype=float)
+        departure = np.maximum(now, np.maximum(pw_arr[:, None], pt_arr[None, :]))
+        horizon = pt_deadline[None, :] - departure
+        valid = (horizon > 0.0) & (d_lb <= horizon * pw_vel[:, None])
+        existence_value = total_valid / max(n * m, 1)
+        existence = np.full(valid.shape, min(existence_value, 1.0))
+        if exact_predicted_quality:
+            quality = _exact_quality(predicted_workers, predicted_tasks)
+        else:
+            quality = (
+                np.full(valid.shape, global_mean),
+                np.full(valid.shape, global_var),
+                np.full(valid.shape, global_min),
+                np.full(valid.shape, global_max),
+            )
+        if discount_by_existence:
+            quality = _discount_quality(*quality, existence)
+        pools.append(
+            _block_pool(
+                valid,
+                worker_offset=n,
+                task_offset=m,
+                cost=(unit_cost * d_mean, unit_cost**2 * d_var, unit_cost * d_lb, unit_cost * d_ub),
+                quality=quality,
+                existence=existence,
+                is_current=False,
+            )
+        )
+
+    return ProblemInstance(
+        workers=list(current_workers) + list(predicted_workers),
+        tasks=list(current_tasks) + list(predicted_tasks),
+        num_current_workers=n,
+        num_current_tasks=m,
+        pool=PairPool.concatenate(pools),
+        now=now,
+    )

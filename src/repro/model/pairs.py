@@ -1,0 +1,181 @@
+"""Candidate worker-and-task pairs, scalar and columnar forms.
+
+:class:`CandidatePair` is the user-facing object (what assignments are
+reported as); :class:`PairPool` is the columnar (structure-of-arrays)
+form the assignment algorithms operate on — one row per *valid* pair,
+with the cost/quality summarized by (mean, variance, lower, upper)
+columns and the existence probability of Section III-B attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.entities import Task, Worker
+from repro.uncertainty.values import UncertainValue
+
+
+@dataclass(frozen=True, slots=True)
+class CandidatePair:
+    """A valid worker-and-task assignment pair ``<w_i, t_j>``.
+
+    For current-current pairs ``cost`` and ``quality`` are certain and
+    ``existence`` is 1; pairs involving predicted entities carry the
+    derived distributions and existence probability.
+    """
+
+    worker: Worker
+    task: Task
+    cost: UncertainValue
+    quality: UncertainValue
+    existence: float = 1.0
+
+    @property
+    def is_current(self) -> bool:
+        """True when both endpoints exist right now (materializable)."""
+        return self.worker.is_current and self.task.is_current
+
+
+class PairPool:
+    """Columnar pool of valid candidate pairs.
+
+    Attributes (all numpy arrays of one row per pair):
+        worker_idx / task_idx: indices into the owning problem's
+            ``workers`` / ``tasks`` lists.
+        cost_*: traveling-cost summary columns (already scaled by the
+            unit price ``C``).
+        quality_*: quality-score summary columns (already discounted by
+            existence probabilities when the problem is built with
+            discounting enabled).
+        existence: existence probability of each pair.
+        is_current: True where both endpoints are current entities.
+    """
+
+    __slots__ = (
+        "worker_idx",
+        "task_idx",
+        "cost_mean",
+        "cost_var",
+        "cost_lb",
+        "cost_ub",
+        "quality_mean",
+        "quality_var",
+        "quality_lb",
+        "quality_ub",
+        "existence",
+        "is_current",
+    )
+
+    def __init__(
+        self,
+        worker_idx: np.ndarray,
+        task_idx: np.ndarray,
+        cost_mean: np.ndarray,
+        cost_var: np.ndarray,
+        cost_lb: np.ndarray,
+        cost_ub: np.ndarray,
+        quality_mean: np.ndarray,
+        quality_var: np.ndarray,
+        quality_lb: np.ndarray,
+        quality_ub: np.ndarray,
+        existence: np.ndarray,
+        is_current: np.ndarray,
+    ) -> None:
+        columns = [
+            worker_idx,
+            task_idx,
+            cost_mean,
+            cost_var,
+            cost_lb,
+            cost_ub,
+            quality_mean,
+            quality_var,
+            quality_lb,
+            quality_ub,
+            existence,
+            is_current,
+        ]
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise ValueError(f"column length mismatch: {sorted(lengths)}")
+        self.worker_idx = np.asarray(worker_idx, dtype=np.int64)
+        self.task_idx = np.asarray(task_idx, dtype=np.int64)
+        self.cost_mean = np.asarray(cost_mean, dtype=float)
+        self.cost_var = np.asarray(cost_var, dtype=float)
+        self.cost_lb = np.asarray(cost_lb, dtype=float)
+        self.cost_ub = np.asarray(cost_ub, dtype=float)
+        self.quality_mean = np.asarray(quality_mean, dtype=float)
+        self.quality_var = np.asarray(quality_var, dtype=float)
+        self.quality_lb = np.asarray(quality_lb, dtype=float)
+        self.quality_ub = np.asarray(quality_ub, dtype=float)
+        self.existence = np.asarray(existence, dtype=float)
+        self.is_current = np.asarray(is_current, dtype=bool)
+
+    @classmethod
+    def empty(cls) -> "PairPool":
+        """A pool with zero pairs."""
+        z = np.zeros(0)
+        zi = np.zeros(0, dtype=np.int64)
+        zb = np.zeros(0, dtype=bool)
+        return cls(zi, zi, z, z, z, z, z, z, z, z, z, zb)
+
+    @classmethod
+    def concatenate(cls, pools: list["PairPool"]) -> "PairPool":
+        """Stack several pools into one."""
+        pools = [p for p in pools if len(p) > 0]
+        if not pools:
+            return cls.empty()
+        return cls(
+            np.concatenate([p.worker_idx for p in pools]),
+            np.concatenate([p.task_idx for p in pools]),
+            np.concatenate([p.cost_mean for p in pools]),
+            np.concatenate([p.cost_var for p in pools]),
+            np.concatenate([p.cost_lb for p in pools]),
+            np.concatenate([p.cost_ub for p in pools]),
+            np.concatenate([p.quality_mean for p in pools]),
+            np.concatenate([p.quality_var for p in pools]),
+            np.concatenate([p.quality_lb for p in pools]),
+            np.concatenate([p.quality_ub for p in pools]),
+            np.concatenate([p.existence for p in pools]),
+            np.concatenate([p.is_current for p in pools]),
+        )
+
+    def __len__(self) -> int:
+        return len(self.worker_idx)
+
+    def subset(self, selector: np.ndarray) -> "PairPool":
+        """Pool restricted to a boolean mask or index array."""
+        return PairPool(
+            self.worker_idx[selector],
+            self.task_idx[selector],
+            self.cost_mean[selector],
+            self.cost_var[selector],
+            self.cost_lb[selector],
+            self.cost_ub[selector],
+            self.quality_mean[selector],
+            self.quality_var[selector],
+            self.quality_lb[selector],
+            self.quality_ub[selector],
+            self.existence[selector],
+            self.is_current[selector],
+        )
+
+    def cost_value(self, row: int) -> UncertainValue:
+        """The cost of pair ``row`` as an :class:`UncertainValue`."""
+        return UncertainValue(
+            mean=float(self.cost_mean[row]),
+            variance=float(self.cost_var[row]),
+            lower=float(self.cost_lb[row]),
+            upper=float(self.cost_ub[row]),
+        )
+
+    def quality_value(self, row: int) -> UncertainValue:
+        """The quality of pair ``row`` as an :class:`UncertainValue`."""
+        return UncertainValue(
+            mean=float(self.quality_mean[row]),
+            variance=float(self.quality_var[row]),
+            lower=float(self.quality_lb[row]),
+            upper=float(self.quality_ub[row]),
+        )

@@ -1,0 +1,34 @@
+"""Quality-score model protocol.
+
+The paper treats the quality score ``q_ij`` of a worker-and-task pair
+as given (worker expertise x task difficulty).  Workloads supply the
+concrete scores; the core algorithms only need the two operations
+below.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.model.entities import Task, Worker
+
+
+@runtime_checkable
+class QualityModel(Protocol):
+    """Provides pair quality scores ``q_ij``."""
+
+    def quality_matrix(self, workers: Sequence[Worker], tasks: Sequence[Task]) -> np.ndarray:
+        """Dense ``(len(workers), len(tasks))`` matrix of scores."""
+        ...
+
+    def prior(self) -> tuple[float, float, float, float]:
+        """``(mean, variance, lower, upper)`` of the score distribution.
+
+        Used as the fallback quality distribution for predicted pairs
+        when no current samples exist to estimate from (e.g. the very
+        first time instance).
+        """
+        ...

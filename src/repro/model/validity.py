@@ -1,0 +1,37 @@
+"""Validity (reachability) of worker-and-task pairs.
+
+A pair ``<w_i, t_j>`` is valid iff the worker, departing at the current
+time, arrives at the task location before the deadline ``e_j``
+(Definition 3).  For predicted entities the location is a box; we use
+the *optimistic* (minimum) box distance, so no pair the realized future
+could make valid is discarded — the uncertainty of such pairs is
+instead priced into their cost/quality variables and existence
+probabilities.
+"""
+
+from __future__ import annotations
+
+from repro.geo.box import min_box_distance
+from repro.model.entities import Task, Worker
+
+
+def latest_feasible_distance(worker: Worker, task: Task, now: float) -> float:
+    """Largest distance the worker could cover before the deadline.
+
+    The departure time is ``max(now, arrival of the later entity)``: a
+    pair involving a predicted entity cannot start traveling before
+    that entity joins the system.
+    """
+    departure = max(now, worker.arrival, task.arrival)
+    horizon = task.deadline - departure
+    if horizon <= 0.0:
+        return -1.0
+    return horizon * worker.velocity
+
+
+def can_reach(worker: Worker, task: Task, now: float) -> bool:
+    """Validity test for a pair (current or predicted endpoints)."""
+    budget_distance = latest_feasible_distance(worker, task, now)
+    if budget_distance < 0.0:
+        return False
+    return min_box_distance(worker.box, task.box) <= budget_distance

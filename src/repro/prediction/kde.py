@@ -1,0 +1,69 @@
+"""Uniform-kernel KDE for predicted sample locations (Section III-A).
+
+Each predicted worker/task sample ``s_i`` becomes a continuous pdf
+
+    f(x) = prod_r (1 / h_r) * K((x[r] - s[r]) / h_r)
+
+with the uniform kernel ``K(u) = 1/2 * 1(|u| <= 1)``, i.e. a uniform
+distribution over the box ``[s[r] - h_r, s[r] + h_r]`` per dimension.
+The bandwidth follows Hansen's rule-of-thumb for a second-order
+uniform kernel:
+
+    h_r = sigma_hat * C_v(k) * n^(-1/(2v+1)),   v = 2, C_v(k) = 1.8431
+
+where ``sigma_hat`` is the per-dimension standard deviation of the
+current worker/task locations and ``n`` the sample count.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.geo.box import Box
+from repro.geo.point import Point
+
+# C_v(k) for the uniform kernel with kernel order v = 2 (paper value).
+UNIFORM_KERNEL_CONSTANT = 1.8431
+
+# Kernel order v = 2 gives the exponent -1/(2v+1) = -1/5.
+_BANDWIDTH_EXPONENT = -0.2
+
+
+def kde_bandwidth(sample_std: float, n: int) -> float:
+    """Rule-of-thumb bandwidth ``h_r`` for one dimension.
+
+    Args:
+        sample_std: standard deviation of current entity locations
+            along the dimension (the paper's ``sigma_hat``).
+        n: number of samples the KDE is built over.
+
+    A zero standard deviation (all mass at one coordinate) or ``n = 0``
+    yields a zero bandwidth, i.e. degenerate point kernels.
+    """
+    if sample_std < 0.0:
+        raise ValueError(f"standard deviation must be non-negative, got {sample_std}")
+    if n < 0:
+        raise ValueError(f"sample count must be non-negative, got {n}")
+    if n == 0 or sample_std == 0.0:
+        return 0.0
+    return sample_std * UNIFORM_KERNEL_CONSTANT * float(n) ** _BANDWIDTH_EXPONENT
+
+
+def sample_boxes(
+    samples: Sequence[Point],
+    bandwidth_x: float,
+    bandwidth_y: float,
+    clip: bool = True,
+) -> list[Box]:
+    """Uniform-kernel support boxes for predicted samples.
+
+    Each sample becomes the box ``[s.x +- h_x] x [s.y +- h_y]``,
+    clipped to the unit square by default so that predicted locations
+    stay inside the data space.
+    """
+    if bandwidth_x < 0.0 or bandwidth_y < 0.0:
+        raise ValueError("bandwidths must be non-negative")
+    boxes = [Box.from_center(s, bandwidth_x, bandwidth_y) for s in samples]
+    if clip:
+        boxes = [box.clipped() for box in boxes]
+    return boxes

@@ -1,0 +1,99 @@
+"""Pluggable time-series predictors for per-cell counts.
+
+The paper uses linear regression and notes that "other prediction
+methods can also be plugged into our grid-based prediction framework".
+This module provides that plug point: a tiny protocol plus four
+implementations used by the predictor-choice ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
+
+from repro.prediction.regression import predict_next_linear
+
+
+@runtime_checkable
+class CountPredictor(Protocol):
+    """Predicts the next value of a short non-negative time series."""
+
+    def predict(self, history: Sequence[float]) -> float:
+        """Extrapolate one step past ``history`` (window oldest-first)."""
+        ...
+
+
+class LinearRegressionPredictor:
+    """The paper's predictor: OLS line extrapolated one step."""
+
+    def predict(self, history: Sequence[float]) -> float:
+        return predict_next_linear(history)
+
+    def __repr__(self) -> str:
+        return "LinearRegressionPredictor()"
+
+
+class MeanPredictor:
+    """Window mean; the natural baseline for stationary arrivals."""
+
+    def predict(self, history: Sequence[float]) -> float:
+        if len(history) == 0:
+            raise ValueError("cannot predict from an empty history")
+        return float(sum(history)) / len(history)
+
+    def __repr__(self) -> str:
+        return "MeanPredictor()"
+
+
+class LastValuePredictor:
+    """Naive persistence: tomorrow looks like today."""
+
+    def predict(self, history: Sequence[float]) -> float:
+        if len(history) == 0:
+            raise ValueError("cannot predict from an empty history")
+        return float(history[-1])
+
+    def __repr__(self) -> str:
+        return "LastValuePredictor()"
+
+
+class ExponentialSmoothingPredictor:
+    """Simple exponential smoothing with smoothing factor ``alpha``."""
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self._alpha = alpha
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    def predict(self, history: Sequence[float]) -> float:
+        if len(history) == 0:
+            raise ValueError("cannot predict from an empty history")
+        level = float(history[0])
+        for value in history[1:]:
+            level = self._alpha * float(value) + (1.0 - self._alpha) * level
+        return level
+
+    def __repr__(self) -> str:
+        return f"ExponentialSmoothingPredictor(alpha={self._alpha})"
+
+
+_PREDICTORS = {
+    "linear": LinearRegressionPredictor,
+    "mean": MeanPredictor,
+    "last": LastValuePredictor,
+    "exponential": ExponentialSmoothingPredictor,
+}
+
+
+def make_predictor(name: str, **kwargs) -> CountPredictor:
+    """Build a predictor by name (``linear``/``mean``/``last``/``exponential``)."""
+    try:
+        factory = _PREDICTORS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PREDICTORS))
+        raise ValueError(f"unknown predictor {name!r}; expected one of: {known}") from None
+    return factory(**kwargs)

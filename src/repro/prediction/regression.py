@@ -1,0 +1,46 @@
+"""Ordinary least squares on a sliding window, from scratch.
+
+Section III-A predicts the next per-cell count with linear regression
+over the latest ``w`` counts.  The regressor is the closed-form normal
+equation solution for a line ``y = a * x + b`` fitted to the points
+``(1, y_1), ..., (w, y_w)``; the prediction is its value at ``x = w+1``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def fit_line(ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares slope and intercept for ``(i+1, ys[i])`` points.
+
+    Returns ``(slope, intercept)``.  A single observation has no slope;
+    the fit is then the constant line through it.
+    """
+    n = len(ys)
+    if n == 0:
+        raise ValueError("cannot fit a line to zero observations")
+    if n == 1:
+        return 0.0, float(ys[0])
+
+    # x values are 1..n; closed forms for their sums avoid building
+    # arrays for what is always a tiny window (w <= 5 in the paper).
+    sum_x = n * (n + 1) / 2.0
+    sum_x_sq = n * (n + 1) * (2 * n + 1) / 6.0
+    sum_y = float(sum(ys))
+    sum_xy = float(sum((i + 1) * y for i, y in enumerate(ys)))
+
+    denominator = n * sum_x_sq - sum_x * sum_x
+    slope = (n * sum_xy - sum_x * sum_y) / denominator
+    intercept = (sum_y - slope * sum_x) / n
+    return slope, intercept
+
+
+def predict_next_linear(ys: Sequence[float]) -> float:
+    """Extrapolate the fitted line one step past the window.
+
+    This is the paper's per-cell count prediction: the line fitted to
+    the window ``y_1..y_w`` evaluated at ``x = w + 1``.
+    """
+    slope, intercept = fit_line(ys)
+    return slope * (len(ys) + 1) + intercept

@@ -1,0 +1,18 @@
+"""The MQA framework loop (Fig. 3) and its metrics.
+
+:class:`SimulationEngine` drives a workload through the multi-instance
+assignment process: per instance it gathers carried-over and newly
+arrived entities, releases workers who finished traveling, predicts
+next-instance arrivals (when enabled), builds the candidate-pair
+problem, invokes the configured assigner, and books the outcome.
+"""
+
+from repro.simulation.engine import SimulationEngine, EngineConfig
+from repro.simulation.metrics import InstanceMetrics, SimulationResult
+
+__all__ = [
+    "SimulationEngine",
+    "EngineConfig",
+    "InstanceMetrics",
+    "SimulationResult",
+]

@@ -1,0 +1,371 @@
+"""Procedure ``MQA_Framework`` (Fig. 3): the multi-instance loop.
+
+Per time instance ``p`` the engine:
+
+1. releases workers whose travel finished (they rejoin as fresh
+   workers at the task's location — the paper treats them as "new
+   workers" so the pool keeps contributing);
+2. collects the available sets ``W_p`` / ``T_p``: carried-over
+   unassigned entities plus new arrivals, with expired tasks dropped;
+3. feeds the *new* arrivals to the grid predictors and — in
+   with-prediction (WP) mode — materializes predicted sets
+   ``W_{p+1}`` / ``T_{p+1}``;
+4. builds the candidate-pair problem and invokes the assigner with the
+   per-instance budget ``B`` (plus the next instance's ``B`` as the
+   prediction headroom, Section IV-C);
+5. books metrics and moves assigned workers into the busy pool.
+
+Prediction accuracy (Fig. 10) is measured online: the counts predicted
+at ``p`` are scored against the actual new arrivals of ``p + 1``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import Assigner
+from repro.geo.grid import GridIndex
+from repro.geo.point import euclidean_distance
+from repro.model.entities import Task, Worker
+from repro.model.instance import build_problem
+from repro.prediction.accuracy import average_relative_error
+from repro.prediction.grid_predictor import GridPredictor
+from repro.prediction.predictors import CountPredictor
+from repro.simulation.metrics import (
+    AssignmentRecord,
+    InstanceMetrics,
+    SimulationResult,
+)
+from repro.workloads.base import Workload
+
+_PREDICTED_ID_BASE = 10_000_000_000
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine knobs shared by every experiment.
+
+    Attributes:
+        budget: the per-instance reward budget ``B``.
+        unit_cost: the unit price ``C`` per traveled distance.
+        use_prediction: WP vs WoP mode.
+        oracle_prediction: clairvoyant mode — instead of grid
+            prediction, the *actual* next-instance arrivals are fed to
+            the assigner (still flagged predicted, so they cannot be
+            materialized early).  Quantifies the headroom between grid
+            prediction and perfect foresight (the paper's Example 2
+            motivation).  Implies ``use_prediction``.
+        grid_gamma: prediction grid resolution (cells per axis; the
+            paper's accuracy experiment uses 20, i.e. 400 cells).
+        window: sliding-window size ``w`` for count prediction.
+        discount_by_existence: scale predicted pairs' quality by their
+            existence probability (DESIGN.md).
+        reservation_filter: drop mixed predicted pairs whose expected
+            quality cannot beat the entity's best current option (see
+            ``build_problem``).
+        include_future_future_pairs: include ``<w_hat, t_hat>`` pairs
+            in the candidate pool (paper Section III-B Case 3); they
+            never materialize, and the ablation bench measures their
+            effect.
+        default_deadline_offset: expected remaining time for predicted
+            tasks when no current task is available to estimate from.
+        default_velocity: speed for predicted workers when no current
+            worker is available to average over.
+    """
+
+    budget: float = 300.0
+    unit_cost: float = 10.0
+    use_prediction: bool = True
+    oracle_prediction: bool = False
+    grid_gamma: int = 10
+    window: int = 3
+    discount_by_existence: bool = True
+    reservation_filter: bool = True
+    include_future_future_pairs: bool = True
+    default_deadline_offset: float = 1.5
+    default_velocity: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.budget < 0.0:
+            raise ValueError("budget must be non-negative")
+        if self.unit_cost < 0.0:
+            raise ValueError("unit cost must be non-negative")
+        if self.grid_gamma < 1:
+            raise ValueError("grid_gamma must be >= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+
+class SimulationEngine:
+    """Runs one assigner over one workload, instance by instance."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        assigner: Assigner,
+        config: EngineConfig | None = None,
+        predictor: CountPredictor | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._workload = workload
+        self._assigner = assigner
+        self._config = config if config is not None else EngineConfig()
+        self._seed = seed
+        grid = GridIndex(self._config.grid_gamma)
+        self._worker_predictor = GridPredictor(grid, self._config.window, predictor)
+        self._task_predictor = GridPredictor(grid, self._config.window, predictor)
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    def run(self) -> SimulationResult:
+        """Execute the full framework loop and return the metrics."""
+        config = self._config
+        rng = np.random.default_rng(self._seed)
+        num_instances = self._workload.num_instances
+
+        pending_workers: list[Worker] = []
+        pending_tasks: list[Task] = []
+        busy: list[tuple[float, Worker, Task]] = []  # (release time, worker, task)
+        next_released_id = _PREDICTED_ID_BASE * 2
+        last_worker_prediction: np.ndarray | None = None
+        last_task_prediction: np.ndarray | None = None
+
+        metrics: list[InstanceMetrics] = []
+        assignment_log: list[AssignmentRecord] = []
+        for instance in range(num_instances):
+            now = float(instance)
+            started = time.perf_counter()
+
+            # (1) release workers whose travel finished before `now`.
+            still_busy: list[tuple[float, Worker, Task]] = []
+            released: list[Worker] = []
+            for release_time, worker, task in busy:
+                if release_time <= now:
+                    released.append(
+                        Worker(
+                            id=next_released_id,
+                            location=task.location,
+                            velocity=worker.velocity,
+                            arrival=now,
+                        )
+                    )
+                    next_released_id += 1
+                else:
+                    still_busy.append((release_time, worker, task))
+            busy = still_busy
+
+            # (2) current sets: carry-over + new arrivals + released.
+            new_workers, new_tasks = self._workload.arrivals(instance)
+            joining_workers = new_workers + released
+            current_workers = pending_workers + joining_workers
+            current_tasks = [
+                t for t in pending_tasks if not t.is_expired(now)
+            ] + new_tasks
+
+            # (3) prediction bookkeeping: score last instance's
+            # prediction against today's actual new arrivals, then
+            # observe them and predict tomorrow's.
+            grid = self._worker_predictor.grid
+            actual_worker_counts = grid.count_points(
+                [w.location for w in joining_workers]
+            )
+            actual_task_counts = grid.count_points([t.location for t in new_tasks])
+            worker_error = (
+                average_relative_error(last_worker_prediction, actual_worker_counts)
+                if last_worker_prediction is not None
+                else None
+            )
+            task_error = (
+                average_relative_error(last_task_prediction, actual_task_counts)
+                if last_task_prediction is not None
+                else None
+            )
+            self._worker_predictor.observe_counts(actual_worker_counts)
+            self._task_predictor.observe_counts(actual_task_counts)
+
+            predicted_workers: list[Worker] = []
+            predicted_tasks: list[Task] = []
+            predicting = (
+                (config.use_prediction or config.oracle_prediction)
+                and instance + 1 < num_instances
+            )
+            if predicting and config.oracle_prediction:
+                predicted_workers, predicted_tasks = self._oracle_entities(instance + 1)
+                last_worker_prediction = None
+                last_task_prediction = None
+            elif predicting:
+                predicted_workers, predicted_tasks = self._predict_entities(
+                    rng, now, current_workers, current_tasks
+                )
+                last_worker_prediction = self._last_counts(self._worker_predictor)
+                last_task_prediction = self._last_counts(self._task_predictor)
+            else:
+                last_worker_prediction = None
+                last_task_prediction = None
+
+            # (4) build the problem and assign.
+            problem = build_problem(
+                current_workers,
+                current_tasks,
+                predicted_workers,
+                predicted_tasks,
+                self._workload.quality_model,
+                config.unit_cost,
+                now,
+                discount_by_existence=(
+                    config.discount_by_existence and not config.oracle_prediction
+                ),
+                reservation_filter=config.reservation_filter,
+                include_future_future_pairs=config.include_future_future_pairs,
+                exact_predicted_quality=config.oracle_prediction,
+            )
+            budget_future = config.budget if predicted_workers or predicted_tasks else 0.0
+            result = self._assigner.assign(problem, config.budget, budget_future, rng)
+            elapsed = time.perf_counter() - started
+
+            # (5) book the outcome and advance the pools.
+            assigned_worker_ids = {p.worker.id for p in result.pairs}
+            assigned_task_ids = {p.task.id for p in result.pairs}
+            for pair in result.pairs:
+                travel = euclidean_distance(pair.worker.location, pair.task.location)
+                travel_time = travel / pair.worker.velocity
+                release_time = now + travel_time
+                busy.append((release_time, pair.worker, pair.task))
+                assignment_log.append(
+                    AssignmentRecord(
+                        instance=instance,
+                        worker_id=pair.worker.id,
+                        task_id=pair.task.id,
+                        quality=pair.quality.mean,
+                        cost=pair.cost.mean,
+                        travel_time=travel_time,
+                        release_time=release_time,
+                    )
+                )
+
+            pending_workers = [
+                w for w in current_workers if w.id not in assigned_worker_ids
+            ]
+            pending_tasks = [t for t in current_tasks if t.id not in assigned_task_ids]
+
+            metrics.append(
+                InstanceMetrics(
+                    instance=instance,
+                    quality=result.total_quality,
+                    cost=result.total_cost,
+                    assigned=result.num_assigned,
+                    num_workers=len(current_workers),
+                    num_tasks=len(current_tasks),
+                    num_predicted_workers=len(predicted_workers),
+                    num_predicted_tasks=len(predicted_tasks),
+                    num_pairs=problem.num_pairs,
+                    cpu_seconds=elapsed,
+                    worker_prediction_error=worker_error,
+                    task_prediction_error=task_error,
+                )
+            )
+
+        return SimulationResult(instances=metrics, assignments=assignment_log)
+
+    def _oracle_entities(self, next_instance: int) -> tuple[list[Worker], list[Task]]:
+        """Clairvoyant ``W_{p+1}`` / ``T_{p+1}``: the actual arrivals.
+
+        Entities keep their true locations (degenerate boxes, so the
+        cost statistics are exact) but are flagged predicted — the
+        framework still cannot materialize them before they arrive.
+        """
+        actual_workers, actual_tasks = self._workload.arrivals(next_instance)
+        # Real ids are kept so the quality model prices the pairs the
+        # entities will actually form when they arrive.
+        workers = [
+            Worker(
+                id=w.id,
+                location=w.location,
+                velocity=w.velocity,
+                arrival=w.arrival,
+                predicted=True,
+            )
+            for w in actual_workers
+        ]
+        tasks = [
+            Task(
+                id=t.id,
+                location=t.location,
+                deadline=t.deadline,
+                arrival=t.arrival,
+                predicted=True,
+            )
+            for t in actual_tasks
+        ]
+        return workers, tasks
+
+    def _predict_entities(
+        self,
+        rng: np.random.Generator,
+        now: float,
+        current_workers: list[Worker],
+        current_tasks: list[Task],
+    ) -> tuple[list[Worker], list[Task]]:
+        """Materialize ``W_{p+1}`` and ``T_{p+1}`` from the predictors."""
+        config = self._config
+        worker_std = self._location_std([w.location for w in current_workers])
+        task_std = self._location_std([t.location for t in current_tasks])
+        predicted_w = self._worker_predictor.predict(rng, worker_std)
+        predicted_t = self._task_predictor.predict(rng, task_std)
+
+        if current_workers:
+            velocity = sum(w.velocity for w in current_workers) / len(current_workers)
+        else:
+            velocity = config.default_velocity
+        if current_tasks:
+            offset = sum(t.deadline - t.arrival for t in current_tasks) / len(
+                current_tasks
+            )
+        else:
+            offset = config.default_deadline_offset
+
+        workers = [
+            Worker(
+                id=_PREDICTED_ID_BASE + i,
+                location=sample,
+                velocity=velocity,
+                arrival=now + 1.0,
+                predicted=True,
+                box=box,
+            )
+            for i, (sample, box) in enumerate(
+                zip(predicted_w.samples, predicted_w.boxes)
+            )
+        ]
+        tasks = [
+            Task(
+                id=_PREDICTED_ID_BASE + len(workers) + j,
+                location=sample,
+                deadline=now + 1.0 + offset,
+                arrival=now + 1.0,
+                predicted=True,
+                box=box,
+            )
+            for j, (sample, box) in enumerate(
+                zip(predicted_t.samples, predicted_t.boxes)
+            )
+        ]
+        return workers, tasks
+
+    @staticmethod
+    def _location_std(points) -> tuple[float, float]:
+        if not points:
+            return (0.0, 0.0)
+        xs = np.array([p.x for p in points])
+        ys = np.array([p.y for p in points])
+        return (float(xs.std()), float(ys.std()))
+
+    @staticmethod
+    def _last_counts(predictor: GridPredictor) -> np.ndarray:
+        counts, _ = predictor.predict_counts()
+        return counts

@@ -1,0 +1,43 @@
+"""Uncertainty substrate for predicted workers/tasks.
+
+Once prediction enters the picture (Section III-B of the paper), the
+traveling cost and quality score of a worker-and-task pair become
+*random variables*.  This package provides:
+
+- :class:`UncertainValue` — the (mean, variance, lower, upper) summary
+  every pruning rule and selection rule consumes;
+- closed-form raw moments of uniform distributions and the squared
+  Euclidean distance moments ``E(Z^2)`` / ``Var(Z^2)`` (Eqs. 2-5);
+- a from-scratch standard normal CDF ``Phi``;
+- the CLT-based comparison probabilities of Eqs. 7-8 and the budget
+  confidence test of Eq. 9.
+"""
+
+from repro.uncertainty.values import UncertainValue
+from repro.uncertainty.normal import standard_normal_cdf, erf_approx
+from repro.uncertainty.moments import (
+    uniform_raw_moment,
+    uniform_mean,
+    uniform_variance,
+    squared_distance_moments,
+    distance_value,
+)
+from repro.uncertainty.comparison import (
+    prob_greater,
+    prob_less_or_equal,
+    prob_within_budget,
+)
+
+__all__ = [
+    "UncertainValue",
+    "standard_normal_cdf",
+    "erf_approx",
+    "uniform_raw_moment",
+    "uniform_mean",
+    "uniform_variance",
+    "squared_distance_moments",
+    "distance_value",
+    "prob_greater",
+    "prob_less_or_equal",
+    "prob_within_budget",
+]

@@ -1,0 +1,131 @@
+"""The (mean, variance, lower, upper) summary of a random quantity.
+
+Every traveling cost ``c_ij`` and quality score ``q_ij`` in the MQA
+algorithms is one of these.  Deterministic values (current worker and
+current task) are the degenerate case with zero variance and collapsed
+bounds; the pruning lemmas and CLT comparisons then reduce to ordinary
+comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class UncertainValue:
+    """A bounded random quantity summarized by its first two moments.
+
+    Attributes:
+        mean: expected value ``E(X)``.
+        variance: ``Var(X)`` (non-negative).
+        lower: guaranteed lower bound ``lb_X`` (used by Lemma 4.1).
+        upper: guaranteed upper bound ``ub_X``.
+    """
+
+    mean: float
+    variance: float
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.variance < 0.0:
+            # Tolerate tiny negative values from floating-point
+            # cancellation in the moment formulas, reject real ones.
+            if self.variance < -1e-9:
+                raise ValueError(f"negative variance: {self.variance}")
+            object.__setattr__(self, "variance", 0.0)
+        if self.lower > self.upper + 1e-12:
+            raise ValueError(f"lower bound {self.lower} exceeds upper bound {self.upper}")
+        if not (self.lower - 1e-9 <= self.mean <= self.upper + 1e-9):
+            raise ValueError(
+                f"mean {self.mean} outside bounds [{self.lower}, {self.upper}]"
+            )
+
+    @classmethod
+    def certain(cls, value: float) -> "UncertainValue":
+        """A deterministic quantity (current-current pairs)."""
+        return cls(mean=value, variance=0.0, lower=value, upper=value)
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "UncertainValue":
+        """Moment summary of an empirical sample set.
+
+        This is how Section III-B turns current quality scores into the
+        distribution of a predicted pair's quality (Cases 1-3): the
+        samples are equiprobable, so mean/variance are the population
+        moments, and the bounds are the sample extremes.
+        """
+        if not samples:
+            raise ValueError("cannot summarize an empty sample set")
+        n = len(samples)
+        mean = sum(samples) / n
+        variance = sum((s - mean) ** 2 for s in samples) / n
+        return cls(mean=mean, variance=variance, lower=min(samples), upper=max(samples))
+
+    @property
+    def is_certain(self) -> bool:
+        """True when the quantity is deterministic."""
+        return self.variance == 0.0 and self.lower == self.upper
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def scaled(self, factor: float) -> "UncertainValue":
+        """The distribution of ``factor * X`` for ``factor >= 0``.
+
+        Traveling costs scale distances by the unit price ``C``; quality
+        means are discounted by existence probabilities.
+        """
+        if factor < 0.0:
+            raise ValueError("scaling by a negative factor would flip the bounds")
+        return UncertainValue(
+            mean=self.mean * factor,
+            variance=self.variance * factor * factor,
+            lower=self.lower * factor,
+            upper=self.upper * factor,
+        )
+
+    def shifted(self, offset: float) -> "UncertainValue":
+        """The distribution of ``X + offset``."""
+        return UncertainValue(
+            mean=self.mean + offset,
+            variance=self.variance,
+            lower=self.lower + offset,
+            upper=self.upper + offset,
+        )
+
+    def discounted(self, probability: float) -> "UncertainValue":
+        """Discount the expectation by an existence probability.
+
+        A pair involving a predicted entity materializes only with
+        probability ``p_ij`` (Section III-B).  The contribution of its
+        quality to the objective is then ``p_ij * q_ij`` in expectation;
+        the lower bound drops to 0 (the pair may not exist at all) and
+        the upper bound is unchanged.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability {probability} outside [0, 1]")
+        mean = self.mean * probability
+        # Var(B*X) for B ~ Bernoulli(p) independent of X:
+        # E(B X^2) - p^2 E(X)^2 = p (Var X + E(X)^2) - p^2 E(X)^2.
+        variance = probability * (self.variance + self.mean**2) - mean**2
+        lower = min(0.0, self.lower) if probability < 1.0 else self.lower
+        return UncertainValue(
+            mean=mean,
+            variance=variance,
+            lower=lower,
+            upper=max(self.upper, lower),
+        )
+
+    def __add__(self, other: "UncertainValue") -> "UncertainValue":
+        """Sum of *independent* quantities (CLT accumulation)."""
+        return UncertainValue(
+            mean=self.mean + other.mean,
+            variance=self.variance + other.variance,
+            lower=self.lower + other.lower,
+            upper=self.upper + other.upper,
+        )

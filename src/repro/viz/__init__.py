@@ -1,0 +1,10 @@
+"""Terminal visualization: density maps and sparklines.
+
+Dependency-free ASCII/Unicode rendering for quick inspection of
+spatial workloads and experiment series — useful in examples, notebook
+sessions, and debugging without a plotting stack.
+"""
+
+from repro.viz.ascii import density_map, render_counts, side_by_side, sparkline
+
+__all__ = ["density_map", "render_counts", "side_by_side", "sparkline"]

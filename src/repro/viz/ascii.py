@@ -1,0 +1,98 @@
+"""ASCII/Unicode rendering of spatial densities and series.
+
+``density_map`` turns a point set into a shaded grid (darker = denser),
+``sparkline`` turns a numeric series into a one-line bar chart, and
+``side_by_side`` pastes multi-line blocks horizontally (e.g. worker vs
+task densities).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.geo.grid import GridIndex
+from repro.geo.point import Point
+
+# Light-to-dark shade ramp for density cells.
+_SHADES = " .:-=+*#%@"
+
+# Eight-level unicode bars for sparklines.
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def render_counts(counts: np.ndarray, gamma: int) -> str:
+    """Render a per-cell count vector (row-major, ``gamma^2`` cells).
+
+    Row 0 of the grid is the *bottom* of the unit square, so the text
+    is emitted top row first to match the usual map orientation.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.shape != (gamma * gamma,):
+        raise ValueError(
+            f"expected {gamma * gamma} cells for gamma={gamma}, got {counts.shape}"
+        )
+    peak = counts.max()
+    lines = []
+    for row in range(gamma - 1, -1, -1):
+        chars = []
+        for col in range(gamma):
+            value = counts[row * gamma + col]
+            if peak <= 0.0:
+                level = 0
+            else:
+                level = int(round(value / peak * (len(_SHADES) - 1)))
+            chars.append(_SHADES[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def density_map(points: Iterable[Point], resolution: int = 16) -> str:
+    """Shaded density map of a point set on a ``resolution^2`` grid."""
+    grid = GridIndex(resolution)
+    counts = grid.count_points(list(points))
+    return render_counts(counts, resolution)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar chart of a numeric series (empty string for none)."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _BARS[0] * len(values)
+    span = high - low
+    return "".join(
+        _BARS[int(round((v - low) / span * (len(_BARS) - 1)))] for v in values
+    )
+
+
+def side_by_side(blocks: Sequence[str], gap: int = 3, titles: Sequence[str] | None = None) -> str:
+    """Paste multi-line text blocks horizontally.
+
+    Blocks of different heights are bottom-padded; ``titles`` (when
+    given) are centered above each block.
+    """
+    if not blocks:
+        return ""
+    if titles is not None and len(titles) != len(blocks):
+        raise ValueError("one title per block required")
+    split = [block.splitlines() for block in blocks]
+    widths = [max((len(line) for line in lines), default=0) for lines in split]
+    height = max(len(lines) for lines in split)
+    padded = [
+        [line.ljust(width) for line in lines] + [" " * width] * (height - len(lines))
+        for lines, width in zip(split, widths)
+    ]
+    spacer = " " * gap
+    out_lines = []
+    if titles is not None:
+        out_lines.append(
+            spacer.join(title.center(width) for title, width in zip(titles, widths))
+        )
+    for row in range(height):
+        out_lines.append(spacer.join(column[row] for column in padded))
+    return "\n".join(line.rstrip() for line in out_lines)

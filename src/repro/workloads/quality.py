@@ -1,0 +1,87 @@
+"""Deterministic hashed quality scores ``q_ij``.
+
+The paper generates the quality score of every worker-and-task pair
+from a Gaussian within ``[q-, q+]``.  Materializing an ``n x m`` matrix
+per instance would be wasteful; instead the score of a pair is a pure
+function of ``(worker.id, task.id, seed)`` via a SplitMix64-style
+mixer, so any submatrix can be produced lazily, identically, on demand
+— the same pair always scores the same, across algorithms and runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.model.entities import Task, Worker
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_WORKER_SALT = np.uint64(0x8B72E7D8C27D3B4D)
+_TASK_SALT = np.uint64(0xD6E8FEB86659FD93)
+
+_TWO_POW_53 = float(1 << 53)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a uint64 array (wrapping arithmetic)."""
+    z = values + _GOLDEN
+    z = (z ^ (z >> np.uint64(30))) * _MIX1
+    z = (z ^ (z >> np.uint64(27))) * _MIX2
+    return z ^ (z >> np.uint64(31))
+
+
+def _hash_uniform(worker_ids: np.ndarray, task_ids: np.ndarray, salt: np.uint64) -> np.ndarray:
+    """Pairwise uniforms in ``(0, 1]`` from id pairs (broadcasting)."""
+    mixed_workers = _splitmix64(worker_ids.astype(np.uint64) * _WORKER_SALT + salt)
+    mixed_tasks = _splitmix64(task_ids.astype(np.uint64) * _TASK_SALT + salt)
+    combined = _splitmix64(mixed_workers[:, None] ^ mixed_tasks[None, :])
+    # Top 53 bits -> (0, 1]; +1 keeps log() finite in Box-Muller.
+    return ((combined >> np.uint64(11)).astype(np.float64) + 1.0) / _TWO_POW_53
+
+
+class HashQualityModel:
+    """Gaussian-in-range quality scores, deterministic per pair.
+
+    Scores are ``N(center, ((q+ - q-) / 4)^2)`` clipped to
+    ``[q-, q+]``, with ``center`` the range midpoint — a Gaussian
+    "within the range" as the paper specifies, with the clipped tails
+    carrying ~5% of the mass.
+    """
+
+    def __init__(self, quality_range: tuple[float, float], seed: int = 0) -> None:
+        low, high = quality_range
+        if low > high:
+            raise ValueError(f"empty quality range [{low}, {high}]")
+        self._low = float(low)
+        self._high = float(high)
+        self._center = (self._low + self._high) / 2.0
+        self._std = (self._high - self._low) / 4.0
+        self._seed = np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
+
+    @property
+    def quality_range(self) -> tuple[float, float]:
+        return (self._low, self._high)
+
+    def quality_matrix(self, workers: Sequence[Worker], tasks: Sequence[Task]) -> np.ndarray:
+        """Dense score matrix for the given entities (vectorized)."""
+        worker_ids = np.array([w.id for w in workers], dtype=np.int64)
+        task_ids = np.array([t.id for t in tasks], dtype=np.int64)
+        return self.quality_by_ids(worker_ids, task_ids)
+
+    def quality_by_ids(self, worker_ids: np.ndarray, task_ids: np.ndarray) -> np.ndarray:
+        """Score matrix keyed directly by id arrays."""
+        worker_ids = np.abs(np.asarray(worker_ids, dtype=np.int64))
+        task_ids = np.abs(np.asarray(task_ids, dtype=np.int64))
+        if worker_ids.size == 0 or task_ids.size == 0:
+            return np.zeros((worker_ids.size, task_ids.size))
+        u1 = _hash_uniform(worker_ids, task_ids, self._seed)
+        u2 = _hash_uniform(worker_ids, task_ids, self._seed + np.uint64(0x1234567))
+        gaussians = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+        return np.clip(self._center + self._std * gaussians, self._low, self._high)
+
+    def prior(self) -> tuple[float, float, float, float]:
+        """``(mean, variance, lower, upper)`` of the score distribution."""
+        return (self._center, self._std * self._std, self._low, self._high)

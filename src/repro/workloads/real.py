@@ -1,0 +1,161 @@
+"""Check-in streams as MQA workloads (the paper's "real data" setup).
+
+Section VI: Gowalla check-ins initialize *workers*, Foursquare
+check-ins initialize *tasks*; locations are linearly mapped to
+``[0, 1]^2``, the joint time span is divided into ``R`` subintervals,
+and the check-ins of each subinterval become the arrivals of the
+corresponding time instance.  Velocities, deadlines and quality scores
+still follow the Table IV parameter recipes (check-ins carry neither).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.point import Point
+from repro.model.entities import Task, Worker
+from repro.workloads.base import WorkloadParams
+from repro.workloads.checkins import CheckinRecord
+from repro.workloads.distributions import truncated_gaussian
+from repro.workloads.quality import HashQualityModel
+
+
+def map_to_unit_square(
+    records: list[CheckinRecord],
+    bounds: tuple[float, float, float, float] | None = None,
+) -> list[Point]:
+    """Linearly map record coordinates into ``[0, 1]^2``.
+
+    Args:
+        records: check-ins to map (longitude -> x, latitude -> y).
+        bounds: ``(lat_min, lat_max, lon_min, lon_max)``; computed from
+            the records when omitted.  Records outside explicit bounds
+            are clipped onto the boundary.
+    """
+    if not records:
+        return []
+    if bounds is None:
+        lats = [r.latitude for r in records]
+        lons = [r.longitude for r in records]
+        bounds = (min(lats), max(lats), min(lons), max(lons))
+    lat_min, lat_max, lon_min, lon_max = bounds
+    lat_span = lat_max - lat_min or 1.0
+    lon_span = lon_max - lon_min or 1.0
+    points = []
+    for record in records:
+        x = min(max((record.longitude - lon_min) / lon_span, 0.0), 1.0)
+        y = min(max((record.latitude - lat_min) / lat_span, 0.0), 1.0)
+        points.append(Point(x, y))
+    return points
+
+
+class RealWorkload:
+    """Workload built from two check-in streams.
+
+    Args:
+        worker_checkins: the "Gowalla" stream (each check-in spawns a
+            worker at its mapped location in its subinterval).
+        task_checkins: the "Foursquare" stream (each check-in spawns a
+            task).
+        params: Table IV parameters (``num_instances``, velocity /
+            deadline / quality ranges; entity counts come from the
+            streams themselves).
+        seed: drives velocity / deadline sampling and quality hashing.
+        bounds: optional shared geo bounds for the unit-square mapping.
+    """
+
+    def __init__(
+        self,
+        worker_checkins: list[CheckinRecord],
+        task_checkins: list[CheckinRecord],
+        params: WorkloadParams,
+        seed: int = 0,
+        bounds: tuple[float, float, float, float] | None = None,
+    ) -> None:
+        self._params = params
+        self._quality_model = HashQualityModel(params.quality_range, seed=seed)
+        rng = np.random.default_rng(seed)
+
+        if bounds is None and (worker_checkins or task_checkins):
+            combined = worker_checkins + task_checkins
+            lats = [r.latitude for r in combined]
+            lons = [r.longitude for r in combined]
+            bounds = (min(lats), max(lats), min(lons), max(lons))
+
+        worker_points = map_to_unit_square(worker_checkins, bounds)
+        task_points = map_to_unit_square(task_checkins, bounds)
+
+        # Scale the joint time span onto [0, R): check-in subinterval k
+        # feeds time instance k.
+        all_times = [r.time for r in worker_checkins] + [r.time for r in task_checkins]
+        t_min = min(all_times) if all_times else 0.0
+        t_max = max(all_times) if all_times else 1.0
+        span = (t_max - t_min) or 1.0
+        instances = params.num_instances
+
+        def instance_of(time: float) -> int:
+            scaled = (time - t_min) / span * instances
+            return min(int(scaled), instances - 1)
+
+        self._workers_by_instance: list[list[Worker]] = [[] for _ in range(instances)]
+        self._tasks_by_instance: list[list[Task]] = [[] for _ in range(instances)]
+
+        v_low, v_high = params.velocity_range
+        v_mean = (v_low + v_high) / 2.0
+        v_std = v_high - v_low
+        velocities = truncated_gaussian(
+            rng, v_mean, v_std, v_low, v_high, len(worker_checkins)
+        )
+        next_id = 0
+        for record, point, velocity in zip(worker_checkins, worker_points, velocities):
+            instance = instance_of(record.time)
+            self._workers_by_instance[instance].append(
+                Worker(
+                    id=next_id,
+                    location=point,
+                    velocity=float(velocity),
+                    arrival=float(instance),
+                )
+            )
+            next_id += 1
+
+        e_low, e_high = params.deadline_range
+        remaining = rng.uniform(e_low, e_high, size=len(task_checkins))
+        for record, point, extra in zip(task_checkins, task_points, remaining):
+            instance = instance_of(record.time)
+            self._tasks_by_instance[instance].append(
+                Task(
+                    id=next_id,
+                    location=point,
+                    deadline=float(instance) + float(extra),
+                    arrival=float(instance),
+                )
+            )
+            next_id += 1
+
+    @property
+    def params(self) -> WorkloadParams:
+        return self._params
+
+    @property
+    def num_instances(self) -> int:
+        return self._params.num_instances
+
+    @property
+    def quality_model(self) -> HashQualityModel:
+        return self._quality_model
+
+    def arrivals(self, instance: int) -> tuple[list[Worker], list[Task]]:
+        """Entities newly joining at time instance ``instance``."""
+        if not 0 <= instance < self.num_instances:
+            raise IndexError(f"instance {instance} outside [0, {self.num_instances})")
+        return (
+            list(self._workers_by_instance[instance]),
+            list(self._tasks_by_instance[instance]),
+        )
+
+    def total_workers(self) -> int:
+        return sum(len(ws) for ws in self._workers_by_instance)
+
+    def total_tasks(self) -> int:
+        return sum(len(ts) for ts in self._tasks_by_instance)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite.
+
+The entity/problem builders live in :mod:`repro.testing` (they are
+part of the public API); this conftest re-exports them so test modules
+can keep the short ``from conftest import make_problem`` imports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.testing import (  # noqa: F401 - re-exported for test modules
+    make_predicted_tasks,
+    make_predicted_workers,
+    make_problem,
+    make_tasks,
+    make_workers,
+)
+from repro.model.instance import ProblemInstance
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_problem() -> ProblemInstance:
+    """Current-only problem, a dozen workers and tasks."""
+    return make_problem(seed=3)
+
+
+@pytest.fixture
+def mixed_problem() -> ProblemInstance:
+    """Problem with current and predicted entities."""
+    return make_problem(
+        seed=5, num_predicted_workers=6, num_predicted_tasks=5
+    )

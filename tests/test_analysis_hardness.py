@@ -1,0 +1,148 @@
+"""Tests for repro.analysis.hardness (the Lemma 2.1 reduction)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.hardness import (
+    KnapsackInstance,
+    knapsack_to_mqa,
+    solve_knapsack_dp,
+    solve_knapsack_via_mqa,
+)
+
+
+def brute_force_knapsack(instance: KnapsackInstance) -> float:
+    best = 0.0
+    items = range(instance.num_items)
+    for size in range(instance.num_items + 1):
+        for subset in itertools.combinations(items, size):
+            weight = sum(instance.weights[i] for i in subset)
+            if weight <= instance.capacity + 1e-9:
+                best = max(best, sum(instance.values[i] for i in subset))
+    return best
+
+
+class TestKnapsackInstance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnapsackInstance((1.0,), (1.0, 2.0), 3.0)
+        with pytest.raises(ValueError):
+            KnapsackInstance((-1.0,), (1.0,), 3.0)
+        with pytest.raises(ValueError):
+            KnapsackInstance((1.0,), (1.0,), -3.0)
+
+
+class TestReduction:
+    def test_diagonal_costs_realize_weights(self):
+        instance = KnapsackInstance((2.0, 5.0, 1.0), (3.0, 4.0, 2.0), 6.0)
+        problem, budget = knapsack_to_mqa(instance)
+        pool = problem.pool
+        # Budget and costs are scaled together; ratios must match.
+        scale = budget / instance.capacity
+        diagonal = {}
+        for row in range(len(pool)):
+            w, t = int(pool.worker_idx[row]), int(pool.task_idx[row])
+            if w == t:
+                diagonal[w] = float(pool.cost_mean[row])
+        for i, weight in enumerate(instance.weights):
+            assert diagonal[i] == pytest.approx(weight * scale, rel=1e-9)
+
+    def test_cross_pairs_cost_more_than_budget(self):
+        instance = KnapsackInstance((2.0, 5.0, 1.0), (3.0, 4.0, 2.0), 6.0)
+        problem, budget = knapsack_to_mqa(instance)
+        pool = problem.pool
+        for row in range(len(pool)):
+            w, t = int(pool.worker_idx[row]), int(pool.task_idx[row])
+            if w != t:
+                assert pool.cost_mean[row] > budget
+
+    def test_cross_pairs_have_zero_quality(self):
+        instance = KnapsackInstance((1.0, 1.0), (3.0, 4.0), 2.0)
+        problem, _ = knapsack_to_mqa(instance)
+        pool = problem.pool
+        for row in range(len(pool)):
+            w, t = int(pool.worker_idx[row]), int(pool.task_idx[row])
+            if w != t:
+                assert pool.quality_mean[row] == 0.0
+
+    def test_empty_instance(self):
+        problem, budget = knapsack_to_mqa(KnapsackInstance((), (), 5.0))
+        assert problem.num_pairs == 0
+        assert budget == 5.0
+
+    def test_invalid_unit_cost(self):
+        with pytest.raises(ValueError):
+            knapsack_to_mqa(KnapsackInstance((1.0,), (1.0,), 1.0), unit_cost=0.0)
+
+
+class TestSolvingThroughMqa:
+    def test_classic_instance(self):
+        # Items (weight, value): optimal is {1, 2} for value 7, weight 5.
+        instance = KnapsackInstance((3.0, 2.0, 3.0), (4.0, 3.0, 4.0), 5.0)
+        packed, value = solve_knapsack_via_mqa(instance)
+        assert value == pytest.approx(brute_force_knapsack(instance))
+        weight = sum(instance.weights[i] for i in packed)
+        assert weight <= instance.capacity + 1e-9
+
+    def test_nothing_fits(self):
+        instance = KnapsackInstance((5.0, 6.0), (10.0, 10.0), 3.0)
+        packed, value = solve_knapsack_via_mqa(instance)
+        assert packed == []
+        assert value == 0.0
+
+    def test_everything_fits(self):
+        instance = KnapsackInstance((1.0, 1.0, 1.0), (1.0, 2.0, 3.0), 10.0)
+        packed, value = solve_knapsack_via_mqa(instance)
+        assert packed == [0, 1, 2]
+        assert value == pytest.approx(6.0)
+
+    @given(
+        weights=st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=7),
+        values=st.lists(st.integers(min_value=0, max_value=9), min_size=7, max_size=7),
+        capacity=st.integers(min_value=0, max_value=25),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reduction_matches_brute_force(self, weights, values, capacity):
+        n = len(weights)
+        instance = KnapsackInstance(
+            tuple(float(w) for w in weights),
+            tuple(float(v) for v in values[:n]),
+            float(capacity),
+        )
+        _, via_mqa = solve_knapsack_via_mqa(instance)
+        assert via_mqa == pytest.approx(brute_force_knapsack(instance))
+
+
+class TestDpSolver:
+    def test_integer_exactness(self):
+        instance = KnapsackInstance((3.0, 2.0, 3.0), (4.0, 3.0, 4.0), 5.0)
+        assert solve_knapsack_dp(instance, resolution=5) == pytest.approx(7.0)
+
+    def test_matches_brute_force_on_integers(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            n = int(rng.integers(1, 7))
+            instance = KnapsackInstance(
+                tuple(float(w) for w in rng.integers(1, 8, n)),
+                tuple(float(v) for v in rng.integers(0, 9, n)),
+                float(rng.integers(1, 20)),
+            )
+            dp = solve_knapsack_dp(instance, resolution=int(instance.capacity))
+            assert dp == pytest.approx(brute_force_knapsack(instance))
+
+    def test_agrees_with_mqa_route(self):
+        instance = KnapsackInstance((4.0, 3.0, 2.0, 1.0), (5.0, 4.0, 3.0, 1.0), 6.0)
+        _, via_mqa = solve_knapsack_via_mqa(instance)
+        dp = solve_knapsack_dp(instance, resolution=6)
+        assert via_mqa == pytest.approx(dp)
+
+    def test_zero_capacity(self):
+        assert solve_knapsack_dp(KnapsackInstance((1.0,), (5.0,), 0.0)) == 0.0
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            solve_knapsack_dp(KnapsackInstance((1.0,), (1.0,), 1.0), resolution=0)

@@ -1,0 +1,34 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out
+        assert "fig18_19" in out
+        assert "fig27" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_run_small_figure(self, capsys):
+        assert main(["fig21", "--scale", "0.02", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig21" in out
+        assert "GREEDY" in out
+        assert "Running time" in out
+
+    def test_csv_output(self, capsys, tmp_path):
+        assert main(
+            ["fig21", "--scale", "0.02", "--csv", str(tmp_path)]
+        ) == 0
+        csv_file = tmp_path / "fig21.csv"
+        assert csv_file.exists()
+        header = csv_file.read_text().splitlines()[0]
+        assert header.startswith("figure,x,algorithm")

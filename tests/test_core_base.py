@@ -1,0 +1,92 @@
+"""Tests for repro.core.base (result bookkeeping and finalization)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import AssignmentResult, finalize_selection
+
+from conftest import make_problem
+
+
+class TestFinalizeSelection:
+    def test_drops_predicted_rows(self):
+        problem = make_problem(
+            seed=1, num_predicted_workers=4, num_predicted_tasks=4
+        )
+        pool = problem.pool
+        predicted = np.nonzero(~pool.is_current)[0][:3].tolist()
+        current = np.nonzero(pool.is_current)[0][:1].tolist()
+        kept = finalize_selection(problem, predicted + current, budget_current=1e9)
+        assert kept == sorted(current)
+
+    def test_keeps_within_budget(self):
+        problem = make_problem(seed=2)
+        pool = problem.pool
+        # Pick a conflict-free set of current rows.
+        rows, used_w, used_t = [], set(), set()
+        for r in np.argsort(pool.cost_mean):
+            if not pool.is_current[r]:
+                continue
+            w, t = int(pool.worker_idx[r]), int(pool.task_idx[r])
+            if w in used_w or t in used_t:
+                continue
+            rows.append(int(r))
+            used_w.add(w)
+            used_t.add(t)
+            if len(rows) == 5:
+                break
+        total = float(pool.cost_mean[rows].sum())
+        kept = finalize_selection(problem, rows, budget_current=total + 1.0)
+        assert kept == sorted(rows)
+
+    def test_trims_lowest_quality_when_over_budget(self):
+        problem = make_problem(seed=2)
+        pool = problem.pool
+        rows, used_w, used_t = [], set(), set()
+        for r in np.argsort(-pool.quality_mean):
+            if not pool.is_current[r]:
+                continue
+            w, t = int(pool.worker_idx[r]), int(pool.task_idx[r])
+            if w in used_w or t in used_t:
+                continue
+            rows.append(int(r))
+            used_w.add(w)
+            used_t.add(t)
+            if len(rows) == 6:
+                break
+        total = float(pool.cost_mean[rows].sum())
+        kept = finalize_selection(problem, rows, budget_current=total / 2.0)
+        assert set(kept) <= set(rows)
+        assert float(pool.cost_mean[kept].sum()) <= total / 2.0 + 1e-9
+        # Trimming removes the lowest-quality entries first.
+        dropped = set(rows) - set(kept)
+        if kept and dropped:
+            assert max(pool.quality_mean[sorted(dropped)]) <= (
+                min(pool.quality_mean[kept]) + 1e-9
+            )
+
+    def test_duplicate_worker_raises(self):
+        problem = make_problem(seed=3)
+        pool = problem.pool
+        worker = pool.worker_idx[pool.is_current][0]
+        rows = np.nonzero(pool.is_current & (pool.worker_idx == worker))[0][:2]
+        if len(rows) == 2:
+            with pytest.raises(AssertionError):
+                finalize_selection(problem, rows.tolist(), budget_current=1e9)
+
+
+class TestAssignmentResult:
+    def test_aggregates(self):
+        problem = make_problem(seed=4)
+        pairs = problem.pairs([0, 1])
+        result = AssignmentResult(pairs=pairs, rows=[0, 1])
+        assert result.num_assigned == 2
+        assert result.total_quality == pytest.approx(
+            sum(p.quality.mean for p in pairs)
+        )
+        assert result.total_cost == pytest.approx(sum(p.cost.mean for p in pairs))
+
+    def test_empty(self):
+        result = AssignmentResult(pairs=[], rows=[])
+        assert result.num_assigned == 0
+        assert result.total_quality == 0.0

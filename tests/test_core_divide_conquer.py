@@ -1,0 +1,131 @@
+"""Tests for repro.core.divide_conquer (MQA_D&C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.divide_conquer import DivideConquerConfig, MQADivideConquer
+from repro.core.exact import exact_assignment
+from repro.core.greedy import MQAGreedy
+
+from conftest import make_problem
+
+RNG = np.random.default_rng(0)
+
+
+def run_dc(problem, budget_current=50.0, budget_future=0.0, config=None):
+    return MQADivideConquer(config).assign(problem, budget_current, budget_future, RNG)
+
+
+class TestConfig:
+    def test_invalid_fixed_g(self):
+        with pytest.raises(ValueError):
+            DivideConquerConfig(fixed_g=1)
+
+    def test_invalid_max_g(self):
+        with pytest.raises(ValueError):
+            DivideConquerConfig(max_g=1)
+
+    def test_greedy_config_propagation(self):
+        config = DivideConquerConfig(delta=0.3, candidate_cap=32)
+        greedy = config.greedy_config()
+        assert greedy.delta == 0.3
+        assert greedy.candidate_cap == 32
+
+
+class TestDCInvariants:
+    def test_no_worker_or_task_reused(self, small_problem):
+        result = run_dc(small_problem)
+        workers = [p.worker.id for p in result.pairs]
+        tasks = [p.task.id for p in result.pairs]
+        assert len(set(workers)) == len(workers)
+        assert len(set(tasks)) == len(tasks)
+
+    def test_budget_respected(self, small_problem):
+        for budget in (1.0, 3.0, 10.0, 100.0):
+            result = run_dc(small_problem, budget_current=budget)
+            assert result.total_cost <= budget + 1e-6
+
+    def test_only_current_pairs_materialized(self, mixed_problem):
+        result = run_dc(mixed_problem, budget_future=50.0)
+        assert all(p.is_current for p in result.pairs)
+
+    def test_empty_problem(self):
+        problem = make_problem(num_workers=0, num_tasks=0)
+        result = run_dc(problem)
+        assert result.pairs == []
+
+    def test_deterministic_across_calls(self, small_problem):
+        assert run_dc(small_problem, 8.0).rows == run_dc(small_problem, 8.0).rows
+
+    def test_fixed_g_variants_all_valid(self, small_problem):
+        for g in (2, 3, 5):
+            result = run_dc(
+                small_problem, budget_current=10.0,
+                config=DivideConquerConfig(fixed_g=g),
+            )
+            workers = [p.worker.id for p in result.pairs]
+            assert len(set(workers)) == len(workers)
+            assert result.total_cost <= 10.0 + 1e-6
+
+
+class TestDCQuality:
+    def test_loose_budget_covers_all_tasks(self):
+        problem = make_problem(seed=1, num_workers=10, num_tasks=6)
+        result = run_dc(problem, budget_current=1e6)
+        assert result.num_assigned == 6
+
+    def test_within_factor_of_optimum(self):
+        ratios = []
+        for seed in range(8):
+            problem = make_problem(seed=seed, num_workers=5, num_tasks=5)
+            budget = 6.0
+            result = run_dc(problem, budget_current=budget)
+            _, optimum = exact_assignment(problem, budget)
+            if optimum > 0:
+                assert result.total_quality <= optimum + 1e-9
+                ratios.append(result.total_quality / optimum)
+        assert np.mean(ratios) > 0.7
+
+    def test_comparable_to_greedy(self):
+        """D&C and GREEDY land in the same quality ballpark (Sec. VI)."""
+        dc_total = 0.0
+        greedy_total = 0.0
+        for seed in range(6):
+            problem = make_problem(seed=seed, num_workers=12, num_tasks=10)
+            dc_total += run_dc(problem, budget_current=12.0).total_quality
+            greedy_total += MQAGreedy().assign(problem, 12.0, 0.0, RNG).total_quality
+        assert dc_total >= 0.8 * greedy_total
+
+    def test_single_task_problem_uses_leaf_path(self):
+        problem = make_problem(seed=3, num_workers=6, num_tasks=1)
+        result = run_dc(problem, budget_current=20.0)
+        assert result.num_assigned == 1
+
+
+class TestDecomposition:
+    def test_groups_partition_tasks(self, small_problem):
+        dc = MQADivideConquer()
+        pool = small_problem.pool
+        task_ids = np.unique(pool.task_idx)
+        groups = dc._decompose(small_problem, task_ids, fan_out=3)
+        flat = np.concatenate(groups)
+        assert sorted(flat.tolist()) == sorted(task_ids.tolist())
+        assert len(flat) == len(set(flat.tolist()))
+
+    def test_group_sizes_ceil(self, small_problem):
+        dc = MQADivideConquer()
+        pool = small_problem.pool
+        task_ids = np.unique(pool.task_idx)
+        groups = dc._decompose(small_problem, task_ids, fan_out=4)
+        expected_size = -(-task_ids.size // 4)
+        assert all(len(g) <= expected_size for g in groups)
+
+    def test_anchor_sweeps_by_longitude(self, small_problem):
+        """The first group's anchor is the leftmost task."""
+        dc = MQADivideConquer()
+        pool = small_problem.pool
+        task_ids = np.unique(pool.task_idx)
+        xs = {t: small_problem.tasks[t].location.x for t in task_ids}
+        groups = dc._decompose(small_problem, task_ids, fan_out=3)
+        leftmost = min(task_ids, key=lambda t: xs[t])
+        assert leftmost in groups[0]

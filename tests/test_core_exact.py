@@ -1,0 +1,73 @@
+"""Tests for repro.core.exact (branch-and-bound ground truth)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.exact import exact_assignment
+
+from conftest import make_problem
+
+
+def brute_force(problem, budget):
+    """Plain enumeration over all subsets (tiny instances only)."""
+    pool = problem.pool
+    rows = [r for r in range(len(pool)) if pool.is_current[r]]
+    best = 0.0
+    for size in range(len(rows) + 1):
+        for subset in itertools.combinations(rows, size):
+            workers = [int(pool.worker_idx[r]) for r in subset]
+            tasks = [int(pool.task_idx[r]) for r in subset]
+            if len(set(workers)) < len(workers) or len(set(tasks)) < len(tasks):
+                continue
+            if sum(pool.cost_mean[r] for r in subset) > budget + 1e-9:
+                continue
+            best = max(best, sum(pool.quality_mean[r] for r in subset))
+    return best
+
+
+class TestExactAssignment:
+    def test_empty_problem(self):
+        problem = make_problem(num_workers=0, num_tasks=0)
+        rows, quality = exact_assignment(problem, 10.0)
+        assert rows == []
+        assert quality == 0.0
+
+    def test_zero_budget(self):
+        problem = make_problem(seed=2, num_workers=4, num_tasks=4)
+        rows, quality = exact_assignment(problem, 0.0)
+        assert rows == []
+        assert quality == 0.0
+
+    def test_matches_brute_force(self):
+        for seed in range(5):
+            problem = make_problem(seed=seed, num_workers=4, num_tasks=3)
+            for budget in (1.0, 3.0, 8.0):
+                _, quality = exact_assignment(problem, budget)
+                assert quality == pytest.approx(brute_force(problem, budget))
+
+    def test_selection_is_feasible(self):
+        problem = make_problem(seed=9, num_workers=5, num_tasks=5)
+        budget = 4.0
+        rows, quality = exact_assignment(problem, budget)
+        pool = problem.pool
+        workers = [int(pool.worker_idx[r]) for r in rows]
+        tasks = [int(pool.task_idx[r]) for r in rows]
+        assert len(set(workers)) == len(workers)
+        assert len(set(tasks)) == len(tasks)
+        assert sum(pool.cost_mean[r] for r in rows) <= budget + 1e-9
+        assert sum(pool.quality_mean[r] for r in rows) == pytest.approx(quality)
+
+    def test_size_guard(self):
+        problem = make_problem(seed=0, num_workers=12, num_tasks=12)
+        with pytest.raises(ValueError):
+            exact_assignment(problem, 10.0, max_pairs=10)
+
+    def test_ignores_predicted_pairs(self):
+        problem = make_problem(
+            seed=4, num_workers=4, num_tasks=4,
+            num_predicted_workers=3, num_predicted_tasks=3,
+        )
+        rows, _ = exact_assignment(problem, 10.0, max_pairs=200)
+        assert all(problem.pool.is_current[r] for r in rows)

@@ -1,0 +1,140 @@
+"""Tests for repro.core.pruning (Lemmas 4.1 and 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import cap_candidates, dominance_skyline, probability_prune
+from repro.model.pairs import PairPool
+
+
+def pool_from_rows(rows):
+    """rows: list of (cost_lb, cost_ub, quality_lb, quality_ub, cost_var, q_var)."""
+    rows = [tuple(r) + (0.0, 0.0)[len(r) - 4:] if len(r) < 6 else tuple(r) for r in rows]
+    n = len(rows)
+    cost_lb = np.array([r[0] for r in rows], dtype=float)
+    cost_ub = np.array([r[1] for r in rows], dtype=float)
+    q_lb = np.array([r[2] for r in rows], dtype=float)
+    q_ub = np.array([r[3] for r in rows], dtype=float)
+    cost_var = np.array([r[4] for r in rows], dtype=float)
+    q_var = np.array([r[5] for r in rows], dtype=float)
+    return PairPool(
+        worker_idx=np.arange(n),
+        task_idx=np.arange(n),
+        cost_mean=(cost_lb + cost_ub) / 2,
+        cost_var=cost_var,
+        cost_lb=cost_lb,
+        cost_ub=cost_ub,
+        quality_mean=(q_lb + q_ub) / 2,
+        quality_var=q_var,
+        quality_lb=q_lb,
+        quality_ub=q_ub,
+        existence=np.ones(n),
+        is_current=np.ones(n, dtype=bool),
+    )
+
+
+class TestDominanceSkyline:
+    def test_strictly_dominated_pair_pruned(self):
+        # Pair 1: cheaper (ub 1 < lb 2) and better (lb 3 > ub 2).
+        pool = pool_from_rows([(2.0, 2.0, 1.0, 2.0), (1.0, 1.0, 3.0, 3.0)])
+        survivors = dominance_skyline(pool, np.array([0, 1]))
+        assert survivors.tolist() == [1]
+
+    def test_equal_quality_no_dominance(self):
+        pool = pool_from_rows([(2.0, 2.0, 3.0, 3.0), (1.0, 1.0, 3.0, 3.0)])
+        survivors = dominance_skyline(pool, np.array([0, 1]))
+        assert survivors.tolist() == [0, 1]
+
+    def test_overlapping_cost_intervals_no_dominance(self):
+        # ub_c of candidate (2.0) not < lb_c of pair (1.5).
+        pool = pool_from_rows([(1.5, 3.0, 1.0, 2.0), (1.0, 2.0, 3.0, 4.0)])
+        survivors = dominance_skyline(pool, np.array([0, 1]))
+        assert survivors.tolist() == [0, 1]
+
+    def test_skyline_of_frontier_survives(self):
+        # Quality increases with cost: nothing dominated.
+        pool = pool_from_rows([(i, i, i, i) for i in range(1, 6)])
+        survivors = dominance_skyline(pool, np.arange(5))
+        assert survivors.tolist() == list(range(5))
+
+    def test_chain_domination(self):
+        # One superstar dominates the other two.
+        pool = pool_from_rows(
+            [(0.5, 0.5, 9.0, 9.0), (2.0, 2.0, 1.0, 1.0), (3.0, 3.0, 2.0, 2.0)]
+        )
+        survivors = dominance_skyline(pool, np.arange(3))
+        assert survivors.tolist() == [0]
+
+    def test_empty_and_singleton(self):
+        pool = pool_from_rows([(1.0, 1.0, 1.0, 1.0)])
+        assert dominance_skyline(pool, np.array([], dtype=int)).size == 0
+        assert dominance_skyline(pool, np.array([0])).tolist() == [0]
+
+    def test_matches_naive_implementation(self, rng):
+        n = 60
+        cost = np.sort(rng.uniform(0, 5, size=(n, 2)), axis=1)
+        quality = np.sort(rng.uniform(0, 5, size=(n, 2)), axis=1)
+        pool = pool_from_rows(
+            [(c[0], c[1], q[0], q[1]) for c, q in zip(cost, quality)]
+        )
+        rows = np.arange(n)
+        fast = set(dominance_skyline(pool, rows).tolist())
+        naive = {
+            int(j)
+            for j in rows
+            if not any(
+                pool.cost_ub[a] < pool.cost_lb[j] and pool.quality_lb[a] > pool.quality_ub[j]
+                for a in rows
+            )
+        }
+        assert fast == naive
+
+
+class TestProbabilityPrune:
+    def test_probably_worse_pair_pruned(self):
+        # Pair 0: lower quality mean AND higher cost mean, both stochastic.
+        pool = pool_from_rows(
+            [(3.0, 5.0, 0.5, 1.5, 0.3, 0.3), (1.0, 2.0, 2.0, 3.0, 0.3, 0.3)]
+        )
+        survivors = probability_prune(pool, np.array([0, 1]))
+        assert survivors.tolist() == [1]
+
+    def test_no_mutual_elimination(self):
+        pool = pool_from_rows(
+            [(1.0, 2.0, 1.0, 2.0, 0.2, 0.2), (1.0, 2.0, 1.0, 2.0, 0.2, 0.2)]
+        )
+        survivors = probability_prune(pool, np.array([0, 1]))
+        assert survivors.tolist() == [0, 1]
+
+    def test_deterministic_degenerates_to_dominance(self):
+        pool = pool_from_rows([(2.0, 2.0, 1.0, 1.0), (1.0, 1.0, 3.0, 3.0)])
+        survivors = probability_prune(pool, np.array([0, 1]))
+        assert survivors.tolist() == [1]
+
+    def test_better_on_one_dimension_survives(self):
+        # Pair 0 is cheaper but worse quality: survives.
+        pool = pool_from_rows([(1.0, 1.0, 1.0, 1.0), (2.0, 2.0, 3.0, 3.0)])
+        survivors = probability_prune(pool, np.array([0, 1]))
+        assert survivors.tolist() == [0, 1]
+
+    def test_singleton(self):
+        pool = pool_from_rows([(1.0, 1.0, 1.0, 1.0)])
+        assert probability_prune(pool, np.array([0])).tolist() == [0]
+
+
+class TestCapCandidates:
+    def test_under_cap_untouched(self):
+        pool = pool_from_rows([(1.0, 1.0, float(i), float(i)) for i in range(5)])
+        assert cap_candidates(pool, np.arange(5), 10).tolist() == list(range(5))
+
+    def test_keeps_highest_quality(self):
+        pool = pool_from_rows([(1.0, 1.0, float(i), float(i)) for i in range(5)])
+        kept = cap_candidates(pool, np.arange(5), 2)
+        assert sorted(kept.tolist()) == [3, 4]
+
+    def test_tie_break_by_cost_then_row(self):
+        pool = pool_from_rows(
+            [(3.0, 3.0, 2.0, 2.0), (1.0, 1.0, 2.0, 2.0), (1.0, 1.0, 2.0, 2.0)]
+        )
+        kept = cap_candidates(pool, np.arange(3), 1)
+        assert kept.tolist() == [1]

@@ -1,0 +1,87 @@
+"""Tests for repro.core.random_assign and repro.core.baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import HungarianAssigner
+from repro.core.exact import exact_assignment
+from repro.core.greedy import MQAGreedy
+from repro.core.random_assign import RandomAssigner
+
+from conftest import make_problem
+
+
+class TestRandomAssigner:
+    def test_validity(self, small_problem):
+        rng = np.random.default_rng(1)
+        result = RandomAssigner().assign(small_problem, 10.0, 0.0, rng)
+        workers = [p.worker.id for p in result.pairs]
+        tasks = [p.task.id for p in result.pairs]
+        assert len(set(workers)) == len(workers)
+        assert len(set(tasks)) == len(tasks)
+        assert result.total_cost <= 10.0 + 1e-6
+
+    def test_different_seeds_differ(self, small_problem):
+        results = {
+            tuple(
+                RandomAssigner().assign(
+                    small_problem, 10.0, 0.0, np.random.default_rng(seed)
+                ).rows
+            )
+            for seed in range(8)
+        }
+        assert len(results) > 1
+
+    def test_usually_below_greedy(self):
+        rng = np.random.default_rng(3)
+        random_total = 0.0
+        greedy_total = 0.0
+        for seed in range(6):
+            problem = make_problem(seed=seed, num_workers=12, num_tasks=10)
+            random_total += RandomAssigner().assign(problem, 8.0, 0.0, rng).total_quality
+            greedy_total += MQAGreedy().assign(problem, 8.0, 0.0, rng).total_quality
+        assert random_total < greedy_total
+
+    def test_empty_problem(self):
+        problem = make_problem(num_workers=0, num_tasks=0)
+        rng = np.random.default_rng(0)
+        assert RandomAssigner().assign(problem, 10.0, 0.0, rng).pairs == []
+
+    def test_predicted_pairs_never_materialized(self, mixed_problem):
+        rng = np.random.default_rng(0)
+        result = RandomAssigner().assign(mixed_problem, 10.0, 10.0, rng)
+        assert all(p.is_current for p in result.pairs)
+
+
+class TestHungarianAssigner:
+    def test_optimal_quality_under_loose_budget(self):
+        """With no binding budget, Hungarian is the quality optimum."""
+        for seed in range(5):
+            problem = make_problem(seed=seed, num_workers=5, num_tasks=5)
+            rng = np.random.default_rng(0)
+            result = HungarianAssigner().assign(problem, 1e6, 0.0, rng)
+            _, optimum = exact_assignment(problem, 1e6)
+            assert result.total_quality == pytest.approx(optimum, rel=1e-9)
+
+    def test_budget_trim_keeps_feasibility(self, small_problem):
+        rng = np.random.default_rng(0)
+        result = HungarianAssigner().assign(small_problem, 3.0, 0.0, rng)
+        assert result.total_cost <= 3.0 + 1e-6
+
+    def test_validity(self, small_problem):
+        rng = np.random.default_rng(0)
+        result = HungarianAssigner().assign(small_problem, 20.0, 0.0, rng)
+        workers = [p.worker.id for p in result.pairs]
+        tasks = [p.task.id for p in result.pairs]
+        assert len(set(workers)) == len(workers)
+        assert len(set(tasks)) == len(tasks)
+
+    def test_empty_problem(self):
+        problem = make_problem(num_workers=0, num_tasks=0)
+        rng = np.random.default_rng(0)
+        assert HungarianAssigner().assign(problem, 10.0, 0.0, rng).pairs == []
+
+    def test_ignores_predicted_pairs(self, mixed_problem):
+        rng = np.random.default_rng(0)
+        result = HungarianAssigner().assign(mixed_problem, 20.0, 20.0, rng)
+        assert all(p.is_current for p in result.pairs)

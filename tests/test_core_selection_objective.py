@@ -1,0 +1,73 @@
+"""Tests for the selection-objective option (probability vs efficiency)."""
+
+import numpy as np
+import pytest
+
+from repro.core.divide_conquer import DivideConquerConfig, MQADivideConquer
+from repro.core.greedy import GreedyConfig, MQAGreedy
+from repro.core.selection import select_best_row
+from test_core_pruning import pool_from_rows
+
+from conftest import make_problem
+
+RNG = np.random.default_rng(0)
+
+
+class TestSelectBestRowObjectives:
+    def test_efficiency_prefers_cost_effective_pair(self):
+        # Row 0: q=2.0 at cost 4.0 (density 0.5); row 1: q=1.5 at cost
+        # 1.0 (density 1.5).  Probability picks 0, efficiency picks 1.
+        pool = pool_from_rows([(4.0, 4.0, 2.0, 2.0), (1.0, 1.0, 1.5, 1.5)])
+        assert select_best_row(pool, np.arange(2), "probability") == 0
+        assert select_best_row(pool, np.arange(2), "efficiency") == 1
+
+    def test_efficiency_handles_zero_cost(self):
+        pool = pool_from_rows([(0.0, 0.0, 1.0, 1.0), (0.0, 0.0, 2.0, 2.0)])
+        assert select_best_row(pool, np.arange(2), "efficiency") == 1
+
+    def test_unknown_objective_rejected(self):
+        pool = pool_from_rows([(1.0, 1.0, 1.0, 1.0)])
+        with pytest.raises(ValueError):
+            select_best_row(pool, np.arange(1), "roi")
+
+    def test_single_candidate_any_objective(self):
+        pool = pool_from_rows([(1.0, 1.0, 1.0, 1.0)])
+        assert select_best_row(pool, np.arange(1), "efficiency") == 0
+
+
+class TestConfigValidation:
+    def test_greedy_config_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            GreedyConfig(selection_objective="roi")
+
+    def test_dc_config_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            DivideConquerConfig(selection_objective="roi")
+
+    def test_dc_propagates_objective(self):
+        config = DivideConquerConfig(selection_objective="efficiency")
+        assert config.greedy_config().selection_objective == "efficiency"
+
+
+class TestEfficiencyMode:
+    def test_invariants_hold(self):
+        problem = make_problem(seed=6, num_workers=10, num_tasks=9)
+        for assigner in (
+            MQAGreedy(GreedyConfig(selection_objective="efficiency")),
+            MQADivideConquer(DivideConquerConfig(selection_objective="efficiency")),
+        ):
+            result = assigner.assign(problem, 8.0, 0.0, RNG)
+            workers = [p.worker.id for p in result.pairs]
+            assert len(set(workers)) == len(workers)
+            assert result.total_cost <= 8.0 + 1e-6
+
+    def test_efficiency_assigns_at_least_as_many_under_tight_budget(self):
+        """Quality-per-cost selection stretches a tight budget further."""
+        totals = {"probability": 0, "efficiency": 0}
+        for seed in range(6):
+            problem = make_problem(seed=seed, num_workers=12, num_tasks=12)
+            for objective in totals:
+                assigner = MQAGreedy(GreedyConfig(selection_objective=objective))
+                result = assigner.assign(problem, 3.0, 0.0, RNG)
+                totals[objective] += result.num_assigned
+        assert totals["efficiency"] >= totals["probability"]

@@ -1,0 +1,172 @@
+"""Edge-case robustness: odd configurations through the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.divide_conquer import MQADivideConquer
+from repro.core.greedy import MQAGreedy
+from repro.core.random_assign import RandomAssigner
+from repro.model.instance import build_problem
+from repro.simulation.engine import EngineConfig, SimulationEngine
+from repro.workloads.base import WorkloadParams
+from repro.workloads.quality import HashQualityModel
+from repro.workloads.synthetic import SyntheticWorkload
+
+from conftest import make_tasks, make_workers
+
+
+ASSIGNERS = [MQAGreedy(), MQADivideConquer(), RandomAssigner()]
+
+
+class TestDegenerateWorkloads:
+    def test_single_instance(self):
+        workload = SyntheticWorkload(
+            WorkloadParams(num_workers=20, num_tasks=20, num_instances=1), seed=0
+        )
+        result = SimulationEngine(workload, MQAGreedy(), EngineConfig(budget=5.0)).run()
+        assert len(result.instances) == 1
+        # One instance: nothing to predict.
+        assert result.instances[0].num_predicted_workers == 0
+
+    def test_workers_without_tasks(self):
+        workload = SyntheticWorkload(
+            WorkloadParams(num_workers=30, num_tasks=0, num_instances=3), seed=0
+        )
+        result = SimulationEngine(workload, MQAGreedy(), EngineConfig(budget=5.0)).run()
+        assert result.total_assigned == 0
+
+    def test_tasks_without_workers(self):
+        workload = SyntheticWorkload(
+            WorkloadParams(num_workers=0, num_tasks=30, num_instances=3), seed=0
+        )
+        result = SimulationEngine(workload, MQAGreedy(), EngineConfig(budget=5.0)).run()
+        assert result.total_assigned == 0
+
+    def test_single_worker_single_task(self):
+        workload = SyntheticWorkload(
+            WorkloadParams(num_workers=1, num_tasks=1, num_instances=1,
+                           deadline_range=(5.0, 6.0)),
+            seed=0,
+        )
+        result = SimulationEngine(
+            workload, MQAGreedy(), EngineConfig(budget=100.0)
+        ).run()
+        assert result.total_assigned <= 1
+
+    def test_near_zero_velocities(self):
+        workload = SyntheticWorkload(
+            WorkloadParams(num_workers=20, num_tasks=20, num_instances=2,
+                           velocity_range=(0.001, 0.002)),
+            seed=0,
+        )
+        result = SimulationEngine(workload, MQAGreedy(), EngineConfig(budget=5.0)).run()
+        # Crawling workers reach almost nothing; the run must not fail.
+        assert result.total_quality >= 0.0
+
+    def test_very_fast_workers(self):
+        workload = SyntheticWorkload(
+            WorkloadParams(num_workers=20, num_tasks=20, num_instances=2,
+                           velocity_range=(0.9, 0.99)),
+            seed=0,
+        )
+        result = SimulationEngine(
+            workload, MQAGreedy(), EngineConfig(budget=1000.0)
+        ).run()
+        assert result.total_assigned > 0
+
+    def test_degenerate_quality_range(self):
+        workload = SyntheticWorkload(
+            WorkloadParams(num_workers=15, num_tasks=15, num_instances=2,
+                           quality_range=(1.0, 1.0)),
+            seed=0,
+        )
+        result = SimulationEngine(workload, MQAGreedy(), EngineConfig(budget=50.0)).run()
+        # All qualities identical: total quality equals the count.
+        assert result.total_quality == pytest.approx(float(result.total_assigned))
+
+
+class TestDegenerateProblems:
+    @pytest.mark.parametrize("assigner", ASSIGNERS)
+    def test_all_pairs_identical(self, assigner):
+        """Co-located workers and tasks: zero costs, tie qualities."""
+        rng = np.random.default_rng(0)
+        workers = [
+            w.__class__(id=w.id, location=w.location, velocity=w.velocity)
+            for w in make_workers(rng, 5)
+        ]
+        from repro.geo.point import Point
+        from repro.model.entities import Task
+
+        tasks = [
+            Task(id=1000 + j, location=Point(0.5, 0.5), deadline=10.0)
+            for j in range(5)
+        ]
+        workers = [
+            type(workers[0])(id=i, location=Point(0.5, 0.5), velocity=0.2)
+            for i in range(5)
+        ]
+        problem = build_problem(
+            workers, tasks, [], [], HashQualityModel((1.0, 1.0)), 1.0, 0.0
+        )
+        result = assigner.assign(problem, 100.0, 0.0, np.random.default_rng(1))
+        assert result.num_assigned == 5
+        assert result.total_cost == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("assigner", ASSIGNERS)
+    def test_single_pair_problem(self, assigner):
+        rng = np.random.default_rng(2)
+        problem = build_problem(
+            make_workers(rng, 1), make_tasks(rng, 1), [], [],
+            HashQualityModel((1.0, 2.0)), 1.0, 0.0,
+        )
+        result = assigner.assign(problem, 100.0, 0.0, np.random.default_rng(0))
+        assert result.num_assigned == problem.num_pairs  # 0 or 1
+
+    def test_zero_unit_cost(self):
+        rng = np.random.default_rng(3)
+        problem = build_problem(
+            make_workers(rng, 6), make_tasks(rng, 6), [], [],
+            HashQualityModel((1.0, 2.0)), 0.0, 0.0,
+        )
+        result = MQAGreedy().assign(problem, 0.0, 0.0, np.random.default_rng(0))
+        # Free travel: even a zero budget admits every assignment.
+        assert result.num_assigned > 0
+
+    def test_expired_now(self):
+        """Problem built after every deadline passed: no valid pairs."""
+        rng = np.random.default_rng(4)
+        problem = build_problem(
+            make_workers(rng, 4), make_tasks(rng, 4, deadline_offset=1.0), [], [],
+            HashQualityModel((1.0, 2.0)), 1.0, now=5.0,
+        )
+        assert problem.num_pairs == 0
+
+
+class TestEngineConfigEdges:
+    def test_window_one(self):
+        workload = SyntheticWorkload(
+            WorkloadParams(num_workers=40, num_tasks=40, num_instances=4), seed=1
+        )
+        result = SimulationEngine(
+            workload, MQAGreedy(), EngineConfig(budget=10.0, window=1)
+        ).run()
+        assert len(result.instances) == 4
+
+    def test_gamma_one(self):
+        """A single prediction cell is legal (global count forecast)."""
+        workload = SyntheticWorkload(
+            WorkloadParams(num_workers=40, num_tasks=40, num_instances=4), seed=1
+        )
+        result = SimulationEngine(
+            workload, MQAGreedy(), EngineConfig(budget=10.0, grid_gamma=1)
+        ).run()
+        assert len(result.instances) == 4
+
+    def test_huge_budget(self):
+        workload = SyntheticWorkload(
+            WorkloadParams(num_workers=30, num_tasks=30, num_instances=3), seed=1
+        )
+        result = SimulationEngine(
+            workload, MQAGreedy(), EngineConfig(budget=1e9)
+        ).run()
+        assert result.total_assigned > 0

@@ -1,0 +1,52 @@
+"""Tests for repro.experiments.config."""
+
+import pytest
+
+from repro.experiments.config import PAPER_DEFAULTS, ExperimentConfig, scaled_config
+
+
+class TestPaperDefaults:
+    def test_table_iv_bold_values(self):
+        params = PAPER_DEFAULTS.params
+        assert params.num_workers == 5000
+        assert params.num_tasks == 5000
+        assert params.num_instances == 15
+        assert params.quality_range == (1.0, 2.0)
+        assert params.deadline_range == (1.0, 2.0)
+        assert params.velocity_range == (0.2, 0.3)
+        assert PAPER_DEFAULTS.unit_cost == 10.0
+        assert PAPER_DEFAULTS.window == 3
+
+
+class TestScaledConfig:
+    def test_identity_scale(self):
+        config = scaled_config(1.0)
+        assert config.params.num_workers == 5000
+        assert config.budget == 300.0
+
+    def test_proportional_scaling(self):
+        config = scaled_config(0.1)
+        assert config.params.num_workers == 500
+        assert config.params.num_tasks == 500
+        assert config.budget == pytest.approx(30.0)
+        # Non-scaled knobs unchanged.
+        assert config.unit_cost == 10.0
+        assert config.params.num_instances == 15
+
+    def test_minimum_one_entity(self):
+        config = scaled_config(0.00001)
+        assert config.params.num_workers >= 1
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_config(0.0)
+
+    def test_with_params_override(self):
+        config = scaled_config(0.1).with_params(num_tasks=123)
+        assert config.params.num_tasks == 123
+        assert config.params.num_workers == 500  # untouched
+
+    def test_with_fields_override(self):
+        config = scaled_config(0.1).with_fields(budget=7.0, window=5)
+        assert config.budget == 7.0
+        assert config.window == 5

@@ -1,0 +1,57 @@
+"""Smoke tests: every registered figure function runs end to end.
+
+The benches exercise the figures at the committed reference scale;
+these run a representative subset at a minuscule scale so the plain
+test suite catches registry/wiring breakage quickly.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.figures import FIGURES, run_figure_by_id
+
+# One representative per figure family: accuracy, WP/WoP sweep,
+# standard sweep (synthetic + real), multi-panel, combo sweep.
+_REPRESENTATIVES = ["fig10", "fig11", "fig12", "fig18_19", "fig22", "fig26"]
+
+
+@pytest.mark.parametrize("figure_id", _REPRESENTATIVES)
+def test_figure_runs_at_tiny_scale(figure_id):
+    result = run_figure_by_id(figure_id, scale=0.01, seed=3)
+    assert result.figure_id == figure_id
+    assert result.x_labels
+    assert result.algorithms
+    expected_points = len(result.x_labels) * len(result.algorithms)
+    assert len(result.points) == expected_points
+    for point in result.points:
+        assert point.cpu_seconds >= 0.0
+        assert point.cost >= 0.0
+        assert not math.isinf(point.quality)
+
+
+def test_registry_functions_are_callable():
+    for figure_id, (function, description) in FIGURES.items():
+        assert callable(function)
+        assert description
+
+
+def test_every_figure_supports_repeats():
+    import inspect
+
+    for figure_id, (function, _) in FIGURES.items():
+        assert "repeats" in inspect.signature(function).parameters, figure_id
+
+
+def test_repeats_average_changes_point_values():
+    single = run_figure_by_id("fig21", scale=0.01, seed=3, repeats=1)
+    averaged = run_figure_by_id("fig21", scale=0.01, seed=3, repeats=2)
+    assert single.x_labels == averaged.x_labels
+    assert single.algorithms == averaged.algorithms
+    # RANDOM is seed-sensitive, so the 2-seed average must differ from
+    # the single-seed value at some sweep point.
+    assert any(
+        s.quality != a.quality
+        for s, a in zip(single.points, averaged.points)
+        if s.algorithm == "RANDOM"
+    )

@@ -1,0 +1,73 @@
+"""Tests for figure-result JSON persistence and multi-seed averaging."""
+
+import pytest
+
+from repro.experiments.config import scaled_config
+from repro.experiments.reporting import figure_from_json, figure_to_json
+from repro.experiments.runner import AlgorithmSpec, FigureResult, SeriesPoint, run_figure
+from repro.core.random_assign import RandomAssigner
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def sample_result():
+    return FigureResult(
+        figure_id="figX",
+        title="test",
+        x_name="B",
+        x_labels=["1", "2"],
+        algorithms=["A"],
+        points=[
+            SeriesPoint("1", "A", 1.5, 0.01, 3, 2.0, 0.1, None),
+            SeriesPoint("2", "A", 2.5, 0.02, 5, 4.0, None, 0.2),
+        ],
+    )
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        original = sample_result()
+        restored = figure_from_json(figure_to_json(original))
+        assert restored == original
+
+    def test_json_is_valid(self):
+        import json
+
+        payload = json.loads(figure_to_json(sample_result()))
+        assert payload["figure_id"] == "figX"
+        assert len(payload["points"]) == 2
+
+    def test_none_errors_survive(self):
+        restored = figure_from_json(figure_to_json(sample_result()))
+        assert restored.points[0].task_prediction_error is None
+        assert restored.points[1].worker_prediction_error is None
+
+
+class TestRepeats:
+    def _sweep(self, repeats):
+        return run_figure(
+            figure_id="t",
+            title="t",
+            x_name="B",
+            x_values=[3.0],
+            make_workload=lambda x, c: SyntheticWorkload(c.params, seed=c.seed),
+            make_config=lambda x: scaled_config(0.02, seed=5).with_fields(
+                budget=float(x)
+            ),
+            algorithms=[AlgorithmSpec("RANDOM", RandomAssigner, use_prediction=False)],
+            repeats=repeats,
+        )
+
+    def test_single_repeat_matches_default(self):
+        assert self._sweep(1).points[0].quality == self._sweep(1).points[0].quality
+
+    def test_repeats_average_over_seeds(self):
+        single = self._sweep(1).points[0].quality
+        averaged = self._sweep(3).points[0].quality
+        # The averaged value differs from the first seed's value (the
+        # other seeds contribute) but stays in the same ballpark.
+        assert averaged != single
+        assert 0.3 * single < averaged < 3.0 * single
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            self._sweep(0)

@@ -1,0 +1,60 @@
+"""Tests for repro.experiments.reporting."""
+
+from repro.experiments.reporting import format_figure, format_figure_csv
+from repro.experiments.runner import FigureResult, SeriesPoint
+
+
+def sample_result():
+    points = [
+        SeriesPoint("100", "GREEDY", 10.0, 0.01, 5, 3.0),
+        SeriesPoint("200", "GREEDY", 20.0, 0.02, 9, 6.0),
+        SeriesPoint("100", "RANDOM", 4.0, 0.001, 4, 3.0),
+        SeriesPoint("200", "RANDOM", 8.0, 0.001, 8, 6.0),
+    ]
+    return FigureResult(
+        figure_id="fig11",
+        title="Effect of the budget B",
+        x_name="B",
+        x_labels=["100", "200"],
+        algorithms=["GREEDY", "RANDOM"],
+        points=points,
+    )
+
+
+class TestFormatFigure:
+    def test_contains_header_and_series(self):
+        text = format_figure(sample_result())
+        assert "fig11" in text
+        assert "Overall quality score" in text
+        assert "Running time (s/instance)" in text
+        assert "GREEDY" in text and "RANDOM" in text
+        assert "10.00" in text and "20.00" in text
+
+    def test_fig10_uses_error_header(self):
+        result = sample_result()
+        result = FigureResult(
+            figure_id="fig10",
+            title=result.title,
+            x_name=result.x_name,
+            x_labels=result.x_labels,
+            algorithms=result.algorithms,
+            points=result.points,
+        )
+        assert "Average relative error" in format_figure(result)
+
+    def test_nan_rendered_as_dash(self):
+        result = FigureResult(
+            figure_id="x", title="t", x_name="w", x_labels=["1"],
+            algorithms=["A"],
+            points=[SeriesPoint("1", "A", float("nan"), 0.0, 0, 0.0)],
+        )
+        assert "-" in format_figure(result)
+
+
+class TestFormatCsv:
+    def test_csv_rows(self):
+        csv_text = format_figure_csv(sample_result())
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "figure,x,algorithm,quality,cpu_seconds,assigned,cost"
+        assert len(lines) == 5
+        assert lines[1].startswith("fig11,100,GREEDY,10.0000")

@@ -1,0 +1,101 @@
+"""Tests for repro.experiments.runner."""
+
+import pytest
+
+from repro.experiments.config import scaled_config
+from repro.experiments.runner import (
+    AlgorithmSpec,
+    FigureResult,
+    SeriesPoint,
+    run_figure,
+    run_simulation,
+    standard_algorithms,
+    wp_wop_algorithms,
+)
+from repro.core.random_assign import RandomAssigner
+from repro.workloads.synthetic import SyntheticWorkload
+
+SCALE = 0.02  # tiny: 100 workers/tasks over 15 instances
+
+
+def tiny_config():
+    return scaled_config(SCALE, seed=3)
+
+
+class TestAlgorithmSets:
+    def test_standard_labels(self):
+        assert [s.label for s in standard_algorithms()] == ["GREEDY", "D&C", "RANDOM"]
+
+    def test_wp_wop_labels(self):
+        labels = [s.label for s in wp_wop_algorithms()]
+        assert labels == [
+            "GREEDY_WP", "D&C_WP", "RANDOM_WP",
+            "GREEDY_WoP", "D&C_WoP", "RANDOM_WoP",
+        ]
+        modes = [s.use_prediction for s in wp_wop_algorithms()]
+        assert modes == [True, True, True, False, False, False]
+
+
+class TestRunSimulation:
+    def test_single_cell(self):
+        config = tiny_config()
+        workload = SyntheticWorkload(config.params, seed=config.seed)
+        spec = AlgorithmSpec("RANDOM", RandomAssigner, use_prediction=False)
+        result = run_simulation(workload, spec, config)
+        assert len(result.instances) == config.params.num_instances
+
+
+class TestRunFigure:
+    def test_sweep_structure(self):
+        result = run_figure(
+            figure_id="test",
+            title="test sweep",
+            x_name="B",
+            x_values=[2.0, 4.0],
+            make_workload=lambda x, c: SyntheticWorkload(c.params, seed=c.seed),
+            make_config=lambda x: tiny_config().with_fields(budget=float(x)),
+            algorithms=[AlgorithmSpec("RANDOM", RandomAssigner, use_prediction=False)],
+        )
+        assert result.x_labels == ["2.0", "4.0"]
+        assert result.algorithms == ["RANDOM"]
+        assert len(result.points) == 2
+
+    def test_series_and_point_lookup(self):
+        result = run_figure(
+            figure_id="test",
+            title="t",
+            x_name="B",
+            x_values=[2.0, 6.0],
+            make_workload=lambda x, c: SyntheticWorkload(c.params, seed=c.seed),
+            make_config=lambda x: tiny_config().with_fields(budget=float(x)),
+            algorithms=[AlgorithmSpec("RANDOM", RandomAssigner, use_prediction=False)],
+            x_formatter=lambda b: f"{b:g}",
+        )
+        series = result.series("RANDOM", "quality")
+        assert len(series) == 2
+        assert series[0] <= series[1] + 1e-9  # more budget, more quality
+        point = result.point("2", "RANDOM")
+        assert isinstance(point, SeriesPoint)
+        with pytest.raises(KeyError):
+            result.point("2", "NOPE")
+
+    def test_workload_shared_across_algorithms(self):
+        """Both algorithms must see identical workloads per x value."""
+        created = []
+
+        def make_workload(x, config):
+            workload = SyntheticWorkload(config.params, seed=config.seed)
+            created.append(workload)
+            return workload
+
+        run_figure(
+            figure_id="t", title="t", x_name="x",
+            x_values=[1.0],
+            make_workload=make_workload,
+            make_config=lambda x: tiny_config(),
+            algorithms=[
+                AlgorithmSpec("A", RandomAssigner, use_prediction=False),
+                AlgorithmSpec("B", RandomAssigner, use_prediction=False),
+            ],
+        )
+        assert len(created) == 1

@@ -1,0 +1,110 @@
+"""Tests for repro.geo.box."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.box import Box, max_box_distance, min_box_distance
+from repro.geo.point import Point
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+half = st.floats(min_value=0.0, max_value=0.3, allow_nan=False)
+
+
+def box_strategy():
+    return st.builds(
+        lambda x, y, hx, hy: Box.from_center(Point(x, y), hx, hy),
+        coord, coord, half, half,
+    )
+
+
+class TestBoxConstruction:
+    def test_from_point_is_degenerate(self):
+        box = Box.from_point(Point(0.3, 0.4))
+        assert box.is_degenerate
+        assert box.center == Point(0.3, 0.4)
+
+    def test_from_center_bounds(self):
+        box = Box.from_center(Point(0.5, 0.5), 0.1, 0.2)
+        assert box.x_lo == pytest.approx(0.4)
+        assert box.x_hi == pytest.approx(0.6)
+        assert box.y_lo == pytest.approx(0.3)
+        assert box.y_hi == pytest.approx(0.7)
+
+    def test_malformed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Box(0.5, 0.4, 0.0, 1.0)
+
+    def test_negative_half_width_rejected(self):
+        with pytest.raises(ValueError):
+            Box.from_center(Point(0.5, 0.5), -0.1, 0.1)
+
+    def test_clipped_to_unit_square(self):
+        box = Box.from_center(Point(0.0, 1.0), 0.2, 0.2).clipped()
+        assert box.x_lo == 0.0
+        assert box.y_hi == 1.0
+        assert box.x_hi == pytest.approx(0.2)
+        assert box.y_lo == pytest.approx(0.8)
+
+    def test_interval_accessor(self):
+        box = Box(0.1, 0.2, 0.3, 0.4)
+        assert box.interval(0) == (0.1, 0.2)
+        assert box.interval(1) == (0.3, 0.4)
+        with pytest.raises(IndexError):
+            box.interval(2)
+
+    def test_contains(self):
+        box = Box(0.0, 0.5, 0.0, 0.5)
+        assert box.contains(Point(0.25, 0.25))
+        assert box.contains(Point(0.5, 0.5))  # boundary inclusive
+        assert not box.contains(Point(0.6, 0.25))
+
+
+class TestBoxDistances:
+    def test_overlapping_boxes_have_zero_min_distance(self):
+        a = Box(0.0, 0.5, 0.0, 0.5)
+        b = Box(0.4, 0.9, 0.4, 0.9)
+        assert min_box_distance(a, b) == 0.0
+
+    def test_disjoint_boxes_min_distance(self):
+        a = Box(0.0, 0.1, 0.0, 0.1)
+        b = Box(0.4, 0.5, 0.4, 0.5)
+        assert min_box_distance(a, b) == pytest.approx((2 * 0.3**2) ** 0.5)
+
+    def test_point_boxes_reduce_to_euclidean(self):
+        a = Box.from_point(Point(0.0, 0.0))
+        b = Box.from_point(Point(0.3, 0.4))
+        assert min_box_distance(a, b) == pytest.approx(0.5)
+        assert max_box_distance(a, b) == pytest.approx(0.5)
+
+    def test_max_distance_is_corner_to_corner(self):
+        a = Box(0.0, 0.1, 0.0, 0.1)
+        b = Box(0.8, 0.9, 0.8, 0.9)
+        assert max_box_distance(a, b) == pytest.approx((2 * 0.9**2) ** 0.5)
+
+    @given(box_strategy(), box_strategy())
+    def test_min_not_exceeding_max(self, a, b):
+        assert min_box_distance(a, b) <= max_box_distance(a, b) + 1e-12
+
+    @given(box_strategy(), box_strategy())
+    def test_distance_symmetry(self, a, b):
+        assert min_box_distance(a, b) == pytest.approx(min_box_distance(b, a))
+        assert max_box_distance(a, b) == pytest.approx(max_box_distance(b, a))
+
+    @given(box_strategy())
+    def test_self_min_distance_zero(self, box):
+        assert min_box_distance(box, box) == 0.0
+
+    @given(
+        box_strategy(), box_strategy(),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_bounds_contain_sampled_point_distances(self, a, b, u1, u2, u3, u4):
+        """Any point-pair distance lies within [min, max] box distance."""
+        pa = Point(a.x_lo + u1 * (a.x_hi - a.x_lo), a.y_lo + u2 * (a.y_hi - a.y_lo))
+        pb = Point(b.x_lo + u3 * (b.x_hi - b.x_lo), b.y_lo + u4 * (b.y_hi - b.y_lo))
+        distance = pa.distance_to(pb)
+        assert min_box_distance(a, b) - 1e-9 <= distance <= max_box_distance(a, b) + 1e-9

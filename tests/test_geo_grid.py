@@ -1,0 +1,111 @@
+"""Tests for repro.geo.grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.grid import GridIndex
+from repro.geo.point import Point
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestGridBasics:
+    def test_num_cells(self):
+        assert GridIndex(4).num_cells == 16
+        assert GridIndex(1).num_cells == 1
+
+    def test_cell_side(self):
+        assert GridIndex(5).cell_side == pytest.approx(0.2)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            GridIndex(0)
+
+    def test_cell_of_origin(self):
+        assert GridIndex(4).cell_of(Point(0.0, 0.0)) == 0
+
+    def test_cell_of_far_corner_maps_to_last_cell(self):
+        grid = GridIndex(4)
+        assert grid.cell_of(Point(1.0, 1.0)) == grid.num_cells - 1
+
+    def test_cell_of_row_major_layout(self):
+        grid = GridIndex(4)
+        # x in third column (col 2), y in second row (row 1).
+        assert grid.cell_of(Point(0.6, 0.3)) == 1 * 4 + 2
+
+    def test_cell_of_rejects_outside_coordinates(self):
+        with pytest.raises(ValueError):
+            GridIndex(4).cell_of(Point(1.2, 0.5))
+
+    def test_cell_box_roundtrip(self):
+        grid = GridIndex(3)
+        for cell in grid.cells():
+            assert grid.cell_of(grid.cell_center(cell)) == cell
+
+    def test_cell_box_bounds(self):
+        grid = GridIndex(2)
+        box = grid.cell_box(3)  # top-right cell
+        assert (box.x_lo, box.x_hi) == (0.5, 1.0)
+        assert (box.y_lo, box.y_hi) == (0.5, 1.0)
+
+    def test_cell_box_out_of_range(self):
+        with pytest.raises(IndexError):
+            GridIndex(2).cell_box(4)
+
+    @given(st.integers(min_value=1, max_value=12), coord, coord)
+    def test_every_point_maps_to_valid_cell(self, gamma, x, y):
+        grid = GridIndex(gamma)
+        cell = grid.cell_of(Point(x, y))
+        assert 0 <= cell < grid.num_cells
+        assert grid.cell_box(cell).contains(Point(x, y))
+
+
+class TestGridCounting:
+    def test_count_points(self):
+        grid = GridIndex(2)
+        points = [Point(0.1, 0.1), Point(0.9, 0.9), Point(0.2, 0.2)]
+        counts = grid.count_points(points)
+        assert counts[0] == 2
+        assert counts[3] == 1
+        assert counts.sum() == 3
+
+    def test_count_coordinates_matches_count_points(self, rng):
+        grid = GridIndex(7)
+        xs = rng.uniform(0, 1, 200)
+        ys = rng.uniform(0, 1, 200)
+        points = [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+        np.testing.assert_array_equal(
+            grid.count_points(points), grid.count_coordinates(xs, ys)
+        )
+
+    def test_count_coordinates_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GridIndex(2).count_coordinates(np.zeros(3), np.zeros(4))
+
+    def test_count_coordinates_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            GridIndex(2).count_coordinates(np.array([1.5]), np.array([0.5]))
+
+    def test_count_empty(self):
+        assert GridIndex(3).count_points([]).sum() == 0
+
+
+class TestGridSampling:
+    def test_samples_land_in_cell(self, rng):
+        grid = GridIndex(5)
+        for cell in (0, 7, 24):
+            box = grid.cell_box(cell)
+            for point in grid.sample_in_cell(cell, rng, 50):
+                assert box.contains(point)
+
+    def test_sample_count(self, rng):
+        assert len(GridIndex(3).sample_in_cell(4, rng, 17)) == 17
+
+    def test_sample_zero(self, rng):
+        assert GridIndex(3).sample_in_cell(0, rng, 0) == []
+
+    def test_sample_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            GridIndex(3).sample_in_cell(0, rng, -1)

@@ -1,0 +1,76 @@
+"""Tests for repro.geo.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.point import Point, euclidean_distance, travel_time
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance_to_self_is_zero(self):
+        p = Point(0.3, 0.7)
+        assert p.distance_to(p) == 0.0
+
+    def test_known_distance(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_as_tuple(self):
+        assert Point(0.1, 0.2).as_tuple() == (0.1, 0.2)
+
+    def test_iteration_unpacks_coordinates(self):
+        x, y = Point(0.4, 0.6)
+        assert (x, y) == (0.4, 0.6)
+
+    def test_indexing(self):
+        p = Point(0.25, 0.75)
+        assert p[0] == 0.25
+        assert p[1] == 0.75
+
+    def test_indexing_out_of_range(self):
+        with pytest.raises(IndexError):
+            Point(0.0, 0.0)[2]
+
+    def test_points_are_hashable_and_equal_by_value(self):
+        assert Point(0.1, 0.2) == Point(0.1, 0.2)
+        assert hash(Point(0.1, 0.2)) == hash(Point(0.1, 0.2))
+
+    @given(coord, coord, coord, coord)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert euclidean_distance(a, b) == pytest.approx(euclidean_distance(b, a))
+
+    @given(coord, coord, coord, coord, coord, coord)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert euclidean_distance(a, c) <= (
+            euclidean_distance(a, b) + euclidean_distance(b, c) + 1e-12
+        )
+
+
+class TestTravelTime:
+    def test_travel_time_scales_inversely_with_velocity(self):
+        a, b = Point(0.0, 0.0), Point(1.0, 0.0)
+        assert travel_time(a, b, 0.5) == pytest.approx(2.0)
+        assert travel_time(a, b, 0.25) == pytest.approx(4.0)
+
+    def test_zero_distance_takes_no_time(self):
+        p = Point(0.5, 0.5)
+        assert travel_time(p, p, 0.1) == 0.0
+
+    def test_zero_velocity_rejected(self):
+        with pytest.raises(ValueError):
+            travel_time(Point(0, 0), Point(1, 1), 0.0)
+
+    def test_negative_velocity_rejected(self):
+        with pytest.raises(ValueError):
+            travel_time(Point(0, 0), Point(1, 1), -1.0)
+
+    def test_travel_time_matches_distance_over_velocity(self):
+        a, b = Point(0.2, 0.2), Point(0.5, 0.6)
+        expected = math.hypot(0.3, 0.4) / 0.3
+        assert travel_time(a, b, 0.3) == pytest.approx(expected)

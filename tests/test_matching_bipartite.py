@@ -1,0 +1,63 @@
+"""Tests for repro.matching.bipartite."""
+
+import numpy as np
+import pytest
+
+from repro.matching.bipartite import greedy_max_weight_matching
+
+
+class TestGreedyMatching:
+    def test_takes_heaviest_first(self):
+        rows = np.array([0, 0, 1])
+        cols = np.array([0, 1, 0])
+        weights = np.array([1.0, 5.0, 4.0])
+        assignment, total = greedy_max_weight_matching(rows, cols, weights)
+        assert assignment == [(0, 1), (1, 0)]
+        assert total == pytest.approx(9.0)
+
+    def test_conflicts_skip(self):
+        rows = np.array([0, 0])
+        cols = np.array([0, 1])
+        weights = np.array([3.0, 2.0])
+        assignment, total = greedy_max_weight_matching(rows, cols, weights)
+        assert assignment == [(0, 0)]
+        assert total == 3.0
+
+    def test_non_positive_weights_skipped(self):
+        rows = np.array([0, 1])
+        cols = np.array([0, 1])
+        weights = np.array([2.0, -1.0])
+        assignment, total = greedy_max_weight_matching(rows, cols, weights)
+        assert assignment == [(0, 0)]
+
+    def test_empty(self):
+        assignment, total = greedy_max_weight_matching(
+            np.zeros(0, dtype=int), np.zeros(0, dtype=int), np.zeros(0)
+        )
+        assert assignment == []
+        assert total == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_max_weight_matching(np.zeros(2, int), np.zeros(3, int), np.zeros(2))
+
+    def test_half_approximation_guarantee(self):
+        """Greedy achieves >= 1/2 the optimum on random instances."""
+        from repro.matching.hungarian import hungarian_max_weight
+
+        rng = np.random.default_rng(17)
+        for _ in range(20):
+            weights = rng.uniform(0.1, 5.0, size=(5, 5))
+            r, c = np.nonzero(np.ones_like(weights, dtype=bool))
+            _, greedy_total = greedy_max_weight_matching(r, c, weights[r, c])
+            _, optimal_total = hungarian_max_weight(weights)
+            assert greedy_total >= 0.5 * optimal_total - 1e-9
+
+    def test_matching_validity(self):
+        rng = np.random.default_rng(23)
+        weights = rng.uniform(0, 1, size=200)
+        rows = rng.integers(0, 10, size=200)
+        cols = rng.integers(0, 10, size=200)
+        assignment, _ = greedy_max_weight_matching(rows, cols, weights)
+        assert len({r for r, _ in assignment}) == len(assignment)
+        assert len({c for _, c in assignment}) == len(assignment)

@@ -1,0 +1,119 @@
+"""Tests for repro.matching.hungarian, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.hungarian import hungarian_max_weight, hungarian_min_cost
+
+
+class TestMinCost:
+    def test_identity_matrix(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assignment, total = hungarian_min_cost(cost)
+        assert assignment == [(0, 0), (1, 1)]
+        assert total == 0.0
+
+    def test_classic_example(self):
+        cost = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+        _, total = hungarian_min_cost(cost)
+        assert total == pytest.approx(5.0)
+
+    def test_rectangular_more_columns(self):
+        cost = np.array([[5.0, 1.0, 9.0], [9.0, 5.0, 1.0]])
+        assignment, total = hungarian_min_cost(cost)
+        assert total == pytest.approx(2.0)
+        assert assignment == [(0, 1), (1, 2)]
+
+    def test_rectangular_more_rows_transposes(self):
+        cost = np.array([[5.0], [1.0]])
+        assignment, total = hungarian_min_cost(cost)
+        assert assignment == [(1, 0)]
+        assert total == pytest.approx(1.0)
+
+    def test_empty(self):
+        assignment, total = hungarian_min_cost(np.zeros((0, 0)))
+        assert assignment == []
+        assert total == 0.0
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            hungarian_min_cost(np.zeros(3))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            hungarian_min_cost(np.array([[np.inf, 1.0], [1.0, 0.0]]))
+
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy(self, rows, cols, seed):
+        scipy_optimize = pytest.importorskip("scipy.optimize")
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(0.0, 10.0, size=(rows, cols))
+        _, ours = hungarian_min_cost(cost)
+        if rows <= cols:
+            r, c = scipy_optimize.linear_sum_assignment(cost)
+        else:
+            c, r = scipy_optimize.linear_sum_assignment(cost.T)
+        theirs = float(cost[r, c].sum())
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_each_row_and_column_used_once(self):
+        rng = np.random.default_rng(3)
+        cost = rng.uniform(0, 1, size=(6, 9))
+        assignment, _ = hungarian_min_cost(cost)
+        rows = [r for r, _ in assignment]
+        cols = [c for _, c in assignment]
+        assert sorted(rows) == list(range(6))
+        assert len(set(cols)) == 6
+
+
+class TestMaxWeight:
+    def test_simple_maximization(self):
+        weights = np.array([[1.0, 5.0], [5.0, 1.0]])
+        assignment, total = hungarian_max_weight(weights)
+        assert total == pytest.approx(10.0)
+        assert assignment == [(0, 1), (1, 0)]
+
+    def test_unmatched_rows_allowed(self):
+        weights = np.array([[-2.0, -3.0], [4.0, 1.0]])
+        assignment, total = hungarian_max_weight(weights)
+        assert assignment == [(1, 0)]
+        assert total == pytest.approx(4.0)
+
+    def test_forbidden_cells_never_selected(self):
+        weights = np.array([[-np.inf, 3.0], [2.0, -np.inf]])
+        assignment, total = hungarian_max_weight(weights)
+        assert assignment == [(0, 1), (1, 0)]
+        assert total == pytest.approx(5.0)
+
+    def test_all_forbidden_yields_empty(self):
+        weights = np.full((2, 2), -np.inf)
+        assignment, total = hungarian_max_weight(weights)
+        assert assignment == []
+        assert total == 0.0
+
+    def test_empty_matrix(self):
+        assignment, total = hungarian_max_weight(np.zeros((0, 3)))
+        assert assignment == []
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_beats_or_matches_greedy(self, rows, cols, seed):
+        from repro.matching.bipartite import greedy_max_weight_matching
+
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.1, 10.0, size=(rows, cols))
+        r, c = np.nonzero(np.ones_like(weights, dtype=bool))
+        _, greedy_total = greedy_max_weight_matching(r, c, weights[r, c])
+        _, optimal_total = hungarian_max_weight(weights)
+        assert optimal_total >= greedy_total - 1e-9

@@ -1,0 +1,65 @@
+"""Tests for repro.model.entities."""
+
+import pytest
+
+from repro.geo.box import Box
+from repro.geo.point import Point
+from repro.model.entities import Task, Worker, mean_velocity
+
+
+class TestWorker:
+    def test_current_worker_gets_degenerate_box(self):
+        worker = Worker(id=1, location=Point(0.2, 0.3), velocity=0.3)
+        assert worker.box.is_degenerate
+        assert worker.box.center == Point(0.2, 0.3)
+        assert worker.is_current
+
+    def test_predicted_worker_keeps_custom_box(self):
+        box = Box(0.1, 0.3, 0.1, 0.3)
+        worker = Worker(
+            id=2, location=Point(0.2, 0.2), velocity=0.3, predicted=True, box=box
+        )
+        assert worker.box == box
+        assert not worker.is_current
+
+    def test_nonpositive_velocity_rejected(self):
+        with pytest.raises(ValueError):
+            Worker(id=3, location=Point(0, 0), velocity=0.0)
+
+    def test_workers_are_frozen(self):
+        worker = Worker(id=4, location=Point(0, 0), velocity=0.1)
+        with pytest.raises(AttributeError):
+            worker.velocity = 0.5
+
+
+class TestTask:
+    def test_current_task_defaults(self):
+        task = Task(id=1, location=Point(0.5, 0.5), deadline=2.0)
+        assert task.is_current
+        assert task.box.is_degenerate
+
+    def test_deadline_before_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Task(id=2, location=Point(0, 0), deadline=0.5, arrival=1.0)
+
+    def test_remaining_time(self):
+        task = Task(id=3, location=Point(0, 0), deadline=3.0, arrival=1.0)
+        assert task.remaining_time(now=2.0) == pytest.approx(1.0)
+        assert task.remaining_time(now=4.0) == pytest.approx(-1.0)
+
+    def test_expiry(self):
+        task = Task(id=4, location=Point(0, 0), deadline=3.0)
+        assert not task.is_expired(3.0)
+        assert task.is_expired(3.1)
+
+
+class TestMeanVelocity:
+    def test_empty_set(self):
+        assert mean_velocity([]) == 0.0
+
+    def test_mean(self):
+        workers = [
+            Worker(id=i, location=Point(0, 0), velocity=v)
+            for i, v in enumerate((0.2, 0.4))
+        ]
+        assert mean_velocity(workers) == pytest.approx(0.3)

@@ -1,0 +1,110 @@
+"""Tests for repro.model.pairs (CandidatePair and PairPool)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.point import Point
+from repro.model.entities import Task, Worker
+from repro.model.pairs import CandidatePair, PairPool
+from repro.uncertainty.values import UncertainValue
+
+
+def small_pool(num=4):
+    z = np.arange(num, dtype=float)
+    return PairPool(
+        worker_idx=np.arange(num),
+        task_idx=np.arange(num)[::-1].copy(),
+        cost_mean=z + 1.0,
+        cost_var=np.zeros(num),
+        cost_lb=z + 1.0,
+        cost_ub=z + 1.0,
+        quality_mean=z * 0.5,
+        quality_var=np.zeros(num),
+        quality_lb=z * 0.5,
+        quality_ub=z * 0.5,
+        existence=np.ones(num),
+        is_current=np.ones(num, dtype=bool),
+    )
+
+
+class TestCandidatePair:
+    def test_is_current(self):
+        worker = Worker(id=1, location=Point(0, 0), velocity=0.2)
+        task = Task(id=2, location=Point(1, 1), deadline=5.0)
+        pair = CandidatePair(
+            worker=worker,
+            task=task,
+            cost=UncertainValue.certain(1.0),
+            quality=UncertainValue.certain(2.0),
+        )
+        assert pair.is_current
+
+    def test_predicted_endpoint_makes_pair_non_current(self):
+        worker = Worker(id=1, location=Point(0, 0), velocity=0.2, predicted=True)
+        task = Task(id=2, location=Point(1, 1), deadline=5.0)
+        pair = CandidatePair(
+            worker=worker,
+            task=task,
+            cost=UncertainValue.certain(1.0),
+            quality=UncertainValue.certain(2.0),
+        )
+        assert not pair.is_current
+
+
+class TestPairPool:
+    def test_len(self):
+        assert len(small_pool(5)) == 5
+
+    def test_empty(self):
+        pool = PairPool.empty()
+        assert len(pool) == 0
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PairPool(
+                worker_idx=np.zeros(2, dtype=int),
+                task_idx=np.zeros(3, dtype=int),
+                cost_mean=np.zeros(2),
+                cost_var=np.zeros(2),
+                cost_lb=np.zeros(2),
+                cost_ub=np.zeros(2),
+                quality_mean=np.zeros(2),
+                quality_var=np.zeros(2),
+                quality_lb=np.zeros(2),
+                quality_ub=np.zeros(2),
+                existence=np.zeros(2),
+                is_current=np.zeros(2, dtype=bool),
+            )
+
+    def test_subset_by_mask(self):
+        pool = small_pool(4)
+        sub = pool.subset(pool.cost_mean > 2.0)
+        assert len(sub) == 2
+        np.testing.assert_array_equal(sub.cost_mean, [3.0, 4.0])
+
+    def test_subset_by_indices(self):
+        pool = small_pool(4)
+        sub = pool.subset(np.array([0, 3]))
+        np.testing.assert_array_equal(sub.worker_idx, [0, 3])
+
+    def test_concatenate(self):
+        merged = PairPool.concatenate([small_pool(2), small_pool(3)])
+        assert len(merged) == 5
+
+    def test_concatenate_with_empty(self):
+        merged = PairPool.concatenate([PairPool.empty(), small_pool(2)])
+        assert len(merged) == 2
+
+    def test_concatenate_nothing(self):
+        assert len(PairPool.concatenate([])) == 0
+
+    def test_cost_value_roundtrip(self):
+        pool = small_pool(3)
+        value = pool.cost_value(1)
+        assert value.mean == 2.0
+        assert value.is_certain
+
+    def test_quality_value_roundtrip(self):
+        pool = small_pool(3)
+        value = pool.quality_value(2)
+        assert value.mean == 1.0

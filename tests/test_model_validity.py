@@ -1,0 +1,68 @@
+"""Tests for repro.model.validity (pair reachability)."""
+
+import pytest
+
+from repro.geo.box import Box
+from repro.geo.point import Point
+from repro.model.entities import Task, Worker
+from repro.model.validity import can_reach, latest_feasible_distance
+
+
+def worker_at(x, y, velocity=0.5, arrival=0.0, predicted=False, box=None):
+    return Worker(
+        id=1, location=Point(x, y), velocity=velocity, arrival=arrival,
+        predicted=predicted, box=box,
+    )
+
+
+def task_at(x, y, deadline, arrival=0.0, predicted=False, box=None):
+    return Task(
+        id=2, location=Point(x, y), deadline=deadline, arrival=arrival,
+        predicted=predicted, box=box,
+    )
+
+
+class TestLatestFeasibleDistance:
+    def test_budget_distance(self):
+        worker = worker_at(0, 0, velocity=0.5)
+        task = task_at(1, 0, deadline=2.0)
+        assert latest_feasible_distance(worker, task, now=0.0) == pytest.approx(1.0)
+
+    def test_expired_horizon_negative(self):
+        worker = worker_at(0, 0)
+        task = task_at(1, 0, deadline=1.0)
+        assert latest_feasible_distance(worker, task, now=2.0) == -1.0
+
+    def test_departure_waits_for_late_arrival(self):
+        """A predicted entity cannot travel before it joins."""
+        worker = worker_at(0, 0, velocity=0.5, arrival=1.0, predicted=True)
+        task = task_at(1, 0, deadline=2.0)
+        # Departure at t=1, horizon 1, budget distance 0.5.
+        assert latest_feasible_distance(worker, task, now=0.0) == pytest.approx(0.5)
+
+
+class TestCanReach:
+    def test_reachable(self):
+        assert can_reach(worker_at(0, 0, velocity=0.5), task_at(0.6, 0, 2.0), now=0.0)
+
+    def test_too_far(self):
+        assert not can_reach(worker_at(0, 0, velocity=0.1), task_at(0.9, 0, 2.0), now=0.0)
+
+    def test_boundary_exactly_reachable(self):
+        assert can_reach(worker_at(0, 0, velocity=0.5), task_at(1.0, 0, 2.0), now=0.0)
+
+    def test_expired_task(self):
+        assert not can_reach(worker_at(0, 0), task_at(0.0, 0.01, 1.0), now=1.5)
+
+    def test_predicted_uses_optimistic_box_distance(self):
+        box = Box(0.4, 0.8, 0.0, 0.0)
+        worker = worker_at(0.6, 0.0, velocity=0.25, arrival=1.0, predicted=True, box=box)
+        task = task_at(0.3, 0.0, deadline=2.0)
+        # Min box distance = 0.1 (from x=0.4); center distance would be 0.3.
+        # Horizon after departure at t=1 is 1 -> budget distance 0.25.
+        assert can_reach(worker, task, now=0.0)
+
+    def test_zero_horizon_is_invalid(self):
+        worker = worker_at(0, 0)
+        task = task_at(0.0, 0.0, deadline=0.0)
+        assert not can_reach(worker, task, now=0.0)

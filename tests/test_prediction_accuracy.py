@@ -1,0 +1,46 @@
+"""Tests for repro.prediction.accuracy (the Fig. 10 metric)."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.accuracy import average_relative_error, relative_errors
+
+
+class TestRelativeErrors:
+    def test_perfect_prediction(self):
+        actual = np.array([3.0, 0.0, 7.0])
+        np.testing.assert_allclose(relative_errors(actual, actual), 0.0)
+
+    def test_known_errors(self):
+        estimated = np.array([4.0, 2.0])
+        actual = np.array([5.0, 4.0])
+        np.testing.assert_allclose(relative_errors(estimated, actual), [0.2, 0.5])
+
+    def test_zero_actual_uses_unit_denominator(self):
+        errors = relative_errors(np.array([3.0]), np.array([0.0]))
+        assert errors[0] == pytest.approx(3.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.zeros(2), np.zeros(3))
+
+    def test_negative_actual_rejected(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.zeros(1), np.array([-1.0]))
+
+
+class TestAverageRelativeError:
+    def test_average(self):
+        estimated = np.array([4.0, 2.0])
+        actual = np.array([5.0, 4.0])
+        assert average_relative_error(estimated, actual) == pytest.approx(0.35)
+
+    def test_empty_cells_dilute_average(self):
+        """Cells with est = act = 0 contribute zero error (paper metric)."""
+        estimated = np.array([4.0, 0.0, 0.0, 0.0])
+        actual = np.array([5.0, 0.0, 0.0, 0.0])
+        assert average_relative_error(estimated, actual) == pytest.approx(0.05)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            average_relative_error(np.zeros(0), np.zeros(0))

@@ -1,0 +1,47 @@
+"""Tests for repro.prediction.gamma."""
+
+import pytest
+
+from repro.prediction.gamma import best_gamma
+
+
+class TestBestGamma:
+    def test_paper_scale_lands_near_paper_grid(self):
+        """~333 arrivals/instance with hotspot coverage gives a grid in
+        the paper's ballpark (gamma = 20, i.e. 400 cells)."""
+        gamma = best_gamma(333, target_per_cell=2.0, coverage=0.4)
+        assert 15 <= gamma <= 25
+
+    def test_sparser_streams_get_coarser_grids(self):
+        dense = best_gamma(1000)
+        sparse = best_gamma(30)
+        assert sparse < dense
+
+    def test_higher_target_coarsens(self):
+        assert best_gamma(200, target_per_cell=8.0) < best_gamma(200, target_per_cell=1.0)
+
+    def test_concentration_affords_finer_grids(self):
+        """Concentrated data packs more entities into each active cell,
+        so the target per-cell count is met at a finer resolution."""
+        assert best_gamma(200, coverage=0.1) > best_gamma(200, coverage=1.0)
+
+    def test_clamping(self):
+        assert best_gamma(1e9) == 40
+        assert best_gamma(0.0) == 2
+        assert best_gamma(1e9, max_gamma=12) == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            best_gamma(-1.0)
+        with pytest.raises(ValueError):
+            best_gamma(10.0, target_per_cell=0.0)
+        with pytest.raises(ValueError):
+            best_gamma(10.0, coverage=1.5)
+        with pytest.raises(ValueError):
+            best_gamma(10.0, min_gamma=5, max_gamma=3)
+
+    def test_scaling_law(self):
+        """gamma ~ sqrt(N): 4x the entities, 2x the resolution."""
+        base = best_gamma(100, min_gamma=1, max_gamma=1000)
+        scaled = best_gamma(400, min_gamma=1, max_gamma=1000)
+        assert scaled == pytest.approx(2 * base, abs=1)

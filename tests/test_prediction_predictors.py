@@ -1,0 +1,80 @@
+"""Tests for repro.prediction.predictors."""
+
+import pytest
+
+from repro.prediction.predictors import (
+    CountPredictor,
+    ExponentialSmoothingPredictor,
+    LastValuePredictor,
+    LinearRegressionPredictor,
+    MeanPredictor,
+    make_predictor,
+)
+
+
+class TestPredictors:
+    def test_linear_regression_predictor(self):
+        assert LinearRegressionPredictor().predict([1.0, 2.0, 3.0]) == pytest.approx(4.0)
+
+    def test_mean_predictor(self):
+        assert MeanPredictor().predict([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_last_value_predictor(self):
+        assert LastValuePredictor().predict([1.0, 9.0, 5.0]) == 5.0
+
+    def test_exponential_smoothing_alpha_one_is_last_value(self):
+        p = ExponentialSmoothingPredictor(alpha=1.0)
+        assert p.predict([1.0, 2.0, 7.0]) == 7.0
+
+    def test_exponential_smoothing_known_value(self):
+        p = ExponentialSmoothingPredictor(alpha=0.5)
+        # level: 2 -> 0.5*4+0.5*2=3 -> 0.5*8+0.5*3=5.5
+        assert p.predict([2.0, 4.0, 8.0]) == pytest.approx(5.5)
+
+    def test_exponential_smoothing_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoothingPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            ExponentialSmoothingPredictor(alpha=1.5)
+
+    @pytest.mark.parametrize(
+        "predictor",
+        [MeanPredictor(), LastValuePredictor(), ExponentialSmoothingPredictor()],
+    )
+    def test_empty_history_rejected(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.predict([])
+
+    @pytest.mark.parametrize(
+        "predictor",
+        [
+            LinearRegressionPredictor(),
+            MeanPredictor(),
+            LastValuePredictor(),
+            ExponentialSmoothingPredictor(),
+        ],
+    )
+    def test_all_satisfy_protocol(self, predictor):
+        assert isinstance(predictor, CountPredictor)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("linear", LinearRegressionPredictor),
+            ("mean", MeanPredictor),
+            ("last", LastValuePredictor),
+            ("exponential", ExponentialSmoothingPredictor),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_predictor(name), cls)
+
+    def test_factory_kwargs(self):
+        predictor = make_predictor("exponential", alpha=0.3)
+        assert predictor.alpha == 0.3
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown predictor"):
+            make_predictor("oracle")

@@ -1,0 +1,73 @@
+"""Tests for repro.prediction.regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.prediction.regression import fit_line, predict_next_linear
+
+counts = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=8
+)
+
+
+class TestFitLine:
+    def test_exact_line_recovered(self):
+        slope, intercept = fit_line([3.0, 5.0, 7.0])  # y = 2x + 1
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_constant_series(self):
+        slope, intercept = fit_line([4.0, 4.0, 4.0, 4.0])
+        assert slope == pytest.approx(0.0)
+        assert intercept == pytest.approx(4.0)
+
+    def test_single_observation(self):
+        slope, intercept = fit_line([7.0])
+        assert slope == 0.0
+        assert intercept == 7.0
+
+    def test_two_points(self):
+        slope, intercept = fit_line([1.0, 3.0])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(-1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_line([])
+
+    def test_matches_numpy_polyfit(self):
+        rng = np.random.default_rng(1)
+        ys = rng.uniform(0, 10, size=6)
+        xs = np.arange(1, 7)
+        expected_slope, expected_intercept = np.polyfit(xs, ys, 1)
+        slope, intercept = fit_line(ys.tolist())
+        assert slope == pytest.approx(float(expected_slope))
+        assert intercept == pytest.approx(float(expected_intercept))
+
+
+class TestPredictNext:
+    def test_linear_trend_extrapolated(self):
+        assert predict_next_linear([2.0, 4.0, 6.0]) == pytest.approx(8.0)
+
+    def test_falling_trend_can_go_negative(self):
+        assert predict_next_linear([4.0, 2.0, 0.0]) == pytest.approx(-2.0)
+
+    def test_single_value_persists(self):
+        assert predict_next_linear([5.0]) == pytest.approx(5.0)
+
+    def test_paper_example_cells(self):
+        """Table III: [4, 3, 4] -> 4 and [1, 1, 1] -> 1 (after rounding)."""
+        assert round(predict_next_linear([4.0, 3.0, 4.0])) == 4
+        assert round(predict_next_linear([2.0, 3.0, 3.0])) == pytest.approx(4)  # LR gives 3.67
+        assert round(predict_next_linear([0.0, 1.0, 0.0])) == 0
+        assert round(predict_next_linear([1.0, 1.0, 1.0])) == 1
+
+    @given(counts)
+    def test_prediction_is_finite(self, ys):
+        assert np.isfinite(predict_next_linear(ys))
+
+    @given(st.floats(min_value=0, max_value=100), st.integers(min_value=1, max_value=8))
+    def test_constant_history_predicts_constant(self, value, length):
+        assert predict_next_linear([value] * length) == pytest.approx(value, abs=1e-6)

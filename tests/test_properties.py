@@ -1,0 +1,133 @@
+"""Cross-module property-based tests (hypothesis).
+
+These exercise randomized problem instances end to end and assert the
+structural invariants every MQA assigner must uphold:
+
+- matching validity (no worker/task reuse);
+- the hard per-instance budget (Definition 4, constraint 2);
+- only current pairs materialize (Fig. 5 line 14);
+- monotonicity and dominance sanity of the selection machinery.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.divide_conquer import MQADivideConquer
+from repro.core.greedy import MQAGreedy
+from repro.core.random_assign import RandomAssigner
+
+from conftest import make_problem
+
+RNG = np.random.default_rng(0)
+
+problem_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "num_workers": st.integers(min_value=0, max_value=14),
+        "num_tasks": st.integers(min_value=0, max_value=12),
+        "num_predicted_workers": st.integers(min_value=0, max_value=5),
+        "num_predicted_tasks": st.integers(min_value=0, max_value=5),
+    }
+)
+budgets = st.floats(min_value=0.0, max_value=40.0)
+
+COMMON = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(params=problem_params, budget=budgets)
+@settings(**COMMON)
+def test_greedy_invariants(params, budget):
+    problem = make_problem(**params)
+    result = MQAGreedy().assign(problem, budget, budget, RNG)
+    workers = [p.worker.id for p in result.pairs]
+    tasks = [p.task.id for p in result.pairs]
+    assert len(set(workers)) == len(workers)
+    assert len(set(tasks)) == len(tasks)
+    assert result.total_cost <= budget + 1e-6
+    assert all(p.is_current for p in result.pairs)
+
+
+@given(params=problem_params, budget=budgets)
+@settings(**COMMON)
+def test_divide_conquer_invariants(params, budget):
+    problem = make_problem(**params)
+    result = MQADivideConquer().assign(problem, budget, budget, RNG)
+    workers = [p.worker.id for p in result.pairs]
+    tasks = [p.task.id for p in result.pairs]
+    assert len(set(workers)) == len(workers)
+    assert len(set(tasks)) == len(tasks)
+    assert result.total_cost <= budget + 1e-6
+    assert all(p.is_current for p in result.pairs)
+
+
+@given(params=problem_params, budget=budgets, seed=st.integers(0, 100))
+@settings(**COMMON)
+def test_random_invariants(params, budget, seed):
+    problem = make_problem(**params)
+    rng = np.random.default_rng(seed)
+    result = RandomAssigner().assign(problem, budget, budget, rng)
+    workers = [p.worker.id for p in result.pairs]
+    assert len(set(workers)) == len(workers)
+    assert result.total_cost <= budget + 1e-6
+    assert all(p.is_current for p in result.pairs)
+
+
+@given(params=problem_params)
+@settings(**COMMON)
+def test_pool_construction_invariants(params):
+    problem = make_problem(**params)
+    pool = problem.pool
+    assert (pool.cost_lb <= pool.cost_mean + 1e-9).all()
+    assert (pool.cost_mean <= pool.cost_ub + 1e-9).all()
+    assert (pool.quality_lb <= pool.quality_mean + 1e-9).all()
+    assert (pool.quality_mean <= pool.quality_ub + 1e-9).all()
+    assert (pool.cost_var >= 0.0).all()
+    assert (pool.quality_var >= 0.0).all()
+    assert ((pool.existence >= 0.0) & (pool.existence <= 1.0)).all()
+    # Index ranges are valid.
+    assert (pool.worker_idx >= 0).all()
+    assert (pool.task_idx >= 0).all()
+    if len(pool):
+        assert pool.worker_idx.max() < len(problem.workers)
+        assert pool.task_idx.max() < len(problem.tasks)
+    # Current flags match entity flags.
+    for row in range(len(pool)):
+        worker = problem.workers[int(pool.worker_idx[row])]
+        task = problem.tasks[int(pool.task_idx[row])]
+        assert pool.is_current[row] == (worker.is_current and task.is_current)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    budget_small=st.floats(min_value=0.5, max_value=5.0),
+    extra=st.floats(min_value=0.5, max_value=30.0),
+)
+@settings(**COMMON)
+def test_greedy_budget_near_monotonicity(seed, budget_small, extra):
+    """Greedy is not strictly monotone in budget (extra budget can lure
+    it into an expensive max-quality pair that crowds out two cheaper
+    ones), but it must never collapse: a larger budget retains at least
+    half the smaller budget's quality.
+    """
+    problem = make_problem(seed=seed, num_workers=8, num_tasks=8)
+    low = MQAGreedy().assign(problem, budget_small, 0.0, RNG)
+    high = MQAGreedy().assign(problem, budget_small + extra, 0.0, RNG)
+    assert high.total_quality >= 0.5 * low.total_quality - 1e-9
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(**COMMON)
+def test_greedy_never_beats_exact(seed):
+    from repro.core.exact import exact_assignment
+
+    problem = make_problem(seed=seed, num_workers=5, num_tasks=4)
+    budget = 5.0
+    result = MQAGreedy().assign(problem, budget, 0.0, RNG)
+    _, optimum = exact_assignment(problem, budget)
+    assert result.total_quality <= optimum + 1e-9

@@ -1,0 +1,62 @@
+"""The public API surface: everything README promises is importable."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_core_entry_points(self):
+        assert callable(repro.MQAGreedy)
+        assert callable(repro.MQADivideConquer)
+        assert callable(repro.RandomAssigner)
+        assert callable(repro.HungarianAssigner)
+        assert callable(repro.exact_assignment)
+
+    def test_simulation_entry_points(self):
+        assert callable(repro.SimulationEngine)
+        assert callable(repro.EngineConfig)
+
+    def test_workload_entry_points(self):
+        assert callable(repro.SyntheticWorkload)
+        assert callable(repro.RealWorkload)
+        assert callable(repro.WorkloadParams)
+
+    def test_cli_module_importable(self):
+        from repro.cli import main
+
+        assert callable(main)
+
+    def test_experiments_registry_complete(self):
+        from repro.experiments import FIGURES
+
+        expected = {
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+            "fig18_19", "fig20", "fig21", "fig22", "fig23", "fig24",
+            "fig25", "fig26", "fig27",
+        }
+        assert set(FIGURES) == expected
+
+    def test_result_serialization(self):
+        from repro.simulation.metrics import InstanceMetrics, SimulationResult
+
+        result = SimulationResult(
+            instances=[
+                InstanceMetrics(
+                    instance=0, quality=1.0, cost=2.0, assigned=1,
+                    num_workers=3, num_tasks=3, num_predicted_workers=0,
+                    num_predicted_tasks=0, num_pairs=5, cpu_seconds=0.1,
+                )
+            ]
+        )
+        rows = result.to_rows()
+        assert rows[0]["quality"] == 1.0
+        assert result.average_quality_per_assignment == 1.0
+        assert result.average_cost_per_assignment == 2.0
+        assert result.budget_utilization_for(4.0) == 0.5
+        assert 0.0 <= result.task_completion_rate <= 1.0

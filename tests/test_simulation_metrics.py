@@ -1,0 +1,57 @@
+"""Tests for repro.simulation.metrics."""
+
+import pytest
+
+from repro.simulation.metrics import InstanceMetrics, SimulationResult
+
+
+def metrics(instance, quality=1.0, cost=2.0, assigned=1, cpu=0.1,
+            worker_error=None, task_error=None):
+    return InstanceMetrics(
+        instance=instance,
+        quality=quality,
+        cost=cost,
+        assigned=assigned,
+        num_workers=10,
+        num_tasks=10,
+        num_predicted_workers=0,
+        num_predicted_tasks=0,
+        num_pairs=50,
+        cpu_seconds=cpu,
+        worker_prediction_error=worker_error,
+        task_prediction_error=task_error,
+    )
+
+
+class TestSimulationResult:
+    def test_totals(self):
+        result = SimulationResult(
+            instances=[metrics(0, quality=2.0, cost=1.0), metrics(1, quality=3.0, cost=2.0)]
+        )
+        assert result.total_quality == pytest.approx(5.0)
+        assert result.total_cost == pytest.approx(3.0)
+        assert result.total_assigned == 2
+
+    def test_average_cpu(self):
+        result = SimulationResult(
+            instances=[metrics(0, cpu=0.1), metrics(1, cpu=0.3)]
+        )
+        assert result.average_cpu_seconds == pytest.approx(0.2)
+
+    def test_empty_result(self):
+        result = SimulationResult()
+        assert result.total_quality == 0.0
+        assert result.average_cpu_seconds == 0.0
+        assert result.average_worker_prediction_error is None
+        assert result.average_task_prediction_error is None
+
+    def test_prediction_errors_skip_missing(self):
+        result = SimulationResult(
+            instances=[
+                metrics(0),
+                metrics(1, worker_error=0.2, task_error=0.4),
+                metrics(2, worker_error=0.4, task_error=0.2),
+            ]
+        )
+        assert result.average_worker_prediction_error == pytest.approx(0.3)
+        assert result.average_task_prediction_error == pytest.approx(0.3)

@@ -1,0 +1,82 @@
+"""Hypothesis property tests over the full simulation engine.
+
+Randomized workload/engine configurations through the entire stack,
+checked against the audit-trail invariants.  Sizes are kept small so
+the suite stays fast; breadth comes from hypothesis' exploration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.greedy import MQAGreedy
+from repro.simulation.engine import EngineConfig, SimulationEngine
+from repro.workloads.base import WorkloadParams
+from repro.workloads.synthetic import SyntheticWorkload
+
+engine_cases = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "num_workers": st.integers(min_value=0, max_value=60),
+        "num_tasks": st.integers(min_value=0, max_value=60),
+        "num_instances": st.integers(min_value=1, max_value=5),
+        "budget": st.floats(min_value=0.0, max_value=30.0),
+        "use_prediction": st.booleans(),
+        "deadline_low": st.floats(min_value=0.3, max_value=1.5),
+        "deadline_span": st.floats(min_value=0.1, max_value=1.5),
+    }
+)
+
+
+@given(case=engine_cases)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_engine_run_invariants(case):
+    params = WorkloadParams(
+        num_workers=case["num_workers"],
+        num_tasks=case["num_tasks"],
+        num_instances=case["num_instances"],
+        deadline_range=(
+            case["deadline_low"],
+            case["deadline_low"] + case["deadline_span"],
+        ),
+    )
+    workload = SyntheticWorkload(params, seed=case["seed"])
+    engine = SimulationEngine(
+        workload,
+        MQAGreedy(),
+        EngineConfig(
+            budget=case["budget"],
+            grid_gamma=4,
+            use_prediction=case["use_prediction"],
+        ),
+        seed=case["seed"],
+    )
+    result = engine.run()
+
+    # Structure.
+    assert len(result.instances) == case["num_instances"]
+    assert len(result.assignments) == result.total_assigned
+
+    # Per-instance budget (Definition 4, constraint 2).
+    for metrics in result.instances:
+        assert metrics.cost <= case["budget"] + 1e-6
+        assert metrics.assigned <= min(metrics.num_workers, metrics.num_tasks)
+
+    # Audit: no task served twice, no worker double-booked.
+    task_ids = [a.task_id for a in result.assignments]
+    worker_ids = [a.worker_id for a in result.assignments]
+    assert len(set(task_ids)) == len(task_ids)
+    assert len(set(worker_ids)) == len(worker_ids)
+
+    # Totals tie out.
+    assert result.total_quality == pytest.approx(
+        sum(m.quality for m in result.instances)
+    )
+    assert result.total_cost == pytest.approx(
+        sum(m.cost for m in result.instances)
+    )

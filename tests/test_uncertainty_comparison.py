@@ -1,0 +1,98 @@
+"""Tests for repro.uncertainty.comparison (Eqs. 7-9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uncertainty.comparison import (
+    prob_greater,
+    prob_less_or_equal,
+    prob_within_budget,
+)
+from repro.uncertainty.values import UncertainValue
+
+
+def uv(mean, var=0.0, spread=3.0):
+    return UncertainValue(mean=mean, variance=var, lower=mean - spread, upper=mean + spread)
+
+
+class TestProbGreater:
+    def test_deterministic_strict(self):
+        assert prob_greater(uv(2.0), uv(1.0)) == 1.0
+        assert prob_greater(uv(1.0), uv(2.0)) == 0.0
+
+    def test_deterministic_tie_is_half(self):
+        assert prob_greater(uv(1.0), uv(1.0)) == 0.5
+
+    def test_equal_means_with_variance(self):
+        assert prob_greater(uv(1.0, 0.5), uv(1.0, 0.5)) == pytest.approx(0.5)
+
+    def test_higher_mean_wins_more_often(self):
+        assert prob_greater(uv(2.0, 0.5), uv(1.0, 0.5)) > 0.5
+
+    def test_complement(self):
+        p = prob_greater(uv(1.3, 0.2), uv(1.7, 0.4))
+        q = prob_greater(uv(1.7, 0.4), uv(1.3, 0.2))
+        assert p + q == pytest.approx(1.0)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(5)
+        a_mean, a_var = 1.5, 0.3
+        b_mean, b_var = 1.2, 0.5
+        a = rng.normal(a_mean, a_var**0.5, 300_000)
+        b = rng.normal(b_mean, b_var**0.5, 300_000)
+        empirical = float((a > b).mean())
+        assert prob_greater(uv(a_mean, a_var), uv(b_mean, b_var)) == pytest.approx(
+            empirical, abs=5e-3
+        )
+
+    @given(
+        st.floats(min_value=-3, max_value=3),
+        st.floats(min_value=0, max_value=2),
+        st.floats(min_value=-3, max_value=3),
+        st.floats(min_value=0, max_value=2),
+    )
+    def test_in_unit_interval(self, ma, va, mb, vb):
+        p = prob_greater(uv(ma, va, spread=10.0), uv(mb, vb, spread=10.0))
+        assert 0.0 <= p <= 1.0
+
+
+class TestProbLessOrEqual:
+    def test_deterministic(self):
+        assert prob_less_or_equal(uv(1.0), uv(2.0)) == 1.0
+        assert prob_less_or_equal(uv(2.0), uv(1.0)) == 0.0
+
+    def test_tie_is_half(self):
+        assert prob_less_or_equal(uv(1.0), uv(1.0)) == 0.5
+
+    def test_consistency_with_prob_greater(self):
+        a, b = uv(1.4, 0.3), uv(1.6, 0.2)
+        assert prob_less_or_equal(a, b) == pytest.approx(1.0 - prob_greater(a, b))
+
+
+class TestProbWithinBudget:
+    def test_deterministic_fit(self):
+        assert prob_within_budget(5.0, UncertainValue.certain(3.0), 10.0) == 1.0
+
+    def test_deterministic_overflow(self):
+        assert prob_within_budget(8.0, UncertainValue.certain(3.0), 10.0) == 0.0
+
+    def test_stochastic_half_at_boundary(self):
+        cost = UncertainValue(mean=2.0, variance=0.5, lower=0.0, upper=4.0)
+        assert prob_within_budget(8.0, cost, 10.0) == pytest.approx(0.5)
+
+    def test_generous_budget_near_one(self):
+        cost = UncertainValue(mean=1.0, variance=0.1, lower=0.0, upper=2.0)
+        assert prob_within_budget(0.0, cost, 100.0) > 0.999
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(9)
+        cost_mean, cost_var = 3.0, 1.2
+        samples = rng.normal(cost_mean, cost_var**0.5, 300_000)
+        budget, spent = 10.0, 6.0
+        empirical = float((spent + samples <= budget).mean())
+        cost = UncertainValue(cost_mean, cost_var, cost_mean - 10, cost_mean + 10)
+        assert prob_within_budget(spent, cost, budget) == pytest.approx(
+            empirical, abs=5e-3
+        )

@@ -1,0 +1,152 @@
+"""Tests for repro.uncertainty.moments (Eqs. 2-5 of the paper)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.box import Box
+from repro.geo.point import Point
+from repro.uncertainty.moments import (
+    distance_value,
+    squared_distance_moments,
+    uniform_mean,
+    uniform_raw_moment,
+    uniform_variance,
+)
+
+interval = st.tuples(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+).map(lambda ab: (min(ab), max(ab)))
+
+
+class TestUniformRawMoments:
+    def test_degenerate_interval(self):
+        assert uniform_raw_moment(0.5, 0.5, 3) == pytest.approx(0.125)
+
+    def test_first_moment_is_midpoint(self):
+        assert uniform_raw_moment(0.0, 1.0, 1) == pytest.approx(0.5)
+        assert uniform_raw_moment(2.0, 4.0, 1) == pytest.approx(3.0)
+
+    def test_second_moment_standard_uniform(self):
+        assert uniform_raw_moment(0.0, 1.0, 2) == pytest.approx(1.0 / 3.0)
+
+    def test_fourth_moment_standard_uniform(self):
+        assert uniform_raw_moment(0.0, 1.0, 4) == pytest.approx(0.2)
+
+    def test_zeroth_moment_is_one(self):
+        assert uniform_raw_moment(0.3, 0.9, 0) == pytest.approx(1.0)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_raw_moment(0.0, 1.0, -1)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_raw_moment(1.0, 0.0, 2)
+
+    @given(interval, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=50)
+    def test_against_monte_carlo(self, bounds, k):
+        lb, ub = bounds
+        rng = np.random.default_rng(12345)
+        samples = rng.uniform(lb, ub, size=200_000) if lb < ub else np.full(1000, lb)
+        empirical = float(np.mean(samples**k))
+        assert uniform_raw_moment(lb, ub, k) == pytest.approx(empirical, abs=2e-2)
+
+    def test_mean_and_variance_helpers(self):
+        assert uniform_mean(0.2, 0.8) == pytest.approx(0.5)
+        assert uniform_variance(0.0, 1.0) == pytest.approx(1.0 / 12.0)
+        assert uniform_variance(0.5, 0.5) == 0.0
+
+
+class TestSquaredDistanceMoments:
+    def test_two_points(self):
+        a = Box.from_point(Point(0.0, 0.0))
+        b = Box.from_point(Point(0.3, 0.4))
+        mean, variance = squared_distance_moments(a, b)
+        assert mean == pytest.approx(0.25)
+        assert variance == pytest.approx(0.0, abs=1e-12)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(7)
+        a = Box(0.1, 0.3, 0.2, 0.5)
+        b = Box(0.6, 0.9, 0.1, 0.2)
+        n = 400_000
+        ax = rng.uniform(a.x_lo, a.x_hi, n)
+        ay = rng.uniform(a.y_lo, a.y_hi, n)
+        bx = rng.uniform(b.x_lo, b.x_hi, n)
+        by = rng.uniform(b.y_lo, b.y_hi, n)
+        z_sq = (ax - bx) ** 2 + (ay - by) ** 2
+        mean, variance = squared_distance_moments(a, b)
+        assert mean == pytest.approx(float(z_sq.mean()), rel=1e-2)
+        assert variance == pytest.approx(float(z_sq.var()), rel=5e-2)
+
+    def test_point_vs_box_monte_carlo(self):
+        rng = np.random.default_rng(11)
+        a = Box.from_point(Point(0.2, 0.2))
+        b = Box(0.5, 0.8, 0.5, 0.9)
+        n = 400_000
+        bx = rng.uniform(b.x_lo, b.x_hi, n)
+        by = rng.uniform(b.y_lo, b.y_hi, n)
+        z_sq = (0.2 - bx) ** 2 + (0.2 - by) ** 2
+        mean, variance = squared_distance_moments(a, b)
+        assert mean == pytest.approx(float(z_sq.mean()), rel=1e-2)
+        assert variance == pytest.approx(float(z_sq.var()), rel=5e-2)
+
+    def test_symmetry(self):
+        a = Box(0.1, 0.4, 0.1, 0.4)
+        b = Box(0.5, 0.7, 0.6, 0.9)
+        assert squared_distance_moments(a, b) == pytest.approx(
+            squared_distance_moments(b, a)
+        )
+
+    def test_identical_points_zero(self):
+        a = Box.from_point(Point(0.5, 0.5))
+        mean, variance = squared_distance_moments(a, a)
+        assert mean == 0.0
+        assert variance == 0.0
+
+
+class TestDistanceValue:
+    def test_point_pair_is_certain(self):
+        a = Box.from_point(Point(0.0, 0.0))
+        b = Box.from_point(Point(0.6, 0.8))
+        v = distance_value(a, b)
+        assert v.is_certain
+        assert v.mean == pytest.approx(1.0)
+
+    def test_bounds_are_exact_box_distances(self):
+        a = Box(0.0, 0.1, 0.0, 0.1)
+        b = Box(0.5, 0.6, 0.0, 0.1)
+        v = distance_value(a, b)
+        assert v.lower == pytest.approx(0.4)
+        assert v.upper == pytest.approx((0.6**2 + 0.1**2) ** 0.5)
+
+    def test_delta_method_mean_close_to_monte_carlo(self):
+        rng = np.random.default_rng(23)
+        a = Box(0.1, 0.3, 0.1, 0.3)
+        b = Box(0.6, 0.9, 0.5, 0.8)
+        n = 400_000
+        ax = rng.uniform(a.x_lo, a.x_hi, n)
+        ay = rng.uniform(a.y_lo, a.y_hi, n)
+        bx = rng.uniform(b.x_lo, b.x_hi, n)
+        by = rng.uniform(b.y_lo, b.y_hi, n)
+        distances = np.hypot(ax - bx, ay - by)
+        v = distance_value(a, b)
+        # sqrt(E[Z^2]) >= E[Z] (Jensen); the delta method stays close.
+        assert v.mean == pytest.approx(float(distances.mean()), rel=5e-2)
+        assert v.variance == pytest.approx(float(distances.var()), rel=0.3)
+
+    def test_same_point_distance_zero(self):
+        a = Box.from_point(Point(0.4, 0.4))
+        v = distance_value(a, a)
+        assert v.is_certain
+        assert v.mean == 0.0
+
+    def test_mean_clamped_within_bounds(self):
+        a = Box(0.0, 0.5, 0.0, 0.5)
+        b = Box(0.0, 0.5, 0.0, 0.5)
+        v = distance_value(a, b)
+        assert v.lower <= v.mean <= v.upper

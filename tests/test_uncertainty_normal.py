@@ -1,0 +1,62 @@
+"""Tests for repro.uncertainty.normal."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uncertainty.normal import (
+    erf_approx,
+    standard_normal_cdf,
+    standard_normal_cdf_approx,
+)
+
+z_values = st.floats(min_value=-8.0, max_value=8.0, allow_nan=False)
+
+
+class TestErfApprox:
+    @given(z_values)
+    def test_matches_math_erf(self, x):
+        assert erf_approx(x) == pytest.approx(math.erf(x), abs=2e-7)
+
+    @given(z_values)
+    def test_odd_symmetry(self, x):
+        # The rational approximation has ~1e-9 residue at the origin.
+        assert erf_approx(-x) == pytest.approx(-erf_approx(x), abs=1e-8)
+
+    def test_limits(self):
+        assert erf_approx(10.0) == pytest.approx(1.0, abs=1e-7)
+        assert erf_approx(-10.0) == pytest.approx(-1.0, abs=1e-7)
+        assert erf_approx(0.0) == pytest.approx(0.0, abs=1e-8)
+
+
+class TestStandardNormalCdf:
+    def test_median(self):
+        assert standard_normal_cdf(0.0) == pytest.approx(0.5)
+
+    def test_known_quantiles(self):
+        assert standard_normal_cdf(1.0) == pytest.approx(0.8413447, abs=1e-6)
+        assert standard_normal_cdf(-1.96) == pytest.approx(0.0249979, abs=1e-6)
+        assert standard_normal_cdf(2.575829) == pytest.approx(0.995, abs=1e-5)
+
+    @given(z_values)
+    def test_monotone(self, z):
+        assert standard_normal_cdf(z) <= standard_normal_cdf(z + 0.1) + 1e-12
+
+    @given(z_values)
+    def test_complement_symmetry(self, z):
+        assert standard_normal_cdf(z) + standard_normal_cdf(-z) == pytest.approx(1.0)
+
+    @given(z_values)
+    def test_approx_agrees_with_exact(self, z):
+        assert standard_normal_cdf_approx(z) == pytest.approx(
+            standard_normal_cdf(z), abs=2e-7
+        )
+
+    def test_scipy_cross_check(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for z in (-3.2, -0.7, 0.0, 0.9, 2.8):
+            assert standard_normal_cdf(z) == pytest.approx(
+                float(scipy_stats.norm.cdf(z)), abs=1e-12
+            )

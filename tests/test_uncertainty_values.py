@@ -1,0 +1,148 @@
+"""Tests for repro.uncertainty.values."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uncertainty.values import UncertainValue
+
+finite = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+def uncertain_values():
+    return st.builds(
+        lambda lo, spread, mean_frac, var: UncertainValue(
+            mean=lo + mean_frac * spread,
+            variance=var,
+            lower=lo,
+            upper=lo + spread,
+        ),
+        finite,
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=4.0),
+    )
+
+
+class TestConstruction:
+    def test_certain_value(self):
+        v = UncertainValue.certain(2.5)
+        assert v.is_certain
+        assert v.mean == v.lower == v.upper == 2.5
+        assert v.variance == 0.0
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainValue(mean=0.0, variance=-1.0, lower=-1.0, upper=1.0)
+
+    def test_tiny_negative_variance_clamped(self):
+        v = UncertainValue(mean=0.0, variance=-1e-12, lower=-1.0, upper=1.0)
+        assert v.variance == 0.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainValue(mean=0.5, variance=0.0, lower=1.0, upper=0.0)
+
+    def test_mean_outside_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainValue(mean=5.0, variance=0.1, lower=0.0, upper=1.0)
+
+    def test_std(self):
+        assert UncertainValue(2.0, 4.0, 0.0, 4.0).std == pytest.approx(2.0)
+
+
+class TestFromSamples:
+    def test_single_sample(self):
+        v = UncertainValue.from_samples([3.0])
+        assert v.mean == 3.0
+        assert v.variance == 0.0
+        assert v.lower == v.upper == 3.0
+
+    def test_population_moments(self):
+        v = UncertainValue.from_samples([1.0, 2.0, 3.0])
+        assert v.mean == pytest.approx(2.0)
+        assert v.variance == pytest.approx(2.0 / 3.0)
+        assert (v.lower, v.upper) == (1.0, 3.0)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainValue.from_samples([])
+
+    @given(st.lists(finite, min_size=1, max_size=30))
+    def test_mean_within_bounds(self, samples):
+        v = UncertainValue.from_samples(samples)
+        assert v.lower - 1e-9 <= v.mean <= v.upper + 1e-9
+        assert v.variance >= 0.0
+
+
+class TestArithmetic:
+    def test_scaling(self):
+        v = UncertainValue(2.0, 1.0, 1.0, 3.0).scaled(2.0)
+        assert v.mean == 4.0
+        assert v.variance == 4.0
+        assert (v.lower, v.upper) == (2.0, 6.0)
+
+    def test_scaling_by_zero_collapses(self):
+        v = UncertainValue(2.0, 1.0, 1.0, 3.0).scaled(0.0)
+        assert v.is_certain
+        assert v.mean == 0.0
+
+    def test_negative_scaling_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainValue.certain(1.0).scaled(-1.0)
+
+    def test_shift(self):
+        v = UncertainValue(2.0, 1.0, 1.0, 3.0).shifted(10.0)
+        assert v.mean == 12.0
+        assert v.variance == 1.0
+        assert (v.lower, v.upper) == (11.0, 13.0)
+
+    def test_addition_of_independent_values(self):
+        a = UncertainValue(1.0, 0.5, 0.0, 2.0)
+        b = UncertainValue(2.0, 0.25, 1.0, 3.0)
+        c = a + b
+        assert c.mean == 3.0
+        assert c.variance == 0.75
+        assert (c.lower, c.upper) == (1.0, 5.0)
+
+    @given(uncertain_values(), st.floats(min_value=0.0, max_value=3.0))
+    def test_scaled_preserves_invariants(self, v, k):
+        s = v.scaled(k)
+        assert s.lower - 1e-9 <= s.mean <= s.upper + 1e-9
+        assert s.variance >= 0.0
+
+
+class TestDiscounting:
+    def test_full_probability_is_identity(self):
+        v = UncertainValue(1.5, 0.2, 1.0, 2.0)
+        d = v.discounted(1.0)
+        assert d.mean == pytest.approx(v.mean)
+        assert d.variance == pytest.approx(v.variance)
+        assert (d.lower, d.upper) == (v.lower, v.upper)
+
+    def test_zero_probability_kills_mean(self):
+        d = UncertainValue(1.5, 0.2, 1.0, 2.0).discounted(0.0)
+        assert d.mean == 0.0
+        assert d.variance == 0.0
+
+    def test_bernoulli_variance_formula(self):
+        v = UncertainValue(2.0, 1.0, 0.0, 4.0)
+        p = 0.5
+        d = v.discounted(p)
+        # Var(B X) = p(Var X + E X^2) - (p E X)^2
+        assert d.variance == pytest.approx(p * (1.0 + 4.0) - (p * 2.0) ** 2)
+
+    def test_lower_bound_drops_to_zero(self):
+        d = UncertainValue(1.5, 0.0, 1.5, 1.5).discounted(0.7)
+        assert d.lower == 0.0
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            UncertainValue.certain(1.0).discounted(1.5)
+
+    @given(uncertain_values(), st.floats(min_value=0.0, max_value=1.0))
+    def test_discount_shrinks_positive_mean(self, v, p):
+        if v.mean >= 0.0 and v.lower >= 0.0:
+            d = v.discounted(p)
+            assert d.mean <= v.mean + 1e-9
+            assert d.variance >= 0.0

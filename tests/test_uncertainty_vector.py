@@ -1,0 +1,117 @@
+"""Scalar/vector agreement tests for repro.uncertainty.vector."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.box import Box
+from repro.uncertainty.comparison import prob_greater, prob_less_or_equal
+from repro.uncertainty.moments import distance_value, uniform_raw_moment
+from repro.uncertainty.values import UncertainValue
+from repro.uncertainty.vector import (
+    distance_stats_vec,
+    erf_vec,
+    phi_vec,
+    prob_greater_vec,
+    prob_less_or_equal_vec,
+    uniform_raw_moments_vec,
+)
+
+
+def random_boxes(rng, count):
+    lo = rng.uniform(0.0, 0.8, size=(count, 2))
+    width = rng.uniform(0.0, 0.2, size=(count, 2))
+    return [Box(x, x + w, y, y + h) for (x, y), (w, h) in zip(lo, width)]
+
+
+def intervals_of(boxes):
+    return (
+        np.array([b.x_lo for b in boxes]),
+        np.array([b.x_hi for b in boxes]),
+        np.array([b.y_lo for b in boxes]),
+        np.array([b.y_hi for b in boxes]),
+    )
+
+
+class TestVectorMoments:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=60)
+    def test_raw_moments_match_scalar(self, lo, width, k):
+        vec = uniform_raw_moments_vec(np.array([lo]), np.array([lo + width]), k)
+        assert vec[0] == pytest.approx(uniform_raw_moment(lo, lo + width, k))
+
+    def test_distance_stats_match_scalar(self, rng):
+        workers = random_boxes(rng, 6)
+        tasks = random_boxes(rng, 5)
+        mean, var, lb, ub = distance_stats_vec(intervals_of(workers), intervals_of(tasks))
+        for i, wb in enumerate(workers):
+            for j, tb in enumerate(tasks):
+                scalar = distance_value(wb, tb)
+                assert mean[i, j] == pytest.approx(scalar.mean, abs=1e-9)
+                assert var[i, j] == pytest.approx(scalar.variance, abs=1e-9)
+                assert lb[i, j] == pytest.approx(scalar.lower, abs=1e-9)
+                assert ub[i, j] == pytest.approx(scalar.upper, abs=1e-9)
+
+    def test_distance_stats_shapes(self, rng):
+        workers = random_boxes(rng, 3)
+        tasks = random_boxes(rng, 7)
+        mean, var, lb, ub = distance_stats_vec(intervals_of(workers), intervals_of(tasks))
+        assert mean.shape == var.shape == lb.shape == ub.shape == (3, 7)
+
+    def test_degenerate_boxes(self):
+        point_boxes = [Box(0.5, 0.5, 0.5, 0.5)]
+        mean, var, lb, ub = distance_stats_vec(
+            intervals_of(point_boxes), intervals_of(point_boxes)
+        )
+        assert mean[0, 0] == 0.0
+        assert var[0, 0] == 0.0
+
+
+class TestVectorNormal:
+    @given(st.floats(min_value=-6, max_value=6))
+    def test_erf_vec_matches_math(self, x):
+        assert float(erf_vec(np.array([x]))[0]) == pytest.approx(math.erf(x), abs=2e-7)
+
+    def test_phi_vec_midpoint(self):
+        assert float(phi_vec(np.array([0.0]))[0]) == pytest.approx(0.5, abs=1e-7)
+
+
+class TestVectorComparisons:
+    def test_prob_greater_matches_scalar(self, rng):
+        means = rng.uniform(0.0, 3.0, size=8)
+        variances = rng.uniform(0.0, 1.0, size=8)
+        variances[::3] = 0.0  # mix in deterministic lanes
+        matrix = prob_greater_vec(
+            means[:, None], variances[:, None], means[None, :], variances[None, :]
+        )
+        for i in range(8):
+            for j in range(8):
+                a = UncertainValue(means[i], variances[i], means[i] - 5, means[i] + 5)
+                b = UncertainValue(means[j], variances[j], means[j] - 5, means[j] + 5)
+                assert matrix[i, j] == pytest.approx(prob_greater(a, b), abs=2e-7)
+
+    def test_prob_less_or_equal_matches_scalar(self, rng):
+        means = rng.uniform(0.0, 3.0, size=6)
+        variances = rng.uniform(0.0, 0.5, size=6)
+        variances[1] = 0.0
+        matrix = prob_less_or_equal_vec(
+            means[:, None], variances[:, None], means[None, :], variances[None, :]
+        )
+        for i in range(6):
+            for j in range(6):
+                a = UncertainValue(means[i], variances[i], means[i] - 5, means[i] + 5)
+                b = UncertainValue(means[j], variances[j], means[j] - 5, means[j] + 5)
+                assert matrix[i, j] == pytest.approx(prob_less_or_equal(a, b), abs=2e-7)
+
+    def test_deterministic_tie_lanes(self):
+        out = prob_greater_vec(
+            np.array([1.0]), np.array([0.0]), np.array([1.0]), np.array([0.0])
+        )
+        assert out[0] == 0.5

@@ -1,0 +1,89 @@
+"""Tests for repro.viz.ascii."""
+
+import numpy as np
+import pytest
+
+from repro.geo.point import Point
+from repro.viz.ascii import density_map, render_counts, side_by_side, sparkline
+
+
+class TestRenderCounts:
+    def test_shape(self):
+        text = render_counts(np.zeros(16), gamma=4)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == 4 for line in lines)
+
+    def test_empty_grid_renders_spaces(self):
+        text = render_counts(np.zeros(9), gamma=3)
+        assert set(text.replace("\n", "")) == {" "}
+
+    def test_peak_cell_is_darkest(self):
+        counts = np.zeros(9)
+        counts[4] = 10.0  # center cell (row 1, col 1)
+        text = render_counts(counts, gamma=3)
+        assert text.splitlines()[1][1] == "@"
+
+    def test_orientation_bottom_row_last(self):
+        counts = np.zeros(4)
+        counts[0] = 5.0  # row 0 (bottom), col 0
+        lines = render_counts(counts, gamma=2).splitlines()
+        assert lines[-1][0] == "@"
+        assert lines[0] == "  "
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_counts(np.zeros(5), gamma=2)
+
+
+class TestDensityMap:
+    def test_points_shade_their_cells(self):
+        points = [Point(0.05, 0.05)] * 9
+        text = density_map(points, resolution=4)
+        assert text.splitlines()[-1][0] == "@"
+
+    def test_empty_points(self):
+        text = density_map([], resolution=3)
+        assert len(text.splitlines()) == 3
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁" * 3
+
+    def test_monotone_series_uses_full_range(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_ordering_preserved(self):
+        line = sparkline([1.0, 3.0, 2.0])
+        assert line[1] > line[0]
+        assert line[1] > line[2]
+
+
+class TestSideBySide:
+    def test_pastes_blocks(self):
+        out = side_by_side(["ab\ncd", "xy\nzw"], gap=1)
+        assert out.splitlines() == ["ab xy", "cd zw"]
+
+    def test_uneven_heights_padded(self):
+        out = side_by_side(["a", "x\ny"], gap=1)
+        lines = out.splitlines()
+        assert lines[0] == "a x"
+        assert lines[1] == "  y"
+
+    def test_titles(self):
+        out = side_by_side(["aa", "bb"], gap=2, titles=["L", "R"])
+        assert out.splitlines()[0] == "L   R"
+
+    def test_title_count_mismatch(self):
+        with pytest.raises(ValueError):
+            side_by_side(["a"], titles=["one", "two"])
+
+    def test_empty(self):
+        assert side_by_side([]) == ""

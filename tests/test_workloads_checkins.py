@@ -1,0 +1,171 @@
+"""Tests for repro.workloads.checkins."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.checkins import (
+    SAN_FRANCISCO_BOUNDS,
+    CheckinGeneratorConfig,
+    CheckinRecord,
+    generate_checkins,
+    load_checkins_csv,
+    load_foursquare_checkins,
+    load_gowalla_checkins,
+    save_checkins,
+)
+
+
+class TestGeneratorConfig:
+    def test_defaults_valid(self):
+        CheckinGeneratorConfig()
+
+    def test_invalid_stability(self):
+        with pytest.raises(ValueError):
+            CheckinGeneratorConfig(stability=1.5)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            CheckinGeneratorConfig(bounds=(1.0, 0.0, 0.0, 1.0))
+
+    def test_invalid_drift(self):
+        with pytest.raises(ValueError):
+            CheckinGeneratorConfig(drift_amplitude=1.0)
+
+
+class TestGenerateCheckins:
+    def test_record_count(self, rng):
+        records = generate_checkins(CheckinGeneratorConfig(num_records=500), rng)
+        assert len(records) == 500
+
+    def test_zero_records(self, rng):
+        assert generate_checkins(CheckinGeneratorConfig(num_records=0), rng) == []
+
+    def test_records_within_bounds(self, rng):
+        records = generate_checkins(CheckinGeneratorConfig(num_records=300), rng)
+        lat_min, lat_max, lon_min, lon_max = SAN_FRANCISCO_BOUNDS
+        for record in records:
+            assert lat_min <= record.latitude <= lat_max
+            assert lon_min <= record.longitude <= lon_max
+
+    def test_times_sorted_within_span(self, rng):
+        config = CheckinGeneratorConfig(num_records=300, span_days=10.0)
+        records = generate_checkins(config, rng)
+        times = [r.time for r in records]
+        assert times == sorted(times)
+        assert times[0] >= 0.0
+        assert times[-1] <= 10.0 * 86400.0
+
+    def test_user_ids_in_range(self, rng):
+        config = CheckinGeneratorConfig(num_records=200, num_users=50)
+        records = generate_checkins(config, rng)
+        assert all(0 <= r.user_id < 50 for r in records)
+
+    def test_spatial_concentration(self, rng):
+        """Check-ins cluster in hotspots: a few cells hold most mass."""
+        config = CheckinGeneratorConfig(num_records=2000, num_hotspots=4)
+        records = generate_checkins(config, rng)
+        lat_min, lat_max, lon_min, lon_max = SAN_FRANCISCO_BOUNDS
+        rows = np.minimum(
+            ((np.array([r.latitude for r in records]) - lat_min)
+             / (lat_max - lat_min) * 10).astype(int), 9)
+        cols = np.minimum(
+            ((np.array([r.longitude for r in records]) - lon_min)
+             / (lon_max - lon_min) * 10).astype(int), 9)
+        counts = np.bincount(rows * 10 + cols, minlength=100)
+        top10_share = np.sort(counts)[-10:].sum() / counts.sum()
+        assert top10_share > 0.5
+
+    def test_temporal_stability_of_cell_counts(self, rng):
+        """The quota stream keeps per-cell counts smooth across windows."""
+        config = CheckinGeneratorConfig(num_records=3000, stability=0.98)
+        records = generate_checkins(config, rng)
+        lat_min, lat_max, lon_min, lon_max = SAN_FRANCISCO_BOUNDS
+        spans = 10
+        t_max = max(r.time for r in records) + 1e-6
+        counts = np.zeros((spans, 100))
+        for r in records:
+            window = min(int(r.time / t_max * spans), spans - 1)
+            row = min(int((r.latitude - lat_min) / (lat_max - lat_min) * 10), 9)
+            col = min(int((r.longitude - lon_min) / (lon_max - lon_min) * 10), 9)
+            counts[window, row * 10 + col] += 1
+        active = counts.mean(axis=0) >= 5.0
+        assert active.any()
+        variation = counts[:, active].std(axis=0) / counts[:, active].mean(axis=0)
+        assert float(np.median(variation)) < 0.4
+
+
+class TestPersistence:
+    def test_csv_roundtrip(self, rng, tmp_path):
+        records = generate_checkins(CheckinGeneratorConfig(num_records=50), rng)
+        path = tmp_path / "checkins.csv"
+        save_checkins(records, path)
+        loaded = load_checkins_csv(path)
+        assert loaded == sorted(records, key=lambda r: r.time)
+
+    def test_gowalla_loader_parses_snap_format(self, tmp_path):
+        path = tmp_path / "gowalla.txt"
+        path.write_text(
+            "0\t2010-10-19T23:55:27Z\t30.2359091167\t-97.7951395833\t22847\n"
+            "1\t2010-10-18T22:17:43Z\t30.2691029532\t-97.7493953705\t420315\n"
+            "garbage line without tabs\n"
+            "2\tnot-a-date\t30.0\t-97.0\t1\n"
+        )
+        records = load_gowalla_checkins(path)
+        assert len(records) == 2
+        assert records[0].time == 0.0  # earliest record is the origin
+        assert records[0].user_id == 1  # earlier timestamp sorts first
+
+    def test_gowalla_loader_bounds_filter(self, tmp_path):
+        path = tmp_path / "gowalla.txt"
+        path.write_text(
+            "0\t2010-10-19T23:55:27Z\t37.75\t-122.45\t1\n"
+            "1\t2010-10-19T23:56:27Z\t40.00\t-74.00\t2\n"
+        )
+        records = load_gowalla_checkins(path, bounds=SAN_FRANCISCO_BOUNDS)
+        assert len(records) == 1
+        assert records[0].user_id == 0
+
+    def test_gowalla_loader_limit(self, tmp_path):
+        path = tmp_path / "gowalla.txt"
+        lines = [
+            f"{i}\t2010-10-19T23:55:{i:02d}Z\t37.75\t-122.45\t{i}\n" for i in range(20)
+        ]
+        path.write_text("".join(lines))
+        assert len(load_gowalla_checkins(path, limit=5)) == 5
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert load_gowalla_checkins(path) == []
+
+    def test_foursquare_loader_parses_yang_format(self, tmp_path):
+        path = tmp_path / "foursquare.txt"
+        path.write_text(
+            "470\t49bbd6c0f964a520f4531fe3\t4bf58dd8d48988d127951735\tBar\t"
+            "40.733596\t-74.003139\t-240\tTue Apr 03 18:00:06 +0000 2012\n"
+            "979\t4a43c0aef964a520c6a61fe3\t4bf58dd8d48988d1df941735\tBridge\t"
+            "40.606800\t-74.044170\t-240\tTue Apr 03 18:00:25 +0000 2012\n"
+            "garbage\n"
+            "1\tv\tc\tC\tnot-a-lat\t-74.0\t-240\tTue Apr 03 18:01:00 +0000 2012\n"
+        )
+        records = load_foursquare_checkins(path)
+        assert len(records) == 2
+        assert records[0].user_id == 470
+        assert records[0].time == 0.0
+        assert records[1].time == pytest.approx(19.0)
+
+    def test_foursquare_loader_bounds_and_limit(self, tmp_path):
+        path = tmp_path / "foursquare.txt"
+        lines = [
+            f"{i}\tv\tc\tC\t37.75\t-122.45\t-240\tTue Apr 03 18:00:{i:02d} +0000 2012\n"
+            for i in range(10)
+        ]
+        lines.append(
+            "99\tv\tc\tC\t40.0\t-74.0\t-240\tTue Apr 03 19:00:00 +0000 2012\n"
+        )
+        path.write_text("".join(lines))
+        records = load_foursquare_checkins(
+            path, bounds=SAN_FRANCISCO_BOUNDS, limit=4
+        )
+        assert len(records) == 4
+        assert all(37.709 <= r.latitude <= 37.839 for r in records)

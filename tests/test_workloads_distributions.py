@@ -1,0 +1,105 @@
+"""Tests for repro.workloads.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import (
+    GaussianSampler,
+    UniformSampler,
+    ZipfSampler,
+    make_sampler,
+    truncated_gaussian,
+)
+
+
+class TestTruncatedGaussian:
+    def test_within_bounds(self, rng):
+        samples = truncated_gaussian(rng, 0.5, 1.0, 0.2, 0.3, 500)
+        assert samples.min() >= 0.2
+        assert samples.max() <= 0.3
+
+    def test_size(self, rng):
+        assert truncated_gaussian(rng, 0.0, 1.0, -1.0, 1.0, 123).shape == (123,)
+
+    def test_zero_size(self, rng):
+        assert truncated_gaussian(rng, 0.0, 1.0, -1.0, 1.0, 0).size == 0
+
+    def test_degenerate_interval(self, rng):
+        samples = truncated_gaussian(rng, 0.5, 1.0, 0.3, 0.3, 10)
+        np.testing.assert_allclose(samples, 0.3)
+
+    def test_zero_std_returns_clipped_mean(self, rng):
+        samples = truncated_gaussian(rng, 5.0, 0.0, 0.0, 1.0, 4)
+        np.testing.assert_allclose(samples, 1.0)
+
+    def test_empty_interval_rejected(self, rng):
+        with pytest.raises(ValueError):
+            truncated_gaussian(rng, 0.0, 1.0, 1.0, 0.0, 5)
+
+    def test_mean_near_center_for_symmetric_truncation(self, rng):
+        samples = truncated_gaussian(rng, 0.5, 0.2, 0.0, 1.0, 20_000)
+        assert float(samples.mean()) == pytest.approx(0.5, abs=0.01)
+
+
+class TestSamplers:
+    @pytest.mark.parametrize(
+        "sampler", [UniformSampler(), GaussianSampler(), ZipfSampler()]
+    )
+    def test_samples_in_unit_square(self, sampler, rng):
+        points = sampler.sample(rng, 1000)
+        assert points.shape == (1000, 2)
+        assert points.min() >= 0.0
+        assert points.max() <= 1.0
+
+    def test_uniform_covers_square(self, rng):
+        points = UniformSampler().sample(rng, 20_000)
+        assert float(points.mean()) == pytest.approx(0.5, abs=0.01)
+        assert float(points[:, 0].std()) == pytest.approx((1 / 12) ** 0.5, abs=0.02)
+
+    def test_gaussian_concentrates_toward_center(self, rng):
+        points = GaussianSampler(std=0.15).sample(rng, 20_000)
+        assert float(points[:, 0].std()) < 0.2
+
+    def test_zipf_is_skewed(self, rng):
+        sampler = ZipfSampler(skew=1.0, resolution=10)
+        points = sampler.sample(rng, 20_000)
+        # First-ranked cell is the bottom-left row-major cell.
+        in_first_cell = ((points[:, 0] < 0.1) & (points[:, 1] < 0.1)).mean()
+        assert in_first_cell > 1.0 / 100.0  # far above uniform share
+
+    def test_zipf_zero_skew_is_uniform_over_cells(self, rng):
+        sampler = ZipfSampler(skew=0.0, resolution=4)
+        points = sampler.sample(rng, 40_000)
+        counts, _, _ = np.histogram2d(points[:, 0], points[:, 1], bins=4)
+        assert counts.std() / counts.mean() < 0.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(skew=-1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(resolution=0)
+        with pytest.raises(ValueError):
+            GaussianSampler(std=0.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("uniform", UniformSampler),
+            ("U", UniformSampler),
+            ("gaussian", GaussianSampler),
+            ("g", GaussianSampler),
+            ("zipf", ZipfSampler),
+            ("Z", ZipfSampler),
+        ],
+    )
+    def test_names_and_aliases(self, name, cls):
+        assert isinstance(make_sampler(name), cls)
+
+    def test_zipf_skew_forwarded(self):
+        assert make_sampler("zipf", zipf_skew=0.7).skew == 0.7
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_sampler("pareto")

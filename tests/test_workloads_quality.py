@@ -1,0 +1,72 @@
+"""Tests for repro.workloads.quality (hashed quality scores)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.point import Point
+from repro.model.entities import Task, Worker
+from repro.workloads.quality import HashQualityModel
+
+
+def entities(n_workers, n_tasks):
+    workers = [Worker(id=i, location=Point(0.5, 0.5), velocity=0.2) for i in range(n_workers)]
+    tasks = [Task(id=1000 + j, location=Point(0.5, 0.5), deadline=2.0) for j in range(n_tasks)]
+    return workers, tasks
+
+
+class TestHashQualityModel:
+    def test_scores_within_range(self):
+        model = HashQualityModel((1.0, 2.0), seed=0)
+        workers, tasks = entities(40, 40)
+        matrix = model.quality_matrix(workers, tasks)
+        assert matrix.min() >= 1.0
+        assert matrix.max() <= 2.0
+
+    def test_deterministic_per_pair(self):
+        model = HashQualityModel((1.0, 2.0), seed=3)
+        workers, tasks = entities(5, 5)
+        first = model.quality_matrix(workers, tasks)
+        second = model.quality_matrix(workers, tasks)
+        np.testing.assert_array_equal(first, second)
+
+    def test_submatrix_consistency(self):
+        """Scores do not depend on which other entities are present."""
+        model = HashQualityModel((1.0, 2.0), seed=3)
+        workers, tasks = entities(6, 6)
+        full = model.quality_matrix(workers, tasks)
+        sub = model.quality_matrix(workers[2:4], tasks[1:3])
+        np.testing.assert_array_equal(sub, full[2:4, 1:3])
+
+    def test_different_seeds_differ(self):
+        workers, tasks = entities(10, 10)
+        a = HashQualityModel((1.0, 2.0), seed=1).quality_matrix(workers, tasks)
+        b = HashQualityModel((1.0, 2.0), seed=2).quality_matrix(workers, tasks)
+        assert not np.array_equal(a, b)
+
+    def test_distribution_is_roughly_gaussian_in_range(self):
+        model = HashQualityModel((0.0, 4.0), seed=0)
+        workers, tasks = entities(200, 200)
+        matrix = model.quality_matrix(workers, tasks)
+        # Center-heavy: mean near midpoint, std near (hi-lo)/4.
+        assert float(matrix.mean()) == pytest.approx(2.0, abs=0.05)
+        assert float(matrix.std()) == pytest.approx(1.0, abs=0.1)
+
+    def test_empty_inputs(self):
+        model = HashQualityModel((1.0, 2.0))
+        assert model.quality_matrix([], []).shape == (0, 0)
+
+    def test_prior_matches_parameters(self):
+        model = HashQualityModel((1.0, 3.0))
+        mean, variance, low, high = model.prior()
+        assert mean == 2.0
+        assert variance == pytest.approx(0.25)
+        assert (low, high) == (1.0, 3.0)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            HashQualityModel((2.0, 1.0))
+
+    def test_quality_by_ids_handles_negative_ids(self):
+        model = HashQualityModel((1.0, 2.0))
+        matrix = model.quality_by_ids(np.array([-5]), np.array([3]))
+        assert 1.0 <= matrix[0, 0] <= 2.0

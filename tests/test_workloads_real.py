@@ -1,0 +1,89 @@
+"""Tests for repro.workloads.real."""
+
+import pytest
+
+from repro.workloads.base import WorkloadParams
+from repro.workloads.checkins import CheckinRecord
+from repro.workloads.real import RealWorkload, map_to_unit_square
+
+
+def record(user, time, lat, lon):
+    return CheckinRecord(user_id=user, time=time, latitude=lat, longitude=lon)
+
+
+class TestMapToUnitSquare:
+    def test_corners(self):
+        records = [record(0, 0, 10.0, 20.0), record(1, 1, 11.0, 21.0)]
+        points = map_to_unit_square(records)
+        assert points[0].x == 0.0 and points[0].y == 0.0
+        assert points[1].x == 1.0 and points[1].y == 1.0
+
+    def test_explicit_bounds_clip(self):
+        records = [record(0, 0, 5.0, 5.0)]
+        points = map_to_unit_square(records, bounds=(10.0, 11.0, 20.0, 21.0))
+        assert points[0].x == 0.0 and points[0].y == 0.0
+
+    def test_empty(self):
+        assert map_to_unit_square([]) == []
+
+    def test_degenerate_extent(self):
+        records = [record(0, 0, 10.0, 20.0), record(1, 1, 10.0, 20.0)]
+        points = map_to_unit_square(records)
+        assert len(points) == 2  # no division by zero
+
+
+class TestRealWorkload:
+    def make(self, num_instances=4):
+        worker_records = [record(i, float(i), 10.0 + i * 0.1, 20.0) for i in range(8)]
+        task_records = [record(100 + i, float(i) + 0.5, 10.0 + i * 0.1, 20.5) for i in range(6)]
+        params = WorkloadParams(num_instances=num_instances)
+        return RealWorkload(worker_records, task_records, params, seed=1)
+
+    def test_entity_counts_preserved(self):
+        workload = self.make()
+        assert workload.total_workers() == 8
+        assert workload.total_tasks() == 6
+
+    def test_time_ordering_respected(self):
+        """Earlier check-ins land in earlier instances."""
+        workload = self.make(num_instances=4)
+        first_workers, _ = workload.arrivals(0)
+        last_workers, _ = workload.arrivals(3)
+        assert first_workers and last_workers
+        assert max(w.arrival for w in first_workers) <= min(
+            w.arrival for w in last_workers
+        )
+
+    def test_velocity_and_deadline_follow_params(self):
+        workload = self.make()
+        for p in range(4):
+            workers, tasks = workload.arrivals(p)
+            for worker in workers:
+                assert 0.2 <= worker.velocity <= 0.3
+            for task in tasks:
+                assert p + 1.0 <= task.deadline <= p + 2.0 + 1e-9
+
+    def test_locations_in_unit_square(self):
+        workload = self.make()
+        for p in range(4):
+            workers, tasks = workload.arrivals(p)
+            for entity in workers + tasks:
+                assert 0.0 <= entity.location.x <= 1.0
+                assert 0.0 <= entity.location.y <= 1.0
+
+    def test_unique_ids(self):
+        workload = self.make()
+        ids = []
+        for p in range(4):
+            workers, tasks = workload.arrivals(p)
+            ids.extend(e.id for e in workers + tasks)
+        assert len(ids) == len(set(ids))
+
+    def test_out_of_range_instance(self):
+        with pytest.raises(IndexError):
+            self.make(num_instances=2).arrivals(2)
+
+    def test_empty_streams(self):
+        workload = RealWorkload([], [], WorkloadParams(num_instances=3), seed=0)
+        assert workload.total_workers() == 0
+        assert workload.arrivals(0) == ([], [])

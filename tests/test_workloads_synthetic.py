@@ -1,0 +1,120 @@
+"""Tests for repro.workloads.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import WorkloadParams
+from repro.workloads.synthetic import SyntheticWorkload, _largest_remainder_round
+
+
+class TestLargestRemainderRound:
+    def test_sums_to_total(self, rng):
+        for _ in range(10):
+            expected = rng.uniform(0, 1, size=20)
+            counts = _largest_remainder_round(expected, 57)
+            assert counts.sum() == 57
+            assert (counts >= 0).all()
+
+    def test_zero_total(self):
+        assert _largest_remainder_round(np.ones(5), 0).sum() == 0
+
+    def test_proportionality(self):
+        counts = _largest_remainder_round(np.array([3.0, 1.0]), 8)
+        assert counts.tolist() == [6, 2]
+
+
+class TestSyntheticWorkload:
+    def test_total_counts_match_params(self):
+        params = WorkloadParams(num_workers=200, num_tasks=150, num_instances=10)
+        workload = SyntheticWorkload(params, seed=1)
+        assert workload.total_workers() == 200
+        assert workload.total_tasks() == 150
+
+    def test_reproducible_for_same_seed(self):
+        params = WorkloadParams(num_workers=50, num_tasks=50, num_instances=5)
+        a = SyntheticWorkload(params, seed=9)
+        b = SyntheticWorkload(params, seed=9)
+        for p in range(5):
+            wa, ta = a.arrivals(p)
+            wb, tb = b.arrivals(p)
+            assert [w.location for w in wa] == [w.location for w in wb]
+            assert [t.deadline for t in ta] == [t.deadline for t in tb]
+
+    def test_different_seeds_differ(self):
+        params = WorkloadParams(num_workers=50, num_tasks=50, num_instances=5)
+        a = SyntheticWorkload(params, seed=1)
+        b = SyntheticWorkload(params, seed=2)
+        wa, _ = a.arrivals(0)
+        wb, _ = b.arrivals(0)
+        assert [w.location for w in wa] != [w.location for w in wb]
+
+    def test_velocities_within_range(self):
+        params = WorkloadParams(num_workers=100, num_tasks=10, num_instances=4,
+                                velocity_range=(0.1, 0.2))
+        workload = SyntheticWorkload(params, seed=3)
+        for p in range(4):
+            workers, _ = workload.arrivals(p)
+            for worker in workers:
+                assert 0.1 <= worker.velocity <= 0.2
+
+    def test_deadlines_within_offset_range(self):
+        params = WorkloadParams(num_workers=10, num_tasks=100, num_instances=4,
+                                deadline_range=(0.5, 1.0))
+        workload = SyntheticWorkload(params, seed=3)
+        for p in range(4):
+            _, tasks = workload.arrivals(p)
+            for task in tasks:
+                assert p + 0.5 <= task.deadline <= p + 1.0 + 1e-9
+                assert task.arrival == float(p)
+
+    def test_unique_entity_ids(self):
+        params = WorkloadParams(num_workers=80, num_tasks=70, num_instances=6)
+        workload = SyntheticWorkload(params, seed=5)
+        ids = []
+        for p in range(6):
+            workers, tasks = workload.arrivals(p)
+            ids.extend(w.id for w in workers)
+            ids.extend(t.id for t in tasks)
+        assert len(ids) == len(set(ids))
+
+    def test_locations_in_unit_square(self):
+        params = WorkloadParams(num_workers=100, num_tasks=100, num_instances=3)
+        workload = SyntheticWorkload(params, seed=2)
+        for p in range(3):
+            workers, tasks = workload.arrivals(p)
+            for entity in workers + tasks:
+                assert 0.0 <= entity.location.x <= 1.0
+                assert 0.0 <= entity.location.y <= 1.0
+
+    def test_out_of_range_instance_rejected(self):
+        workload = SyntheticWorkload(WorkloadParams(num_workers=5, num_tasks=5,
+                                                    num_instances=2), seed=0)
+        with pytest.raises(IndexError):
+            workload.arrivals(2)
+
+    def test_per_cell_counts_are_stable_over_time(self):
+        """The stable-field model: per-cell arrival counts vary slowly."""
+        from repro.geo.grid import GridIndex
+
+        params = WorkloadParams(num_workers=3000, num_tasks=10, num_instances=10,
+                                count_noise=0.04, worker_distribution="zipf")
+        workload = SyntheticWorkload(params, seed=11)
+        grid = GridIndex(10)
+        counts = np.array([
+            grid.count_points([w.location for w in workload.arrivals(p)[0]])
+            for p in range(10)
+        ])
+        active = counts.mean(axis=0) >= 4.0
+        assert active.any()
+        variation = counts[:, active].std(axis=0) / counts[:, active].mean(axis=0)
+        assert float(np.median(variation)) < 0.35
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadParams(num_instances=0)
+        with pytest.raises(ValueError):
+            WorkloadParams(velocity_range=(0.0, 0.2))
+        with pytest.raises(ValueError):
+            WorkloadParams(quality_range=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            WorkloadParams(count_noise=-0.1)
