@@ -5,6 +5,11 @@ EXPERIMENTS.md), prints the same series the paper plots, saves them
 under ``benchmarks/results/``, and asserts the qualitative shape the
 paper reports.  ``pytest benchmarks/ --benchmark-only`` regenerates
 everything.
+
+This module is deliberately *not* a conftest: a second ``conftest``
+module on ``sys.path`` shadows ``tests/conftest.py`` during root-level
+collection, so the bench helpers live here and bench modules import
+them with ``from _bench_utils import ...``.
 """
 
 from __future__ import annotations

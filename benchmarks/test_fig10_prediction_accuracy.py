@@ -4,7 +4,7 @@ Paper shape: average relative errors stay low and are not very
 sensitive to ``w``; real-data worker error is the most sensitive curve.
 """
 
-from conftest import SCALE, run_figure_bench
+from _bench_utils import SCALE, run_figure_bench
 
 
 def test_fig10_prediction_accuracy(benchmark):

@@ -4,7 +4,7 @@ Paper shape: quality grows with ``B`` for every algorithm; GREEDY and
 D&C dominate RANDOM; RANDOM is the fastest and D&C_WP the slowest.
 """
 
-from conftest import SCALE, run_figure_bench, series_mean
+from _bench_utils import SCALE, run_figure_bench, series_mean
 
 
 def test_fig11_budget(benchmark):

@@ -4,7 +4,7 @@ Paper shape: quality rises with the score range for all algorithms;
 D&C and GREEDY dominate RANDOM; RANDOM is fastest.
 """
 
-from conftest import SCALE, run_figure_bench, series_mean
+from _bench_utils import SCALE, run_figure_bench, series_mean
 
 
 def test_fig12_quality_range(benchmark):

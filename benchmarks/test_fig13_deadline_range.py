@@ -8,7 +8,7 @@ analysis); the GREEDY/D&C > RANDOM ordering and the runtime ordering
 hold throughout, and RANDOM degrades with reach as budget burns faster.
 """
 
-from conftest import SCALE, run_figure_bench, series_mean
+from _bench_utils import SCALE, run_figure_bench, series_mean
 
 
 def test_fig13_deadline_range(benchmark):

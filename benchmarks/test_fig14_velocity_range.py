@@ -5,7 +5,7 @@ pairs become valid and burn the budget, reducing the number of selected
 pairs (the paper's own explanation).
 """
 
-from conftest import SCALE, run_figure_bench, series_mean
+from _bench_utils import SCALE, run_figure_bench, series_mean
 
 
 def test_fig14_velocity_range(benchmark):

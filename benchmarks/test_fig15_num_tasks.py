@@ -3,7 +3,7 @@
 Paper shape: quality and runtime grow smoothly with ``m``.
 """
 
-from conftest import SCALE, run_figure_bench, series_mean
+from _bench_utils import SCALE, run_figure_bench, series_mean
 
 
 def test_fig15_num_tasks(benchmark):

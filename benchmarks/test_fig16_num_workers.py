@@ -4,7 +4,7 @@ Paper shape: quality and runtime grow with ``n``; the growth is smooth
 (good scalability).
 """
 
-from conftest import SCALE, run_figure_bench, series_mean
+from _bench_utils import SCALE, run_figure_bench, series_mean
 
 
 def test_fig16_num_workers(benchmark):

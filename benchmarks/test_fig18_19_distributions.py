@@ -5,7 +5,7 @@ combinations, always above RANDOM (Fig. 18); runtimes vary with the
 combination (Fig. 19).
 """
 
-from conftest import SCALE_HEAVY, run_figure_bench, series_mean
+from _bench_utils import SCALE_HEAVY, run_figure_bench, series_mean
 
 
 def test_fig18_19_distributions(benchmark):

@@ -5,7 +5,7 @@ fresh budget ``B``); the per-instance runtime falls (fewer entities per
 instance for fixed totals).
 """
 
-from conftest import SCALE, run_figure_bench, series_mean
+from _bench_utils import SCALE, run_figure_bench, series_mean
 
 
 def test_fig20_time_instances(benchmark):

@@ -4,7 +4,7 @@ Paper shape: quality falls as ``C`` grows (fewer pairs affordable under
 the fixed budget).
 """
 
-from conftest import SCALE, run_figure_bench, series_mean
+from _bench_utils import SCALE, run_figure_bench, series_mean
 
 
 def test_fig21_unit_price(benchmark):

@@ -5,7 +5,7 @@ and RANDOM; all three algorithms keep their relative order under
 Gaussian, Uniform and Zipf worker distributions.
 """
 
-from conftest import SCALE_HEAVY, run_figure_bench
+from _bench_utils import SCALE_HEAVY, run_figure_bench
 
 
 def test_fig22_window_size(benchmark):

@@ -8,7 +8,7 @@ percent of each other, see EXPERIMENTS.md).
 
 import pytest
 
-from conftest import SCALE_HEAVY, run_figure_bench, series_mean
+from _bench_utils import SCALE_HEAVY, run_figure_bench, series_mean
 
 
 @pytest.mark.parametrize("figure_id", ["fig23", "fig24", "fig25", "fig26", "fig27"])

@@ -1,0 +1,105 @@
+"""Micro-benchmarks of the Hungarian/assignment hot path.
+
+The vectorized :func:`repro.matching.hungarian.hungarian_min_cost` is
+the single hottest kernel of the system — greedy, D&C, and the optimal
+baseline all sit on it through ``hungarian_max_weight``.  These benches
+time it at the three scales documented in EXPERIMENTS.md (n = 50, 200,
+500) and hold it to two guarantees against the retained scalar oracle
+``_hungarian_reference``:
+
+1. **pair-for-pair equality** — identical assignments (not merely
+   equal totals) at every scale, and
+2. **a >= 5x speedup at n = 500** (the ISSUE 1 acceptance bar),
+   measured as best-of-repeats so a noisy machine cannot fake a
+   regression.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.matching.bipartite import greedy_max_weight_matching_dense
+from repro.matching.hungarian import (
+    _hungarian_reference,
+    hungarian_max_weight,
+    hungarian_min_cost,
+)
+
+SCALES = (50, 200, 500)
+SPEEDUP_SCALE = 500
+SPEEDUP_FLOOR = 5.0
+
+
+def _cost_matrix(n: int) -> np.ndarray:
+    rng = np.random.default_rng(n)
+    return rng.uniform(0.0, 1.0, size=(n, n))
+
+
+def _best_of(fn, arg, repeats: int = 3):
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn(arg)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+@pytest.mark.parametrize("n", SCALES)
+def test_bench_hungarian_vectorized(benchmark, n):
+    """Vectorized solver throughput at each documented scale."""
+    cost = _cost_matrix(n)
+    assignment, total = benchmark(lambda: hungarian_min_cost(cost))
+    assert len(assignment) == n
+    assert total >= 0.0
+
+
+@pytest.mark.parametrize("n", SCALES)
+def test_vectorized_matches_reference_pairwise(n):
+    """Differential guarantee: identical assignments at every scale."""
+    cost = _cost_matrix(n)
+    assignment, total = hungarian_min_cost(cost)
+    ref_assignment, ref_total = _hungarian_reference(cost)
+    assert assignment == ref_assignment
+    assert total == pytest.approx(ref_total, abs=1e-9)
+
+
+def test_speedup_at_500(request):
+    """The n=500 acceptance bar: vectorized >= 5x the scalar oracle.
+
+    Skipped under ``--benchmark-disable`` (the CI mode): a contended
+    shared runner makes wall-clock ratios unreliable, and CI disables
+    timing for exactly that reason.  The tier-1 command runs it.
+    """
+    if request.config.getoption("benchmark_disable"):
+        pytest.skip("timing assertions disabled (--benchmark-disable)")
+    cost = _cost_matrix(SPEEDUP_SCALE)
+    vec_time, vec_result = _best_of(hungarian_min_cost, cost)
+    ref_time, ref_result = _best_of(_hungarian_reference, cost, repeats=1)
+    assert vec_result[0] == ref_result[0]
+    speedup = ref_time / vec_time
+    print(f"\nn={SPEEDUP_SCALE}: vectorized {vec_time * 1e3:.1f} ms, "
+          f"reference {ref_time * 1e3:.1f} ms, speedup {speedup:.1f}x")
+    assert speedup >= SPEEDUP_FLOOR
+
+
+def test_bench_max_weight_partial(benchmark):
+    """Maximization wrapper with dummy-column padding at n=200."""
+    rng = np.random.default_rng(7)
+    weights = rng.uniform(-1.0, 3.0, size=(200, 200))
+    weights[rng.uniform(size=weights.shape) < 0.2] = -np.inf
+    matching, total = benchmark(lambda: hungarian_max_weight(weights))
+    assert total > 0.0
+    assert all(np.isfinite(weights[r, c]) for r, c in matching)
+
+
+def test_bench_greedy_dense(benchmark):
+    """Dense greedy comparator over the same n=200 weight matrix."""
+    rng = np.random.default_rng(7)
+    weights = rng.uniform(-1.0, 3.0, size=(200, 200))
+    matching, total = benchmark(lambda: greedy_max_weight_matching_dense(weights))
+    assert total > 0.0

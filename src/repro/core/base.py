@@ -116,16 +116,16 @@ def finalize_selection(
     recoverable condition).
     """
     pool = problem.pool
-    current = [r for r in selected_rows if bool(pool.is_current[r])]
+    rows = np.asarray(list(selected_rows), dtype=np.int64)
+    current_rows = rows[pool.is_current[rows]] if rows.size else rows
+    current = [int(r) for r in current_rows]
 
-    workers = [int(pool.worker_idx[r]) for r in current]
-    tasks = [int(pool.task_idx[r]) for r in current]
-    if len(set(workers)) != len(workers):
+    if np.unique(pool.worker_idx[current_rows]).size != current_rows.size:
         raise AssertionError("a worker was assigned to two tasks")
-    if len(set(tasks)) != len(tasks):
+    if np.unique(pool.task_idx[current_rows]).size != current_rows.size:
         raise AssertionError("a task was assigned to two workers")
 
-    total_cost = float(sum(pool.cost_mean[r] for r in current))
+    total_cost = float(pool.cost_mean[current_rows].sum())
     if total_cost <= budget_current + 1e-9:
         return sorted(current)
 

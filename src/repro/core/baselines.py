@@ -30,30 +30,14 @@ class HungarianAssigner(Assigner):
         budget_future: float,
         rng: np.random.Generator,
     ) -> AssignmentResult:
-        pool = problem.pool
-        current_rows = np.nonzero(pool.is_current)[0]
-        if current_rows.size == 0:
+        dense = problem.current_dense
+        if dense.row_index.size == 0:
             return self._result_from_rows(problem, [], budget_current)
 
-        workers = np.unique(pool.worker_idx[current_rows])
-        tasks = np.unique(pool.task_idx[current_rows])
-        worker_pos = {int(w): i for i, w in enumerate(workers)}
-        task_pos = {int(t): j for j, t in enumerate(tasks)}
-
-        weights = np.full((workers.size, tasks.size), -np.inf)
-        row_of_cell: dict[tuple[int, int], int] = {}
-        for row in current_rows:
-            cell = (
-                worker_pos[int(pool.worker_idx[row])],
-                task_pos[int(pool.task_idx[row])],
-            )
-            # Duplicate (worker, task) cells cannot occur: the pool is
-            # built from dense validity masks with one entry per cell.
-            weights[cell] = pool.quality_mean[row]
-            row_of_cell[cell] = int(row)
-
-        matching, _ = hungarian_max_weight(weights, allow_unmatched=True)
-        selected = [row_of_cell[cell] for cell in matching]
+        matching, _ = hungarian_max_weight(
+            dense.quality, allow_unmatched=True, cost=dense.assignment_cost
+        )
+        selected = dense.rows_of_cells(matching)
         # Budget enforcement happens in the shared finalization (trim
         # lowest-quality pairs until the realized cost fits).
         return self._result_from_rows(problem, selected, budget_current)

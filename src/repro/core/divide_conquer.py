@@ -130,10 +130,17 @@ class MQADivideConquer(Assigner):
         fan_out = self._choose_g(pool, rows, task_ids.size)
         subgroups = self._decompose(problem, task_ids, fan_out)
 
+        # Partition the rows over the subgroups in one bulk pass: map
+        # each task to its group id, then label every row through its
+        # task (one searchsorted instead of one isin per subgroup).
+        group_of_task = np.empty(task_ids.size, dtype=np.int64)
+        for index, subgroup in enumerate(subgroups):
+            group_of_task[np.searchsorted(task_ids, subgroup)] = index
+        row_group = group_of_task[np.searchsorted(task_ids, pool.task_idx[rows])]
+
         merged: list[int] = []
-        for subgroup in subgroups:
-            membership = np.isin(pool.task_idx[rows], subgroup)
-            sub_rows = rows[membership]
+        for index in range(len(subgroups)):
+            sub_rows = rows[row_group == index]
             if sub_rows.size == 0:
                 continue
             solution = self._solve(problem, sub_rows, budget_max)
@@ -211,13 +218,15 @@ class MQADivideConquer(Assigner):
         }
         worker_of: dict[int, int] = {int(pool.worker_idx[r]): r for r in merged}
 
-        conflicts: list[int] = []
-        for row in incoming:
-            worker = int(pool.worker_idx[row])
-            if worker in worker_of:
-                conflicts.append(row)
-            else:
-                self._accept(pool, assignment_by_task, worker_of, row)
+        # Bulk conflict split: a subproblem solution never repeats a
+        # worker, so only the workers already in ``merged`` can clash —
+        # one vectorized membership test classifies every incoming row.
+        incoming_rows = np.asarray(incoming, dtype=np.int64)
+        merged_workers = np.fromiter(worker_of, dtype=np.int64, count=len(worker_of))
+        conflicting = np.isin(pool.worker_idx[incoming_rows], merged_workers)
+        for row in incoming_rows[~conflicting]:
+            self._accept(pool, assignment_by_task, worker_of, int(row))
+        conflicts = [int(r) for r in incoming_rows[conflicting]]
 
         # Fig. 8 line 3: handle the conflicting worker with the highest
         # traveling cost in the incoming subproblem first.
@@ -278,7 +287,7 @@ class MQADivideConquer(Assigner):
         of_task = rows_scope[pool.task_idx[rows_scope] == task]
         if of_task.size == 0:
             return None
-        used = np.array(sorted(worker_of), dtype=np.int64)
+        used = np.fromiter(worker_of, dtype=np.int64, count=len(worker_of))
         free = of_task[~np.isin(pool.worker_idx[of_task], used)]
         if free.size == 0:
             return None

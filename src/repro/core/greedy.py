@@ -30,11 +30,13 @@ import numpy as np
 
 from repro.core.base import Assigner, AssignmentResult
 from repro.core.pruning import cap_candidates, dominance_skyline, probability_prune
-from repro.core.selection import budget_confident_rows, select_best_row
+from repro.core.selection import (
+    budget_confident_rows,
+    feasible_rows,
+    select_best_row,
+)
 from repro.model.instance import ProblemInstance
 from repro.model.pairs import PairPool
-
-_EPS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -113,15 +115,16 @@ def greedy_select(
     selected: list[int] = []
 
     while True:
-        feasible = alive.copy()
+        alive_rows = np.nonzero(alive)[0]
         # Hard per-instance constraint for materializable pairs;
-        # future-share constraint for predicted pairs.
-        feasible &= np.where(
-            pool.is_current,
-            pool.cost_mean <= budget_current - spent_current + _EPS,
-            pool.cost_mean <= budget_future - spent_future + _EPS,
+        # future-share constraint for predicted pairs — one bulk scan
+        # over the surviving rows only.
+        candidate_rows = feasible_rows(
+            pool,
+            alive_rows,
+            budget_current - spent_current,
+            budget_future - spent_future,
         )
-        candidate_rows = np.nonzero(feasible)[0]
         if candidate_rows.size == 0:
             break
 

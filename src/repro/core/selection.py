@@ -15,6 +15,33 @@ from repro.model.pairs import PairPool
 from repro.uncertainty.vector import phi_vec, prob_greater_vec
 
 _VARIANCE_FLOOR = 1e-24
+_EPS = 1e-9
+
+
+def feasible_rows(
+    pool: PairPool,
+    rows: np.ndarray,
+    budget_current_left: float,
+    budget_future_left: float,
+) -> np.ndarray:
+    """Rows whose expected cost fits their budget share, in bulk.
+
+    A *current* pair charges the remaining current-instance budget (the
+    hard Definition 4 constraint); a pair involving predicted entities
+    charges the remaining future share.  Computed as one masked
+    comparison over the pool columns restricted to ``rows`` — the
+    per-iteration feasibility scan of the greedy loop.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return rows
+    cost = pool.cost_mean[rows]
+    fits = np.where(
+        pool.is_current[rows],
+        cost <= budget_current_left + _EPS,
+        cost <= budget_future_left + _EPS,
+    )
+    return rows[fits]
 
 
 def budget_confident_rows(

@@ -58,7 +58,27 @@ class GridIndex:
     def _clamp_axis(self, coordinate: float) -> int:
         if not 0.0 <= coordinate <= 1.0:
             raise ValueError(f"coordinate {coordinate} outside the unit square")
-        return min(int(coordinate * self._gamma), self._gamma - 1)
+        index = min(int(coordinate * self._gamma), self._gamma - 1)
+        # `coordinate * gamma` can round across a cell boundary (e.g.
+        # 0.3 * 10 == 3.0 although 0.3 < 3 * 0.1), which would put the
+        # point outside its own cell_box; correct against the same
+        # boundary arithmetic cell_box uses.
+        if coordinate < index * self._side:
+            index -= 1
+        elif index + 1 < self._gamma and coordinate >= (index + 1) * self._side:
+            index += 1
+        return index
+
+    def _clamp_axis_vec(self, coordinates: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_clamp_axis` (same boundary correction)."""
+        index = np.minimum(
+            (coordinates * self._gamma).astype(np.int64), self._gamma - 1
+        )
+        index = np.where(coordinates < index * self._side, index - 1, index)
+        bump = (index + 1 < self._gamma) & (
+            coordinates >= (index + 1) * self._side
+        )
+        return np.where(bump, index + 1, index)
 
     def cell_box(self, cell: int) -> Box:
         """The axis-aligned bounds of cell ``cell``."""
@@ -102,8 +122,8 @@ class GridIndex:
             raise ValueError("xs and ys must have the same shape")
         if xs.size and (xs.min() < 0.0 or xs.max() > 1.0 or ys.min() < 0.0 or ys.max() > 1.0):
             raise ValueError("coordinates outside the unit square")
-        cols = np.minimum((xs * self._gamma).astype(np.int64), self._gamma - 1)
-        rows = np.minimum((ys * self._gamma).astype(np.int64), self._gamma - 1)
+        cols = self._clamp_axis_vec(xs)
+        rows = self._clamp_axis_vec(ys)
         cells = rows * self._gamma + cols
         return np.bincount(cells, minlength=self.num_cells).astype(np.int64)
 

@@ -7,11 +7,20 @@ are implemented from scratch; the test suite cross-validates the
 Hungarian solver against ``scipy.optimize.linear_sum_assignment``.
 """
 
-from repro.matching.hungarian import hungarian_min_cost, hungarian_max_weight
-from repro.matching.bipartite import greedy_max_weight_matching
+from repro.matching.hungarian import (
+    hungarian_min_cost,
+    hungarian_max_weight,
+    max_weight_cost_matrix,
+)
+from repro.matching.bipartite import (
+    greedy_max_weight_matching,
+    greedy_max_weight_matching_dense,
+)
 
 __all__ = [
     "hungarian_min_cost",
     "hungarian_max_weight",
+    "max_weight_cost_matrix",
     "greedy_max_weight_matching",
+    "greedy_max_weight_matching_dense",
 ]

@@ -46,3 +46,22 @@ def greedy_max_weight_matching(
         total += weight
     assignment.sort()
     return assignment, total
+
+
+def greedy_max_weight_matching_dense(
+    weights: np.ndarray,
+) -> tuple[list[tuple[int, int]], float]:
+    """Greedy matching over a precomputed dense weight matrix.
+
+    Callers that already hold a ``(rows, cols)`` weight matrix (e.g.
+    the per-instance matrices cached on a problem) can pass it directly
+    instead of rebuilding the sparse triple lists pair by pair.
+    Non-positive and non-finite cells are never matched, so ``-inf``
+    marks a forbidden pairing exactly as in ``hungarian_max_weight``.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 2:
+        raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+    eligible = np.isfinite(weights) & (weights > 0.0)
+    rows, cols = np.nonzero(eligible)
+    return greedy_max_weight_matching(rows, cols, weights[rows, cols])

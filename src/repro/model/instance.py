@@ -23,11 +23,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Sequence
+from functools import cached_property
 
 import numpy as np
 
 from repro.model.entities import Task, Worker
-from repro.model.pairs import CandidatePair, PairPool
+from repro.model.pairs import CandidatePair, DensePairMatrices, PairPool
 from repro.model.quality import QualityModel
 from repro.uncertainty.vector import distance_stats_vec
 
@@ -46,6 +47,18 @@ class ProblemInstance:
     num_current_tasks: int
     pool: PairPool
     now: float
+
+    @cached_property
+    def current_dense(self) -> DensePairMatrices:
+        """Dense matrices over the current-current block, cached.
+
+        Built in one bulk scatter from the pool columns and memoized on
+        the instance, so every candidate evaluation within the same
+        time instance (optimal-matching baseline, greedy comparators,
+        diagnostics) shares one set of matrices instead of rebuilding
+        them pair by pair.
+        """
+        return self.pool.dense(np.nonzero(self.pool.is_current)[0])
 
     def pair(self, row: int) -> CandidatePair:
         """Materialize pool row ``row`` as a :class:`CandidatePair`."""

@@ -10,11 +10,56 @@ columns and the existence probability of Section III-B attached.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
 from repro.model.entities import Task, Worker
 from repro.uncertainty.values import UncertainValue
+
+
+@dataclass(frozen=True)
+class DensePairMatrices:
+    """Dense ``(worker, task)`` matrices over one pool row subset.
+
+    The optimal-matching baselines and the micro-benches consume pairs
+    as matrices; building those cell by cell from :class:`CandidatePair`
+    objects was the old per-pair hot path.  This is the bulk form: one
+    scatter from the pool columns produces every matrix at once, and
+    the owning :class:`~repro.model.instance.ProblemInstance` caches the
+    result so repeated candidate evaluations at the same time instance
+    share it.
+
+    Attributes:
+        worker_ids / task_ids: sorted pool worker/task indices that
+            appear in the subset; matrix axis ``0`` / ``1`` follows
+            their order.
+        row_index: pool row of each cell, ``-1`` where no valid pair.
+        quality: expected quality per cell, ``-inf`` where no pair.
+    """
+
+    worker_ids: np.ndarray
+    task_ids: np.ndarray
+    row_index: np.ndarray
+    quality: np.ndarray
+
+    @cached_property
+    def assignment_cost(self) -> np.ndarray:
+        """Min-cost form of ``quality`` for the Hungarian solver.
+
+        Precomputed once per instance so every ``hungarian_max_weight``
+        call on the same matrices skips rebuilding the negation.
+        """
+        from repro.matching.hungarian import max_weight_cost_matrix
+
+        return max_weight_cost_matrix(self.quality)
+
+    def rows_of_cells(self, cells: list[tuple[int, int]]) -> list[int]:
+        """Pool rows backing the given ``(row, col)`` matrix cells."""
+        if not cells:
+            return []
+        index = np.asarray(cells, dtype=np.int64)
+        return [int(r) for r in self.row_index[index[:, 0], index[:, 1]]]
 
 
 @dataclass(frozen=True, slots=True)
@@ -160,6 +205,35 @@ class PairPool:
             self.quality_ub[selector],
             self.existence[selector],
             self.is_current[selector],
+        )
+
+    def dense(self, rows: np.ndarray | None = None) -> DensePairMatrices:
+        """Scatter a row subset into :class:`DensePairMatrices`.
+
+        Args:
+            rows: pool row indices to include (default: every row).
+                Each ``(worker, task)`` cell may be backed by at most
+                one row — guaranteed for pools built by
+                ``build_problem``, which emits one row per valid cell.
+        """
+        if rows is None:
+            rows = np.arange(len(self), dtype=np.int64)
+        else:
+            rows = np.asarray(rows, dtype=np.int64)
+        worker_ids = np.unique(self.worker_idx[rows])
+        task_ids = np.unique(self.task_idx[rows])
+        shape = (worker_ids.size, task_ids.size)
+        worker_pos = np.searchsorted(worker_ids, self.worker_idx[rows])
+        task_pos = np.searchsorted(task_ids, self.task_idx[rows])
+        row_index = np.full(shape, -1, dtype=np.int64)
+        quality = np.full(shape, -np.inf)
+        row_index[worker_pos, task_pos] = rows
+        quality[worker_pos, task_pos] = self.quality_mean[rows]
+        return DensePairMatrices(
+            worker_ids=worker_ids,
+            task_ids=task_ids,
+            row_index=row_index,
+            quality=quality,
         )
 
     def cost_value(self, row: int) -> UncertainValue:

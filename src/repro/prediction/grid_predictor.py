@@ -113,9 +113,21 @@ class GridPredictor:
             raise RuntimeError("predict_counts() called before any observe()")
         window_matrix = np.stack(self._history, axis=0).astype(float)
         num_cells = self._grid.num_cells
-        raw = np.empty(num_cells, dtype=float)
-        for cell in range(num_cells):
-            raw[cell] = self._predictor.predict(window_matrix[:, cell])
+        predict_batch = getattr(self._predictor, "predict_batch", None)
+        if predict_batch is not None:
+            # Every cell in one vectorized call (the built-in
+            # predictors all support it; evaluating the window
+            # cell-by-cell used to dominate the prediction step).
+            raw = np.asarray(predict_batch(window_matrix), dtype=float)
+            if raw.shape != (num_cells,):
+                raise ValueError(
+                    f"predict_batch returned shape {raw.shape}, "
+                    f"expected ({num_cells},)"
+                )
+        else:
+            raw = np.empty(num_cells, dtype=float)
+            for cell in range(num_cells):
+                raw[cell] = self._predictor.predict(window_matrix[:, cell])
         counts = np.maximum(np.rint(raw), 0.0).astype(np.int64)
         return counts, raw
 

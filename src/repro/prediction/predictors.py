@@ -11,12 +11,21 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Protocol, runtime_checkable
 
-from repro.prediction.regression import predict_next_linear
+import numpy as np
+
+from repro.prediction.regression import predict_next_linear, predict_next_linear_batch
 
 
 @runtime_checkable
 class CountPredictor(Protocol):
-    """Predicts the next value of a short non-negative time series."""
+    """Predicts the next value of a short non-negative time series.
+
+    Implementations may additionally provide ``predict_batch(windows)``
+    taking a ``(w, num_series)`` matrix (oldest row first) and returning
+    one prediction per column; :class:`~repro.prediction.grid_predictor.
+    GridPredictor` uses it to predict every grid cell in one call and
+    falls back to the scalar ``predict`` loop when absent.
+    """
 
     def predict(self, history: Sequence[float]) -> float:
         """Extrapolate one step past ``history`` (window oldest-first)."""
@@ -28,6 +37,9 @@ class LinearRegressionPredictor:
 
     def predict(self, history: Sequence[float]) -> float:
         return predict_next_linear(history)
+
+    def predict_batch(self, windows: np.ndarray) -> np.ndarray:
+        return predict_next_linear_batch(windows)
 
     def __repr__(self) -> str:
         return "LinearRegressionPredictor()"
@@ -41,6 +53,12 @@ class MeanPredictor:
             raise ValueError("cannot predict from an empty history")
         return float(sum(history)) / len(history)
 
+    def predict_batch(self, windows: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=float)
+        if windows.shape[0] == 0:
+            raise ValueError("cannot predict from an empty history")
+        return windows.sum(axis=0) / windows.shape[0]
+
     def __repr__(self) -> str:
         return "MeanPredictor()"
 
@@ -52,6 +70,12 @@ class LastValuePredictor:
         if len(history) == 0:
             raise ValueError("cannot predict from an empty history")
         return float(history[-1])
+
+    def predict_batch(self, windows: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=float)
+        if windows.shape[0] == 0:
+            raise ValueError("cannot predict from an empty history")
+        return windows[-1].copy()
 
     def __repr__(self) -> str:
         return "LastValuePredictor()"
@@ -75,6 +99,15 @@ class ExponentialSmoothingPredictor:
         level = float(history[0])
         for value in history[1:]:
             level = self._alpha * float(value) + (1.0 - self._alpha) * level
+        return level
+
+    def predict_batch(self, windows: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=float)
+        if windows.shape[0] == 0:
+            raise ValueError("cannot predict from an empty history")
+        level = windows[0].copy()
+        for row in windows[1:]:
+            level = self._alpha * row + (1.0 - self._alpha) * level
         return level
 
     def __repr__(self) -> str:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 
 def fit_line(ys: Sequence[float]) -> tuple[float, float]:
     """Least-squares slope and intercept for ``(i+1, ys[i])`` points.
@@ -44,3 +46,32 @@ def predict_next_linear(ys: Sequence[float]) -> float:
     """
     slope, intercept = fit_line(ys)
     return slope * (len(ys) + 1) + intercept
+
+
+def predict_next_linear_batch(windows: np.ndarray) -> np.ndarray:
+    """Column-wise :func:`predict_next_linear` over a window matrix.
+
+    ``windows`` has shape ``(w, num_series)`` — one column per cell,
+    oldest row first.  Evaluates the same closed forms as the scalar
+    path for every column at once (the per-cell grid prediction used
+    to be the simulation loop's hottest non-assignment kernel).
+    """
+    windows = np.asarray(windows, dtype=float)
+    if windows.ndim != 2:
+        raise ValueError(f"windows must be 2-D, got shape {windows.shape}")
+    n = windows.shape[0]
+    if n == 0:
+        raise ValueError("cannot fit a line to zero observations")
+    if n == 1:
+        return windows[0].copy()
+
+    sum_x = n * (n + 1) / 2.0
+    sum_x_sq = n * (n + 1) * (2 * n + 1) / 6.0
+    sum_y = windows.sum(axis=0)
+    x = np.arange(1, n + 1, dtype=float)
+    sum_xy = (x[:, None] * windows).sum(axis=0)
+
+    denominator = n * sum_x_sq - sum_x * sum_x
+    slope = (n * sum_xy - sum_x * sum_y) / denominator
+    intercept = (sum_y - slope * sum_x) / n
+    return slope * (n + 1) + intercept

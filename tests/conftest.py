@@ -1,8 +1,10 @@
 """Shared fixtures for the test suite.
 
 The entity/problem builders live in :mod:`repro.testing` (they are
-part of the public API); this conftest re-exports them so test modules
-can keep the short ``from conftest import make_problem`` imports.
+part of the public API); test modules import them directly with
+``from repro.testing import make_problem`` — never ``from conftest
+import ...``, which is ambiguous when several conftest modules are
+collected in one pytest run.
 """
 
 from __future__ import annotations
@@ -10,14 +12,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.testing import (  # noqa: F401 - re-exported for test modules
-    make_predicted_tasks,
-    make_predicted_workers,
-    make_problem,
-    make_tasks,
-    make_workers,
-)
 from repro.model.instance import ProblemInstance
+from repro.testing import make_problem
 
 
 @pytest.fixture

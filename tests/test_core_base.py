@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.base import AssignmentResult, finalize_selection
 
-from conftest import make_problem
+from repro.testing import make_problem
 
 
 class TestFinalizeSelection:

@@ -7,7 +7,7 @@ from repro.core.divide_conquer import DivideConquerConfig, MQADivideConquer
 from repro.core.exact import exact_assignment
 from repro.core.greedy import MQAGreedy
 
-from conftest import make_problem
+from repro.testing import make_problem
 
 RNG = np.random.default_rng(0)
 

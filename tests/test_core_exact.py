@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.exact import exact_assignment
 
-from conftest import make_problem
+from repro.testing import make_problem
 
 
 def brute_force(problem, budget):

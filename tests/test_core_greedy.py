@@ -7,7 +7,7 @@ from repro.core.exact import exact_assignment
 from repro.core.greedy import GreedyConfig, MQAGreedy
 from repro.core.greedy_reference import ReferenceGreedy
 
-from conftest import make_problem
+from repro.testing import make_problem
 
 
 RNG = np.random.default_rng(0)

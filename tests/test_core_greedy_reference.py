@@ -10,7 +10,7 @@ import numpy as np
 from repro.core.greedy import GreedyConfig
 from repro.core.greedy_reference import ReferenceGreedy
 
-from conftest import make_problem
+from repro.testing import make_problem
 
 RNG = np.random.default_rng(0)
 

@@ -8,7 +8,7 @@ from repro.core.exact import exact_assignment
 from repro.core.greedy import MQAGreedy
 from repro.core.random_assign import RandomAssigner
 
-from conftest import make_problem
+from repro.testing import make_problem
 
 
 class TestRandomAssigner:

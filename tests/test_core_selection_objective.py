@@ -8,7 +8,7 @@ from repro.core.greedy import GreedyConfig, MQAGreedy
 from repro.core.selection import select_best_row
 from test_core_pruning import pool_from_rows
 
-from conftest import make_problem
+from repro.testing import make_problem
 
 RNG = np.random.default_rng(0)
 

@@ -12,7 +12,7 @@ from repro.workloads.base import WorkloadParams
 from repro.workloads.quality import HashQualityModel
 from repro.workloads.synthetic import SyntheticWorkload
 
-from conftest import make_tasks, make_workers
+from repro.testing import make_tasks, make_workers
 
 
 ASSIGNERS = [MQAGreedy(), MQADivideConquer(), RandomAssigner()]

@@ -1,11 +1,22 @@
-"""Tests for repro.matching.hungarian, cross-checked against scipy."""
+"""Tests for repro.matching.hungarian, cross-checked against scipy.
+
+The vectorized solver is additionally checked *pair-for-pair* against
+the retained scalar formulation ``_hungarian_reference`` — identical
+assignments, not just equal totals, including tie-heavy integer
+matrices where argmin ordering matters.
+"""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.matching.hungarian import hungarian_max_weight, hungarian_min_cost
+from repro.matching.hungarian import (
+    _hungarian_reference,
+    hungarian_max_weight,
+    hungarian_min_cost,
+    max_weight_cost_matrix,
+)
 
 
 class TestMinCost:
@@ -117,3 +128,77 @@ class TestMaxWeight:
         _, greedy_total = greedy_max_weight_matching(r, c, weights[r, c])
         _, optimal_total = hungarian_max_weight(weights)
         assert optimal_total >= greedy_total - 1e-9
+
+    def test_precomputed_cost_matches_default(self):
+        rng = np.random.default_rng(11)
+        weights = rng.uniform(-2.0, 5.0, size=(6, 8))
+        weights[rng.uniform(size=weights.shape) < 0.25] = -np.inf
+        precomputed = max_weight_cost_matrix(weights)
+        default = hungarian_max_weight(weights)
+        via_cost = hungarian_max_weight(weights, cost=precomputed)
+        assert via_cost == default
+
+    def test_precomputed_cost_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            hungarian_max_weight(np.ones((2, 3)), cost=np.ones((3, 2)))
+
+
+class TestDifferential:
+    """Vectorized solver vs the scalar reference, pair-for-pair."""
+
+    @staticmethod
+    def _assert_identical(cost: np.ndarray) -> None:
+        assignment, total = hungarian_min_cost(cost)
+        ref_assignment, ref_total = _hungarian_reference(cost)
+        assert assignment == ref_assignment
+        assert total == pytest.approx(ref_total, abs=1e-9)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_rectangular(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        self._assert_identical(rng.uniform(-10.0, 10.0, size=(rows, cols)))
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_tie_heavy_integer_costs(self, rows, cols, seed):
+        """Small-integer matrices force ties; argmin order must agree."""
+        rng = np.random.default_rng(seed)
+        cost = rng.integers(0, 3, size=(rows, cols)).astype(float)
+        self._assert_identical(cost)
+
+    def test_all_negative_weights_partial_matching(self):
+        """All-negative weights: every row stays unmatched (dummy wins)."""
+        weights = np.array([[-1.0, -2.0], [-3.0, -0.5]])
+        assignment, total = hungarian_max_weight(weights, allow_unmatched=True)
+        assert assignment == []
+        assert total == 0.0
+        # The padded min-cost problem both solvers see must also agree.
+        padded = np.hstack(
+            [max_weight_cost_matrix(weights), np.zeros((2, 2))]
+        )
+        self._assert_identical(padded)
+
+    def test_empty_and_degenerate_edges(self):
+        self._assert_identical(np.zeros((0, 0)))
+        self._assert_identical(np.zeros((0, 4)))
+        self._assert_identical(np.array([[3.5]]))
+        self._assert_identical(np.array([[2.0, 1.0]]))
+        self._assert_identical(np.array([[2.0], [1.0]]))
+
+    def test_constant_matrix_all_ties(self):
+        self._assert_identical(np.ones((5, 7)))
+
+    def test_transposed_problems(self):
+        rng = np.random.default_rng(23)
+        cost = rng.uniform(0.0, 1.0, size=(9, 4))
+        self._assert_identical(cost)
+        self._assert_identical(cost.T)

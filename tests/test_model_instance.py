@@ -9,7 +9,7 @@ from repro.model.instance import build_problem
 from repro.model.validity import can_reach
 from repro.workloads.quality import HashQualityModel
 
-from conftest import (
+from repro.testing import (
     make_predicted_tasks,
     make_predicted_workers,
     make_problem,

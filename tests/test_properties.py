@@ -18,7 +18,7 @@ from repro.core.divide_conquer import MQADivideConquer
 from repro.core.greedy import MQAGreedy
 from repro.core.random_assign import RandomAssigner
 
-from conftest import make_problem
+from repro.testing import make_problem
 
 RNG = np.random.default_rng(0)
 
@@ -109,16 +109,21 @@ def test_pool_construction_invariants(params):
     extra=st.floats(min_value=0.5, max_value=30.0),
 )
 @settings(**COMMON)
-def test_greedy_budget_near_monotonicity(seed, budget_small, extra):
-    """Greedy is not strictly monotone in budget (extra budget can lure
-    it into an expensive max-quality pair that crowds out two cheaper
-    ones), but it must never collapse: a larger budget retains at least
-    half the smaller budget's quality.
+def test_greedy_budget_never_collapses(seed, budget_small, extra):
+    """Greedy is not monotone in budget — extra budget can lure it into
+    one expensive max-quality pair that crowds out several cheaper ones,
+    and no fixed quality ratio survives that (seed=158, B=1.75 -> 2.25
+    realizes a 0.35x drop, below the 0.5x this test once asserted).
+    The true invariant: enlarging the budget only widens the feasible
+    set, so whenever the smaller budget assigns anything, the larger
+    one must assign at least one pair with positive quality.
     """
     problem = make_problem(seed=seed, num_workers=8, num_tasks=8)
     low = MQAGreedy().assign(problem, budget_small, 0.0, RNG)
     high = MQAGreedy().assign(problem, budget_small + extra, 0.0, RNG)
-    assert high.total_quality >= 0.5 * low.total_quality - 1e-9
+    if low.num_assigned > 0:
+        assert high.num_assigned > 0
+        assert high.total_quality > 0.0
 
 
 @given(seed=st.integers(min_value=0, max_value=1000))
