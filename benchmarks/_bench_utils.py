@@ -14,9 +14,8 @@ them with ``from _bench_utils import ...``.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-
-import pytest
 
 from repro.experiments.figures import run_figure_by_id
 from repro.experiments.reporting import format_figure, format_figure_csv
@@ -28,6 +27,26 @@ SCALE_HEAVY = 0.04
 SEED = 7
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Machine-readable perf results live at the repo root (checked in, so
+#: the bench trajectory is tracked across PRs; benchmarks/results/ is
+#: regenerated output and stays gitignored).
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist one bench's machine-readable results.
+
+    Writes ``BENCH_<name>.json`` at the repository root and returns the
+    path.  Numbers are rounded by the caller; this helper only fixes
+    the location and format so successive PRs diff cleanly.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps({"bench": name, **payload}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 def run_figure_bench(benchmark, figure_id: str, scale: float = SCALE, seed: int = SEED):

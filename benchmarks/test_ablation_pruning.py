@@ -6,7 +6,6 @@ disabling them leaves the realized quality essentially unchanged while
 slowing the per-instance assignment down.
 """
 
-import numpy as np
 
 from repro.core.greedy import GreedyConfig, MQAGreedy
 from repro.simulation.engine import EngineConfig, SimulationEngine

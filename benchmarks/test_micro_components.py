@@ -7,7 +7,6 @@ the end-to-end figure benches.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.pruning import dominance_skyline
 from repro.geo.grid import GridIndex

@@ -21,6 +21,7 @@ import time
 import numpy as np
 import pytest
 
+from _bench_utils import write_bench_json
 from repro.matching.bipartite import greedy_max_weight_matching_dense
 from repro.matching.hungarian import (
     _hungarian_reference,
@@ -84,6 +85,20 @@ def test_speedup_at_500(request):
     speedup = ref_time / vec_time
     print(f"\nn={SPEEDUP_SCALE}: vectorized {vec_time * 1e3:.1f} ms, "
           f"reference {ref_time * 1e3:.1f} ms, speedup {speedup:.1f}x")
+
+    per_scale = {}
+    for n in SCALES:
+        scale_time, _ = _best_of(hungarian_min_cost, _cost_matrix(n))
+        per_scale[str(n)] = round(scale_time * 1e3, 3)
+    write_bench_json(
+        "matching",
+        {
+            "vectorized_ms_by_n": per_scale,
+            "reference_ms_at_500": round(ref_time * 1e3, 3),
+            "speedup_at_500": round(speedup, 2),
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    )
     assert speedup >= SPEEDUP_FLOOR
 
 

@@ -1,0 +1,142 @@
+"""Throughput benchmark of the streaming assignment subsystem.
+
+Replays the bursty low-velocity scenario (EXPERIMENTS.md, "streaming
+throughput") through the event-driven engine and measures:
+
+- **events/sec** — lifecycle events consumed per wall-clock second;
+- **per-round assignment latency** — mean/max ``cpu_seconds`` of the
+  micro-batch rounds;
+- **candidate pairs** — pairs the sparse, spatial-index-backed builder
+  actually examined vs. the pairs the dense ``W x T`` path would have
+  materialized for the same rounds.
+
+The scenario is deliberately *sparse* (low velocities, short
+deadlines): reachability discs cover a small fraction of the region,
+which is exactly where output-sensitive candidate generation must win.
+The acceptance bar is >= 5x fewer candidate pairs than the dense path;
+the pair-count assertions are deterministic and run in CI too, while
+wall-clock numbers are recorded but never asserted.
+
+Results are written to ``BENCH_streaming.json`` at the repo root so
+the trajectory is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _bench_utils import write_bench_json
+from repro.core import MQAGreedy
+from repro.streaming import StreamConfig, prepared_engine
+from repro.workloads import BurstyWorkload, WorkloadParams
+
+SEED = 7
+PAIR_RATIO_FLOOR = 5.0
+
+PARAMS = WorkloadParams(
+    num_workers=800,
+    num_tasks=800,
+    num_instances=10,
+    velocity_range=(0.05, 0.08),
+    deadline_range=(0.5, 1.0),
+)
+
+
+def _run(workload, use_sparse: bool, use_prediction: bool) -> dict:
+    config = StreamConfig(
+        round_interval=0.5,
+        budget=60.0,
+        use_prediction=use_prediction,
+        use_sparse_builder=use_sparse,
+    )
+    engine, _ = prepared_engine(workload, MQAGreedy(), config=config, seed=SEED)
+    started = time.perf_counter()
+    engine.advance_to(float(workload.num_instances))
+    wall = time.perf_counter() - started
+    result = engine.result()
+    latencies = [i.cpu_seconds for i in result.instances]
+    return {
+        "engine": engine,
+        "result": result,
+        "wall_seconds": wall,
+        "events_per_second": engine.events_processed / wall,
+        "mean_round_latency_ms": 1000.0 * sum(latencies) / len(latencies),
+        "max_round_latency_ms": 1000.0 * max(latencies),
+    }
+
+
+def test_stream_throughput(benchmark):
+    workload = BurstyWorkload(PARAMS, seed=SEED, burst_period=4, burst_multiplier=8.0)
+
+    sparse = benchmark.pedantic(
+        lambda: _run(workload, use_sparse=True, use_prediction=False),
+        rounds=1,
+        iterations=1,
+    )
+    dense = _run(workload, use_sparse=False, use_prediction=False)
+
+    # The two builders must drive identical simulations (differential
+    # guarantee at bench scale, not just on the small test workloads).
+    assert sparse["result"].assignments == dense["result"].assignments
+    assert [i.num_pairs for i in sparse["result"].instances] == [
+        i.num_pairs for i in dense["result"].instances
+    ]
+
+    stats = sparse["engine"].build_stats
+    assert stats.dense_equivalent > 0
+    pair_ratio = stats.dense_equivalent / stats.candidates
+    print(
+        f"\nsparse: {stats.candidates} candidates examined, dense path would "
+        f"materialize {stats.dense_equivalent} ({pair_ratio:.1f}x fewer); "
+        f"{sparse['events_per_second']:.0f} events/s, "
+        f"mean round {sparse['mean_round_latency_ms']:.1f} ms"
+    )
+
+    # With-prediction rounds add the kernel-box pair families; record
+    # their (smaller) pruning win as well.
+    predicted = _run(workload, use_sparse=True, use_prediction=True)
+    predicted_stats = predicted["engine"].build_stats
+    predicted_ratio = predicted_stats.dense_equivalent / predicted_stats.candidates
+
+    write_bench_json(
+        "streaming",
+        {
+            "scenario": {
+                "workload": "bursty",
+                "num_workers": PARAMS.num_workers,
+                "num_tasks": PARAMS.num_tasks,
+                "num_instances": PARAMS.num_instances,
+                "velocity_range": list(PARAMS.velocity_range),
+                "deadline_range": list(PARAMS.deadline_range),
+                "round_interval": 0.5,
+                "seed": SEED,
+            },
+            "no_prediction": {
+                "rounds": sparse["engine"].rounds_run,
+                "events_processed": sparse["engine"].events_processed,
+                "assignments": sparse["result"].total_assigned,
+                "total_quality": round(sparse["result"].total_quality, 3),
+                "events_per_second": round(sparse["events_per_second"], 1),
+                "mean_round_latency_ms": round(sparse["mean_round_latency_ms"], 3),
+                "max_round_latency_ms": round(sparse["max_round_latency_ms"], 3),
+                "candidate_pairs_examined": stats.candidates,
+                "dense_pairs_equivalent": stats.dense_equivalent,
+                "pair_ratio": round(pair_ratio, 2),
+                "dense_wall_seconds": round(dense["wall_seconds"], 3),
+                "sparse_wall_seconds": round(sparse["wall_seconds"], 3),
+            },
+            "with_prediction": {
+                "rounds": predicted["engine"].rounds_run,
+                "assignments": predicted["result"].total_assigned,
+                "events_per_second": round(predicted["events_per_second"], 1),
+                "mean_round_latency_ms": round(
+                    predicted["mean_round_latency_ms"], 3
+                ),
+                "candidate_pairs_examined": predicted_stats.candidates,
+                "dense_pairs_equivalent": predicted_stats.dense_equivalent,
+                "pair_ratio": round(predicted_ratio, 2),
+            },
+            "pair_ratio_floor": PAIR_RATIO_FLOOR,
+        },
+    )
+    assert pair_ratio >= PAIR_RATIO_FLOOR

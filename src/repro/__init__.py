@@ -34,10 +34,23 @@ from repro.core import (
     HungarianAssigner,
     exact_assignment,
 )
-from repro.geo import Point, Box, GridIndex
-from repro.model import Worker, Task, CandidatePair, ProblemInstance, build_problem
+from repro.geo import Point, Box, GridIndex, SpatialIndex
+from repro.model import (
+    Worker,
+    Task,
+    CandidatePair,
+    ProblemInstance,
+    build_problem,
+    build_problem_sparse,
+)
 from repro.prediction import GridPredictor, make_predictor
 from repro.simulation import SimulationEngine, EngineConfig, SimulationResult
+from repro.streaming import (
+    StreamConfig,
+    StreamingEngine,
+    StreamingService,
+    run_stream,
+)
 from repro.uncertainty import UncertainValue
 from repro.workloads import (
     Workload,
@@ -47,6 +60,8 @@ from repro.workloads import (
     HashQualityModel,
     generate_checkins,
     CheckinGeneratorConfig,
+    BurstyWorkload,
+    DriftingHotspotWorkload,
 )
 
 __version__ = "1.0.0"
@@ -65,16 +80,22 @@ __all__ = [
     "Point",
     "Box",
     "GridIndex",
+    "SpatialIndex",
     "Worker",
     "Task",
     "CandidatePair",
     "ProblemInstance",
     "build_problem",
+    "build_problem_sparse",
     "GridPredictor",
     "make_predictor",
     "SimulationEngine",
     "EngineConfig",
     "SimulationResult",
+    "StreamConfig",
+    "StreamingEngine",
+    "StreamingService",
+    "run_stream",
     "UncertainValue",
     "Workload",
     "WorkloadParams",
@@ -83,5 +104,7 @@ __all__ = [
     "HashQualityModel",
     "generate_checkins",
     "CheckinGeneratorConfig",
+    "BurstyWorkload",
+    "DriftingHotspotWorkload",
     "__version__",
 ]

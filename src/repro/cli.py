@@ -1,19 +1,23 @@
-"""Command-line entry point: regenerate any figure of the paper.
+"""Command-line entry point: figure regeneration and streaming runs.
 
 Usage::
 
     mqa-experiments list
     mqa-experiments fig11 --scale 0.1 --seed 7
     mqa-experiments all --scale 0.05 --csv out/
+    mqa-experiments stream --scenario bursty --round-interval 0.5
 
 Each figure command runs the corresponding sweep and prints the quality
-and runtime series (the same rows the paper plots).
+and runtime series (the same rows the paper plots); ``stream`` replays
+a scenario through the event-driven engine and reports throughput.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 from repro.experiments.figures import FIGURES, run_figure_by_id
@@ -25,10 +29,13 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="mqa-experiments",
         description="Regenerate the figures of 'Prediction-Based Task "
         "Assignment in Spatial Crowdsourcing' (ICDE 2017).",
+        epilog="The `stream` command runs the event-driven streaming "
+        "engine instead of a figure sweep; see `mqa-experiments stream "
+        "--help` for its options.",
     )
     parser.add_argument(
         "figure",
-        help="figure id (see `list`), `all`, or `list`",
+        help="figure id (see `list`), `all`, `list`, or `stream`",
     )
     parser.add_argument(
         "--scale",
@@ -82,8 +89,161 @@ def _run_one(
         print(f"wrote {path}")
 
 
+def _build_stream_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mqa-experiments stream",
+        description="Run a scenario through the event-driven streaming engine.",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=("bursty", "hotspot", "synthetic"),
+        default="bursty",
+        help="arrival scenario (default bursty)",
+    )
+    parser.add_argument("--workers", type=int, default=1000, help="total workers")
+    parser.add_argument("--tasks", type=int, default=1000, help="total tasks")
+    parser.add_argument("--instances", type=int, default=10, help="time instances")
+    parser.add_argument(
+        "--round-interval",
+        type=float,
+        default=0.5,
+        help="micro-batch round cadence (1.0 = batch-aligned, default 0.5)",
+    )
+    parser.add_argument("--budget", type=float, default=60.0, help="budget per round")
+    parser.add_argument("--unit-cost", type=float, default=10.0, help="unit price C")
+    parser.add_argument(
+        "--velocity",
+        type=float,
+        nargs=2,
+        default=(0.2, 0.3),
+        metavar=("LOW", "HIGH"),
+        help="worker velocity range (default 0.2 0.3)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=("greedy", "dc", "random"),
+        default="greedy",
+        help="assignment algorithm (default greedy)",
+    )
+    parser.add_argument(
+        "--no-prediction", action="store_true", help="disable grid prediction"
+    )
+    parser.add_argument(
+        "--dense",
+        action="store_true",
+        help="use the dense pair builder instead of the spatial index",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="random seed (default 7)")
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="FILE", help="write summary JSON"
+    )
+    return parser
+
+
+def _stream_workload(args):
+    from repro.workloads import (
+        BurstyWorkload,
+        DriftingHotspotWorkload,
+        SyntheticWorkload,
+        WorkloadParams,
+    )
+
+    params = WorkloadParams(
+        num_workers=args.workers,
+        num_tasks=args.tasks,
+        num_instances=args.instances,
+        velocity_range=tuple(args.velocity),
+    )
+    if args.scenario == "bursty":
+        return BurstyWorkload(params, seed=args.seed)
+    if args.scenario == "hotspot":
+        return DriftingHotspotWorkload(params, seed=args.seed)
+    return SyntheticWorkload(params, seed=args.seed)
+
+
+def _run_stream_command(argv: list[str]) -> int:
+    args = _build_stream_parser().parse_args(argv)
+    from repro.core import MQADivideConquer, MQAGreedy, RandomAssigner
+    from repro.streaming import StreamConfig, prepared_engine
+
+    assigner = {
+        "greedy": MQAGreedy,
+        "dc": MQADivideConquer,
+        "random": RandomAssigner,
+    }[args.algorithm]()
+    workload = _stream_workload(args)
+    config = StreamConfig(
+        round_interval=args.round_interval,
+        budget=args.budget,
+        unit_cost=args.unit_cost,
+        use_prediction=not args.no_prediction,
+        use_sparse_builder=not args.dense,
+    )
+    engine, events_in = prepared_engine(
+        workload, assigner, config=config, seed=args.seed
+    )
+    started = time.perf_counter()
+    engine.advance_to(float(workload.num_instances))
+    wall = time.perf_counter() - started
+    result = engine.result()
+
+    round_latencies = [i.cpu_seconds for i in result.instances]
+    mean_latency_ms = (
+        1000.0 * sum(round_latencies) / len(round_latencies) if round_latencies else 0.0
+    )
+    summary = {
+        "scenario": args.scenario,
+        "algorithm": args.algorithm,
+        "round_interval": args.round_interval,
+        "builder": "dense" if args.dense else "sparse",
+        "events_in": events_in,
+        "events_processed": engine.events_processed,
+        "rounds": engine.rounds_run,
+        "assignments": result.total_assigned,
+        "total_quality": result.total_quality,
+        "total_cost": result.total_cost,
+        "wall_seconds": wall,
+        "events_per_second": engine.events_processed / wall if wall > 0 else 0.0,
+        "mean_round_latency_ms": mean_latency_ms,
+        "candidate_pairs_examined": engine.build_stats.candidates,
+        "dense_pairs_equivalent": engine.build_stats.dense_equivalent,
+    }
+    print(
+        f"{args.scenario} / {args.algorithm} / {summary['builder']}: "
+        f"{summary['rounds']} rounds, {summary['events_processed']} events"
+    )
+    print(
+        f"  assignments {summary['assignments']}  "
+        f"quality {summary['total_quality']:.3f}  cost {summary['total_cost']:.3f}"
+    )
+    print(
+        f"  throughput {summary['events_per_second']:.0f} events/s  "
+        f"mean round latency {mean_latency_ms:.2f} ms"
+    )
+    if not args.dense:
+        ratio = (
+            summary["dense_pairs_equivalent"] / summary["candidate_pairs_examined"]
+            if summary["candidate_pairs_examined"]
+            else float("inf")
+        )
+        print(
+            f"  candidate pairs {summary['candidate_pairs_examined']} "
+            f"(dense would touch {summary['dense_pairs_equivalent']}, "
+            f"{ratio:.1f}x fewer)"
+        )
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(summary, indent=2), encoding="utf-8")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "stream":
+        return _run_stream_command(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.figure == "list":

@@ -8,6 +8,7 @@ enters only at the vectorized layers above.
 from repro.geo.point import Point, euclidean_distance, travel_time
 from repro.geo.box import Box, min_box_distance, max_box_distance
 from repro.geo.grid import GridIndex
+from repro.geo.spatial_index import SpatialIndex
 
 __all__ = [
     "Point",
@@ -17,4 +18,5 @@ __all__ = [
     "min_box_distance",
     "max_box_distance",
     "GridIndex",
+    "SpatialIndex",
 ]

@@ -127,6 +127,38 @@ class GridIndex:
         cells = rows * self._gamma + cols
         return np.bincount(cells, minlength=self.num_cells).astype(np.int64)
 
+    def cells_within_radius(self, point: Point, radius: float) -> np.ndarray:
+        """Cells whose area intersects the disc around ``point``.
+
+        Returns the sorted (row-major) indices of every cell whose
+        closed box lies within ``radius`` of ``point`` — the ring/
+        neighborhood query shared by the spatial candidate index and
+        the grid predictor's local-intensity lookups.  The center may
+        lie outside the unit square (e.g. an un-clipped kernel-box
+        center); only the grid itself is bounded.
+        """
+        if radius < 0.0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        gamma = self._gamma
+        side = self._side
+        # Candidate range padded by one cell per side: the floor can
+        # land exactly on a cell edge (closed boxes *touch* there), and
+        # the exact gap filter below discards any overshoot.
+        col_lo = min(max(int(np.floor((point.x - radius) * gamma)) - 1, 0), gamma - 1)
+        col_hi = min(max(int(np.floor((point.x + radius) * gamma)) + 1, 0), gamma - 1)
+        row_lo = min(max(int(np.floor((point.y - radius) * gamma)) - 1, 0), gamma - 1)
+        row_hi = min(max(int(np.floor((point.y + radius) * gamma)) + 1, 0), gamma - 1)
+        cols = np.arange(col_lo, col_hi + 1)
+        rows = np.arange(row_lo, row_hi + 1)
+        # Per-axis gap from the point to each candidate cell interval;
+        # a cell intersects the disc iff the hypot of the gaps is
+        # within the radius.
+        dx = np.maximum(np.maximum(cols * side - point.x, point.x - (cols + 1) * side), 0.0)
+        dy = np.maximum(np.maximum(rows * side - point.y, point.y - (rows + 1) * side), 0.0)
+        near = np.hypot(dx[None, :], dy[:, None]) <= radius
+        r_idx, c_idx = np.nonzero(near)
+        return ((rows[r_idx]) * gamma + cols[c_idx]).astype(np.int64)
+
     def sample_in_cell(self, cell: int, rng: np.random.Generator, size: int) -> list[Point]:
         """Draw ``size`` points uniformly inside cell ``cell``.
 

@@ -1,0 +1,121 @@
+"""Incremental cell-bucketed point index over the unit square.
+
+The streaming assignment layer cannot afford the batch builder's dense
+``W x T`` candidate matrices; it needs "which tasks could this worker
+still reach?" answered in output-sensitive time.  :class:`SpatialIndex`
+buckets keyed points into the cells of a :class:`~repro.geo.grid.
+GridIndex` and answers reachability-radius queries by visiting only the
+cells intersecting the query disc (``GridIndex.cells_within_radius``).
+
+The index is deliberately exact-on-top-of-coarse: cell selection is a
+superset filter, and :meth:`query_radius` re-checks the true Euclidean
+distance, so callers that need bit-identical validity decisions (the
+sparse pair builder) can run their own exact predicate over
+:meth:`candidates_in_radius` instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.geo.grid import GridIndex
+from repro.geo.point import Point
+
+#: Safety margin applied to the cell-selection radius so floating-point
+#: rounding in the cell-gap arithmetic can never exclude a cell that
+#: holds an exactly-reachable point.
+_CELL_EPSILON = 1e-9
+
+
+class SpatialIndex:
+    """Dynamic point set with radius queries, bucketed on a grid.
+
+    Keys are caller-chosen integers (entity ids or column positions);
+    each key maps to one point.  Insert/remove are O(1); a radius query
+    touches only the buckets of cells intersecting the disc.
+    """
+
+    def __init__(self, grid: GridIndex | int = 16) -> None:
+        self._grid = grid if isinstance(grid, GridIndex) else GridIndex(grid)
+        self._buckets: dict[int, dict[int, tuple[float, float]]] = {}
+        self._cell_of_key: dict[int, int] = {}
+
+    @classmethod
+    def from_points(
+        cls, items: Iterable[tuple[int, Point]], grid: GridIndex | int = 16
+    ) -> "SpatialIndex":
+        """Bulk-build an index from ``(key, point)`` pairs."""
+        index = cls(grid)
+        for key, point in items:
+            index.insert(key, point)
+        return index
+
+    @property
+    def grid(self) -> GridIndex:
+        return self._grid
+
+    def __len__(self) -> int:
+        return len(self._cell_of_key)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._cell_of_key
+
+    def insert(self, key: int, point: Point) -> None:
+        """Add ``key`` at ``point``; re-inserting a live key is an error."""
+        if key in self._cell_of_key:
+            raise KeyError(f"key {key} already indexed (remove it first)")
+        cell = self._grid.cell_of(point)
+        self._buckets.setdefault(cell, {})[key] = (point.x, point.y)
+        self._cell_of_key[key] = cell
+
+    def remove(self, key: int) -> None:
+        """Drop ``key``; raises ``KeyError`` when absent."""
+        cell = self._cell_of_key.pop(key)  # KeyError propagates
+        bucket = self._buckets[cell]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[cell]
+
+    def location(self, key: int) -> Point:
+        """The indexed point of ``key``."""
+        x, y = self._buckets[self._cell_of_key[key]][key]
+        return Point(x, y)
+
+    def candidates_in_radius(self, center: Point, radius: float) -> np.ndarray:
+        """Keys bucketed in cells intersecting the disc (a superset).
+
+        No exact distance check: every key within ``radius`` of
+        ``center`` is returned, possibly along with nearby misses.
+        Sorted ascending.
+        """
+        if radius < 0.0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        if not self._cell_of_key:
+            return np.empty(0, dtype=np.int64)
+        keys: list[int] = []
+        for cell in self._grid.cells_within_radius(center, radius + _CELL_EPSILON):
+            bucket = self._buckets.get(int(cell))
+            if bucket:
+                keys.extend(bucket)
+        if not keys:
+            return np.empty(0, dtype=np.int64)
+        result = np.fromiter(keys, dtype=np.int64, count=len(keys))
+        result.sort()
+        return result
+
+    def query_radius(self, center: Point, radius: float) -> np.ndarray:
+        """Keys whose point lies within ``radius`` of ``center`` (sorted)."""
+        candidates = self.candidates_in_radius(center, radius)
+        if candidates.size == 0:
+            return candidates
+        coords = np.empty((candidates.size, 2))
+        for i, key in enumerate(candidates):
+            cell = self._cell_of_key[int(key)]
+            coords[i] = self._buckets[cell][int(key)]
+        within = np.hypot(coords[:, 0] - center.x, coords[:, 1] - center.y) <= radius
+        return candidates[within]
+
+    def __repr__(self) -> str:
+        return f"SpatialIndex(gamma={self._grid.gamma}, size={len(self)})"

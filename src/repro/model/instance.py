@@ -103,22 +103,136 @@ def _box_intervals(entities: Sequence[Worker] | Sequence[Task]):
     return x_lo, x_hi, y_lo, y_hi
 
 
-def _masked_stats(values: np.ndarray, mask: np.ndarray, axis: int):
-    """Per-row/column sample statistics of ``values`` where ``mask``.
+@dataclass(frozen=True)
+class QualitySampleStats:
+    """Section III-B sample statistics of the valid current pairs.
 
-    Returns ``(count, mean, variance, minimum, maximum)`` along the
-    requested axis.  Rows/columns with zero samples get zeros for the
-    moments and +/-inf extremes (callers substitute fallbacks).
+    Per-task (Case 1), per-worker (Case 2) and pooled (Case 3)
+    count/mean/variance/min/max of the current-current quality scores,
+    with the global (or prior) statistics already substituted where a
+    task/worker has no valid sample.  Built from the *sparse* valid-
+    pair triplets so the dense and sparse pair builders share one
+    accumulation order and agree bit-for-bit.
     """
-    count = mask.sum(axis=axis)
+
+    task_count: np.ndarray
+    task_mean: np.ndarray
+    task_var: np.ndarray
+    task_min: np.ndarray
+    task_max: np.ndarray
+    worker_count: np.ndarray
+    worker_mean: np.ndarray
+    worker_var: np.ndarray
+    worker_min: np.ndarray
+    worker_max: np.ndarray
+    global_mean: float
+    global_var: float
+    global_min: float
+    global_max: float
+    total_valid: int
+
+
+def _segment_stats(index: np.ndarray, values: np.ndarray, size: int):
+    """Count/mean/variance/min/max of ``values`` grouped by ``index``."""
+    count = np.bincount(index, minlength=size)
     safe_count = np.maximum(count, 1)
-    total = np.where(mask, values, 0.0).sum(axis=axis)
+    total = np.bincount(index, weights=values, minlength=size)
     mean = total / safe_count
-    total_sq = np.where(mask, values * values, 0.0).sum(axis=axis)
+    total_sq = np.bincount(index, weights=values * values, minlength=size)
     variance = np.maximum(total_sq / safe_count - mean * mean, 0.0)
-    minimum = np.where(mask, values, np.inf).min(axis=axis, initial=np.inf)
-    maximum = np.where(mask, values, -np.inf).max(axis=axis, initial=-np.inf)
+    minimum = np.full(size, np.inf)
+    np.minimum.at(minimum, index, values)
+    maximum = np.full(size, -np.inf)
+    np.maximum.at(maximum, index, values)
     return count, mean, variance, minimum, maximum
+
+
+def quality_sample_stats(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    num_workers: int,
+    num_tasks: int,
+    prior: tuple[float, float, float, float],
+) -> QualitySampleStats:
+    """Quality statistics from the valid ``<w, t>`` triplets.
+
+    ``rows``/``cols``/``values`` are the worker index, task index and
+    quality score of every valid current-current pair in row-major
+    order; ``prior`` is the quality model's fallback distribution.
+    """
+    prior_mean, prior_var, prior_lb, prior_ub = prior
+    if values.size > 0:
+        global_mean = float(values.mean())
+        global_var = float(values.var())
+        global_min = float(values.min())
+        global_max = float(values.max())
+    else:
+        global_mean, global_var = prior_mean, prior_var
+        global_min, global_max = prior_lb, prior_ub
+
+    def _with_fallback(count, mean, var, lo, hi):
+        empty = count == 0
+        return (
+            np.where(empty, global_mean, mean),
+            np.where(empty, global_var, var),
+            np.where(empty, global_min, lo),
+            np.where(empty, global_max, hi),
+        )
+
+    task_count, task_mean, task_var, task_min, task_max = _segment_stats(
+        cols, values, num_tasks
+    )
+    worker_count, worker_mean, worker_var, worker_min, worker_max = _segment_stats(
+        rows, values, num_workers
+    )
+    task_mean, task_var, task_min, task_max = _with_fallback(
+        task_count, task_mean, task_var, task_min, task_max
+    )
+    worker_mean, worker_var, worker_min, worker_max = _with_fallback(
+        worker_count, worker_mean, worker_var, worker_min, worker_max
+    )
+    return QualitySampleStats(
+        task_count=task_count,
+        task_mean=task_mean,
+        task_var=task_var,
+        task_min=task_min,
+        task_max=task_max,
+        worker_count=worker_count,
+        worker_mean=worker_mean,
+        worker_var=worker_var,
+        worker_min=worker_min,
+        worker_max=worker_max,
+        global_mean=global_mean,
+        global_var=global_var,
+        global_min=global_min,
+        global_max=global_max,
+        total_valid=int(values.size),
+    )
+
+
+def validate_predicted_flags(
+    predicted_workers: Sequence[Worker], predicted_tasks: Sequence[Task]
+) -> None:
+    """Reject entities passed as predicted without the flag set."""
+    if predicted_workers:
+        flags = np.fromiter(
+            (w.predicted for w in predicted_workers),
+            dtype=bool,
+            count=len(predicted_workers),
+        )
+        if not flags.all():
+            bad = predicted_workers[int(np.argmin(flags))]
+            raise ValueError(f"worker {bad.id} passed as predicted but not flagged")
+    if predicted_tasks:
+        flags = np.fromiter(
+            (t.predicted for t in predicted_tasks),
+            dtype=bool,
+            count=len(predicted_tasks),
+        )
+        if not flags.all():
+            bad = predicted_tasks[int(np.argmin(flags))]
+            raise ValueError(f"task {bad.id} passed as predicted but not flagged")
 
 
 def _discount_quality(mean, var, lb, ub, probability):
@@ -205,12 +319,7 @@ def build_problem(
     """
     if unit_cost < 0.0:
         raise ValueError(f"unit cost must be non-negative, got {unit_cost}")
-    for worker in predicted_workers:
-        if not worker.predicted:
-            raise ValueError(f"worker {worker.id} passed as predicted but not flagged")
-    for task in predicted_tasks:
-        if not task.predicted:
-            raise ValueError(f"task {task.id} passed as predicted but not flagged")
+    validate_predicted_flags(predicted_workers, predicted_tasks)
 
     n, m = len(current_workers), len(current_tasks)
     k, l = len(predicted_workers), len(predicted_tasks)
@@ -249,42 +358,27 @@ def build_problem(
         quality_cc = np.zeros((n, m), dtype=float)
 
     # ---- quality samples from the current instance (Cases 1-3) ------------
-    # Case 1 <w_hat, t_j>: per-task sample stats over valid current workers.
-    task_count, task_mean, task_var, task_min, task_max = _masked_stats(
-        quality_cc, valid_cc, axis=0
+    # Per-task (Case 1), per-worker (Case 2) and pooled (Case 3)
+    # statistics, accumulated from the valid-pair triplets so the
+    # sparse builder reproduces them bit-for-bit.
+    cc_rows, cc_cols = np.nonzero(valid_cc)
+    stats = quality_sample_stats(
+        cc_rows,
+        cc_cols,
+        quality_cc[cc_rows, cc_cols],
+        n,
+        m,
+        (prior_mean, prior_var, prior_lb, prior_ub),
     )
-    # Case 2 <w_i, t_hat>: per-worker sample stats over valid current tasks.
-    worker_count, worker_mean, worker_var, worker_min, worker_max = _masked_stats(
-        quality_cc, valid_cc, axis=1
-    )
-    # Case 3 <w_hat, t_hat>: all valid current pair scores pooled.
-    total_valid = int(valid_cc.sum())
-    if total_valid > 0:
-        pooled = quality_cc[valid_cc]
-        global_mean = float(pooled.mean())
-        global_var = float(pooled.var())
-        global_min = float(pooled.min())
-        global_max = float(pooled.max())
-    else:
-        global_mean, global_var = prior_mean, prior_var
-        global_min, global_max = prior_lb, prior_ub
-
-    def _fallback(count, mean, var, lo, hi):
-        """Substitute global/prior stats where no samples exist."""
-        empty = count == 0
-        return (
-            np.where(empty, global_mean, mean),
-            np.where(empty, global_var, var),
-            np.where(empty, global_min, lo),
-            np.where(empty, global_max, hi),
-        )
-
-    task_mean, task_var, task_min, task_max = _fallback(
-        task_count, task_mean, task_var, task_min, task_max
-    )
-    worker_mean, worker_var, worker_min, worker_max = _fallback(
-        worker_count, worker_mean, worker_var, worker_min, worker_max
-    )
+    task_count = stats.task_count
+    task_mean, task_var = stats.task_mean, stats.task_var
+    task_min, task_max = stats.task_min, stats.task_max
+    worker_count = stats.worker_count
+    worker_mean, worker_var = stats.worker_mean, stats.worker_var
+    worker_min, worker_max = stats.worker_min, stats.worker_max
+    global_mean, global_var = stats.global_mean, stats.global_var
+    global_min, global_max = stats.global_min, stats.global_max
+    total_valid = stats.total_valid
 
     def _exact_quality(row_entities, col_entities):
         """Certain quality columns straight from the quality model."""

@@ -18,7 +18,16 @@ from repro.model.entities import Task, Worker
 
 @runtime_checkable
 class QualityModel(Protocol):
-    """Provides pair quality scores ``q_ij``."""
+    """Provides pair quality scores ``q_ij``.
+
+    The score of a pair must be a pure function of the *entities*
+    (worker expertise x task difficulty, as the paper frames it) —
+    never of their positions in the sequences passed in.  The sparse
+    pair builder relies on this to price submatrices and per-pair
+    gathers interchangeably with the full matrix; a position-dependent
+    model (e.g. a test double indexing by row/column) is only safe
+    with the dense builder.
+    """
 
     def quality_matrix(self, workers: Sequence[Worker], tasks: Sequence[Task]) -> np.ndarray:
         """Dense ``(len(workers), len(tasks))`` matrix of scores."""

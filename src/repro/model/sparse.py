@@ -1,0 +1,558 @@
+"""Output-sensitive candidate-pair construction via a spatial index.
+
+:func:`build_problem_sparse` assembles the same four pair families as
+:func:`repro.model.instance.build_problem` — and produces a pool that
+is row-for-row, bit-for-bit identical to the dense builder's on the
+same inputs — but never materializes a ``W x T`` matrix.  Candidates
+are enumerated per query entity through a cell-bucketed
+:class:`~repro.geo.spatial_index.SpatialIndex`: only tasks inside the
+reachability disc ``dist <= horizon * velocity`` (inflated by the
+kernel-box extents for predicted endpoints) are ever touched, so the
+cost is proportional to the number of *reachable* pairs rather than to
+``|W| * |T|``.
+
+Bit-identity holds because every per-pair quantity is an elementwise
+function of the same operands the dense path uses (numpy elementwise
+kernels are value-deterministic across shapes), and the Section III-B
+sample statistics are produced by the shared
+:func:`~repro.model.instance.quality_sample_stats` accumulator, which
+both builders feed with the identical row-major valid-pair triplets.
+The cell-level query is a superset filter only; the exact validity
+predicate is re-evaluated with the dense path's arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.grid import GridIndex
+from repro.geo.spatial_index import SpatialIndex
+from repro.model.entities import Task, Worker
+from repro.model.instance import (
+    ProblemInstance,
+    _box_intervals,
+    _discount_quality,
+    _task_columns,
+    _worker_columns,
+    quality_sample_stats,
+    validate_predicted_flags,
+)
+from repro.model.pairs import PairPool
+from repro.model.quality import QualityModel
+from repro.uncertainty.vector import distance_stats_vec
+
+#: Multiplicative + additive slack on query radii so float rounding in
+#: the radius bound can never exclude an exactly-reachable candidate.
+_RADIUS_SLACK = 1e-9
+
+
+@dataclass
+class SparseBuildStats:
+    """Work counters of one (or many) sparse builds.
+
+    Attributes:
+        candidates: pairs examined after the cell-level query (the
+            sparse path's actual work).
+        emitted: valid pairs that entered the pool.
+        dense_equivalent: pairs the dense builder would have
+            materialized for the same inputs (``n*m + k*m + n*l`` and
+            ``k*l`` when future-future pairs are enabled).
+        queries: spatial-index queries issued.
+    """
+
+    candidates: int = 0
+    emitted: int = 0
+    dense_equivalent: int = 0
+    queries: int = 0
+
+    def merge(self, other: "SparseBuildStats") -> None:
+        self.candidates += other.candidates
+        self.emitted += other.emitted
+        self.dense_equivalent += other.dense_equivalent
+        self.queries += other.queries
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Dense pairs per examined candidate (higher is better)."""
+        if self.candidates == 0:
+            return float("inf") if self.dense_equivalent else 1.0
+        return self.dense_equivalent / self.candidates
+
+
+def _default_index_gamma(count: int) -> int:
+    """Grid resolution heuristic: about one bucket per indexed point."""
+    return max(1, min(64, int(math.sqrt(max(count, 1)))))
+
+
+def _build_task_index(xs: np.ndarray, ys: np.ndarray, gamma: int) -> SpatialIndex:
+    index = SpatialIndex(GridIndex(gamma))
+    for col in range(xs.size):
+        # Points come from entity locations already validated to the
+        # unit square by the workloads; cell_of re-checks.
+        index.insert(col, _IndexPoint(float(xs[col]), float(ys[col])))
+    return index
+
+
+@dataclass(frozen=True, slots=True)
+class _IndexPoint:
+    """Minimal Point-alike so bulk inserts skip Point construction."""
+
+    x: float
+    y: float
+
+
+def _reach(intervals, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Farthest-corner distance from each entity's location to its box.
+
+    Zero for degenerate (current-entity) boxes; bounds how far the
+    validity-relevant box can extend beyond the indexed location, so
+    query radii inflated by it keep the cell filter a superset.
+    """
+    x_lo, x_hi, y_lo, y_hi = intervals
+    dx = np.maximum(np.abs(x_lo - xs), np.abs(x_hi - xs))
+    dy = np.maximum(np.abs(y_lo - ys), np.abs(y_hi - ys))
+    return np.hypot(dx, dy)
+
+
+def _pair_quality(
+    quality_model: QualityModel,
+    workers: Sequence[Worker],
+    tasks: Sequence[Task],
+    rows: np.ndarray,
+    cols: np.ndarray,
+) -> np.ndarray:
+    """Quality scores of the ``(rows[i], cols[i])`` pairs.
+
+    Uses the model's elementwise ``quality_pairs`` hook when available
+    (bit-identical to the matrix entries); otherwise falls back to one
+    ``quality_matrix`` call per distinct worker run.  Both paths rely
+    on the :class:`~repro.model.quality.QualityModel` contract that a
+    score is a pure function of the pair — a position-dependent model
+    would diverge silently here and must use the dense builder.
+    """
+    if rows.size == 0:
+        return np.zeros(0)
+    pairs_hook = getattr(quality_model, "quality_pairs", None)
+    if pairs_hook is not None:
+        return np.asarray(
+            pairs_hook([workers[int(i)] for i in rows], [tasks[int(j)] for j in cols]),
+            dtype=float,
+        )
+    values = np.empty(rows.size)
+    boundaries = np.flatnonzero(np.diff(rows)) + 1
+    for start, stop in zip(
+        np.concatenate(([0], boundaries)), np.concatenate((boundaries, [rows.size]))
+    ):
+        worker = workers[int(rows[start])]
+        run_tasks = [tasks[int(j)] for j in cols[start:stop]]
+        values[start:stop] = quality_model.quality_matrix([worker], run_tasks)[0]
+    return values
+
+
+def _triplet_pool(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    worker_offset: int,
+    task_offset: int,
+    cost: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    quality: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    existence: np.ndarray,
+    is_current: bool,
+) -> PairPool:
+    """Assemble one pair family from aligned per-pair columns."""
+    if rows.size == 0:
+        return PairPool.empty()
+    return PairPool(
+        worker_idx=rows + worker_offset,
+        task_idx=cols + task_offset,
+        cost_mean=cost[0],
+        cost_var=cost[1],
+        cost_lb=cost[2],
+        cost_ub=cost[3],
+        quality_mean=quality[0],
+        quality_var=quality[1],
+        quality_lb=quality[2],
+        quality_ub=quality[3],
+        existence=existence,
+        is_current=np.full(rows.size, is_current, dtype=bool),
+    )
+
+
+def _gather_candidates(
+    index: SpatialIndex,
+    key_to_col: dict[int, int] | None,
+    x: float,
+    y: float,
+    radius: float,
+) -> np.ndarray:
+    """Sorted candidate columns for one query disc."""
+    keys = index.candidates_in_radius(
+        _IndexPoint(x, y), radius * (1.0 + _RADIUS_SLACK) + _RADIUS_SLACK
+    )
+    if key_to_col is None or keys.size == 0:
+        return keys
+    try:
+        cols = np.fromiter(
+            (key_to_col[int(k)] for k in keys), dtype=np.int64, count=keys.size
+        )
+    except KeyError as exc:
+        raise ValueError(
+            f"task_index contains key {exc.args[0]!r} that is not a current task id"
+        ) from exc
+    cols.sort()
+    return cols
+
+
+def _reachable_uncertain_pairs(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    vel: np.ndarray,
+    arr: np.ndarray,
+    intervals,
+    reach: np.ndarray,
+    index: SpatialIndex,
+    key_to_col: dict[int, int] | None,
+    t_intervals,
+    t_deadline: np.ndarray,
+    t_arr: np.ndarray,
+    deadline_max: float,
+    target_reach: float,
+    now: float,
+    local: SparseBuildStats,
+):
+    """The shared query loop of the three predicted-pair families.
+
+    For every query entity: bound the reachability radius (velocity x
+    remaining horizon, inflated by the kernel-box reaches on both
+    sides), gather candidate columns from the index, price them with
+    ``distance_stats_vec``, and keep the pairs passing the dense
+    builder's exact validity predicate ``d_lb <= horizon * velocity``.
+    All contract-critical arithmetic lives here once; returns
+    ``(rows, cols, (d_mean, d_var, d_lb, d_ub))`` in row-major order.
+    """
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    d_parts: list[tuple[np.ndarray, ...]] = []
+    for i in range(xs.size):
+        horizon_bound = max(0.0, deadline_max - max(now, float(arr[i])))
+        radius = float(vel[i]) * horizon_bound + float(reach[i]) + target_reach
+        local.queries += 1
+        cols = _gather_candidates(index, key_to_col, float(xs[i]), float(ys[i]), radius)
+        if cols.size == 0:
+            continue
+        local.candidates += int(cols.size)
+        w_iv = tuple(axis[i : i + 1] for axis in intervals)
+        t_iv = tuple(axis[cols] for axis in t_intervals)
+        d_mean, d_var, d_lb, d_ub = (a[0] for a in distance_stats_vec(w_iv, t_iv))
+        departure = np.maximum(now, np.maximum(arr[i], t_arr[cols]))
+        horizon = t_deadline[cols] - departure
+        valid = (horizon > 0.0) & (d_lb <= horizon * vel[i])
+        if not valid.any():
+            continue
+        rows_parts.append(np.full(int(valid.sum()), i, dtype=np.int64))
+        cols_parts.append(cols[valid])
+        d_parts.append((d_mean[valid], d_var[valid], d_lb[valid], d_ub[valid]))
+    if not rows_parts:
+        empty_idx = np.zeros(0, dtype=np.int64)
+        return empty_idx, empty_idx, tuple(np.zeros(0) for _ in range(4))
+    return (
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        tuple(np.concatenate([p[c] for p in d_parts]) for c in range(4)),
+    )
+
+
+def build_problem_sparse(
+    current_workers: Sequence[Worker],
+    current_tasks: Sequence[Task],
+    predicted_workers: Sequence[Worker],
+    predicted_tasks: Sequence[Task],
+    quality_model: QualityModel,
+    unit_cost: float,
+    now: float,
+    discount_by_existence: bool = True,
+    reservation_filter: bool = True,
+    include_future_future_pairs: bool = True,
+    exact_predicted_quality: bool = False,
+    task_index: SpatialIndex | None = None,
+    index_gamma: int | None = None,
+    stats: SparseBuildStats | None = None,
+) -> ProblemInstance:
+    """Sparse, index-driven equivalent of ``build_problem``.
+
+    Accepts the dense builder's arguments plus:
+
+    Args:
+        task_index: an incrementally maintained index over the
+            *current tasks*, keyed by task id (the streaming engine's
+            candidate index).  When omitted, a per-call index keyed by
+            task column is built in O(|T|).
+        index_gamma: grid resolution for per-call indexes (default: a
+            square-root heuristic on the indexed count).
+        stats: optional work counters, accumulated in place.
+
+    Entity locations must lie in the unit square (the data space every
+    workload maps into); the dense builder has no such requirement.
+    """
+    if unit_cost < 0.0:
+        raise ValueError(f"unit cost must be non-negative, got {unit_cost}")
+    validate_predicted_flags(predicted_workers, predicted_tasks)
+
+    n, m = len(current_workers), len(current_tasks)
+    k, l = len(predicted_workers), len(predicted_tasks)
+    local = SparseBuildStats()
+    local.dense_equivalent = n * m + k * m + n * l
+    if include_future_future_pairs:
+        local.dense_equivalent += k * l
+    pools: list[PairPool] = []
+
+    prior = quality_model.prior()
+
+    if m:
+        tx, ty, t_deadline, t_arr = _task_columns(current_tasks)
+        t_intervals = _box_intervals(current_tasks)
+        t_deadline_max = float(t_deadline.max())
+        max_t_reach = float(_reach(t_intervals, tx, ty).max())
+        if task_index is None:
+            gamma = index_gamma or _default_index_gamma(m)
+            task_index = _build_task_index(tx, ty, gamma)
+            key_to_col: dict[int, int] | None = None
+        else:
+            if len(task_index) != m:
+                raise ValueError(
+                    f"task_index holds {len(task_index)} entries for "
+                    f"{m} current tasks"
+                )
+            key_to_col = {task.id: col for col, task in enumerate(current_tasks)}
+    else:
+        tx = ty = t_deadline = t_arr = np.zeros(0)
+        t_intervals = (np.zeros(0),) * 4
+        t_deadline_max = -np.inf
+        max_t_reach = 0.0
+        key_to_col = None
+
+    if n:
+        wx, wy, w_vel, w_arr = _worker_columns(current_workers)
+    if k:
+        pw_intervals = _box_intervals(predicted_workers)
+        pwx, pwy, pw_vel, pw_arr = _worker_columns(predicted_workers)
+        pw_reach = _reach(pw_intervals, pwx, pwy)
+
+    # ---- current x current -------------------------------------------------
+    cc_rows_parts: list[np.ndarray] = []
+    cc_cols_parts: list[np.ndarray] = []
+    cc_dist_parts: list[np.ndarray] = []
+    if n and m:
+        for i in range(n):
+            horizon_bound = max(0.0, t_deadline_max - max(now, float(w_arr[i])))
+            radius = float(w_vel[i]) * horizon_bound
+            local.queries += 1
+            cols = _gather_candidates(
+                task_index, key_to_col, float(wx[i]), float(wy[i]), radius
+            )
+            if cols.size == 0:
+                continue
+            local.candidates += int(cols.size)
+            dist = np.hypot(wx[i] - tx[cols], wy[i] - ty[cols])
+            departure = np.maximum(now, np.maximum(w_arr[i], t_arr[cols]))
+            horizon = t_deadline[cols] - departure
+            valid = (horizon > 0.0) & (dist <= horizon * w_vel[i])
+            if not valid.any():
+                continue
+            cc_rows_parts.append(np.full(int(valid.sum()), i, dtype=np.int64))
+            cc_cols_parts.append(cols[valid])
+            cc_dist_parts.append(dist[valid])
+
+    if cc_rows_parts:
+        cc_rows = np.concatenate(cc_rows_parts)
+        cc_cols = np.concatenate(cc_cols_parts)
+        cc_dist = np.concatenate(cc_dist_parts)
+    else:
+        cc_rows = cc_cols = np.zeros(0, dtype=np.int64)
+        cc_dist = np.zeros(0)
+    cc_quality = _pair_quality(
+        quality_model, current_workers, current_tasks, cc_rows, cc_cols
+    )
+    if cc_rows.size:
+        cost_cc = unit_cost * cc_dist
+        zeros = np.zeros_like(cc_dist)
+        pools.append(
+            _triplet_pool(
+                cc_rows,
+                cc_cols,
+                worker_offset=0,
+                task_offset=0,
+                cost=(cost_cc, zeros, cost_cc, cost_cc),
+                quality=(cc_quality, zeros, cc_quality, cc_quality),
+                existence=np.ones_like(cc_dist),
+                is_current=True,
+            )
+        )
+        local.emitted += int(cc_rows.size)
+
+    # ---- quality samples from the current instance (Cases 1-3) ------------
+    stats_cc = quality_sample_stats(cc_rows, cc_cols, cc_quality, n, m, prior)
+    exist_task = np.minimum(stats_cc.task_count / max(n, 1), 1.0)
+    exist_worker = np.minimum(stats_cc.worker_count / max(m, 1), 1.0)
+
+    def _emit_predicted_block(
+        rows: np.ndarray,
+        cols: np.ndarray,
+        d_stats: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        quality: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        existence: np.ndarray,
+        worker_offset: int,
+        task_offset: int,
+    ) -> None:
+        d_mean, d_var, d_lb, d_ub = d_stats
+        pools.append(
+            _triplet_pool(
+                rows,
+                cols,
+                worker_offset=worker_offset,
+                task_offset=task_offset,
+                cost=(
+                    unit_cost * d_mean,
+                    unit_cost**2 * d_var,
+                    unit_cost * d_lb,
+                    unit_cost * d_ub,
+                ),
+                quality=quality,
+                existence=existence,
+                is_current=False,
+            )
+        )
+        local.emitted += int(rows.size)
+
+    # ---- predicted workers x current tasks --------------------------------
+    if k and m:
+        rows, cols, d_stats = _reachable_uncertain_pairs(
+            pwx, pwy, pw_vel, pw_arr, pw_intervals, pw_reach,
+            task_index, key_to_col,
+            t_intervals, t_deadline, t_arr, t_deadline_max, max_t_reach,
+            now, local,
+        )
+        if rows.size:
+            existence = exist_task[cols]
+            if exact_predicted_quality:
+                q_vals = _pair_quality(
+                    quality_model, predicted_workers, current_tasks, rows, cols
+                )
+                quality = (q_vals, np.zeros_like(q_vals), q_vals, q_vals)
+            else:
+                quality = tuple(
+                    axis[cols]
+                    for axis in (
+                        stats_cc.task_mean,
+                        stats_cc.task_var,
+                        stats_cc.task_min,
+                        stats_cc.task_max,
+                    )
+                )
+            if discount_by_existence:
+                quality = _discount_quality(*quality, existence)
+            if reservation_filter:
+                has_current = stats_cc.task_count > 0
+                best_current = np.where(has_current, stats_cc.task_max, -np.inf)
+                keep = (quality[0] > best_current[cols]) | ~has_current[cols]
+                rows, cols = rows[keep], cols[keep]
+                d_stats = tuple(a[keep] for a in d_stats)
+                quality = tuple(a[keep] for a in quality)
+                existence = existence[keep]
+            _emit_predicted_block(
+                rows, cols, d_stats, quality, existence, worker_offset=n, task_offset=0
+            )
+
+    # ---- current workers x predicted tasks --------------------------------
+    build_pt_blocks = l and (n or (k and include_future_future_pairs))
+    if build_pt_blocks:
+        ptx, pty, pt_deadline, pt_arr = _task_columns(predicted_tasks)
+        pt_intervals = _box_intervals(predicted_tasks)
+        pt_deadline_max = float(pt_deadline.max())
+        max_pt_reach = float(_reach(pt_intervals, ptx, pty).max())
+        pt_index = _build_task_index(
+            ptx, pty, index_gamma or _default_index_gamma(l)
+        )
+    if n and l:
+        cw_intervals = _box_intervals(current_workers)
+        cw_reach = _reach(cw_intervals, wx, wy)
+        rows, cols, d_stats = _reachable_uncertain_pairs(
+            wx, wy, w_vel, w_arr, cw_intervals, cw_reach,
+            pt_index, None,
+            pt_intervals, pt_deadline, pt_arr, pt_deadline_max, max_pt_reach,
+            now, local,
+        )
+        if rows.size:
+            existence = exist_worker[rows]
+            if exact_predicted_quality:
+                q_vals = _pair_quality(
+                    quality_model, current_workers, predicted_tasks, rows, cols
+                )
+                quality = (q_vals, np.zeros_like(q_vals), q_vals, q_vals)
+            else:
+                quality = tuple(
+                    axis[rows]
+                    for axis in (
+                        stats_cc.worker_mean,
+                        stats_cc.worker_var,
+                        stats_cc.worker_min,
+                        stats_cc.worker_max,
+                    )
+                )
+            if discount_by_existence:
+                quality = _discount_quality(*quality, existence)
+            if reservation_filter:
+                has_current = stats_cc.worker_count > 0
+                best_current = np.where(has_current, stats_cc.worker_max, -np.inf)
+                keep = (quality[0] > best_current[rows]) | ~has_current[rows]
+                rows, cols = rows[keep], cols[keep]
+                d_stats = tuple(a[keep] for a in d_stats)
+                quality = tuple(a[keep] for a in quality)
+                existence = existence[keep]
+            _emit_predicted_block(
+                rows, cols, d_stats, quality, existence, worker_offset=0, task_offset=m
+            )
+
+    # ---- predicted workers x predicted tasks -------------------------------
+    if k and l and include_future_future_pairs:
+        existence_value = min(stats_cc.total_valid / max(n * m, 1), 1.0)
+        rows, cols, d_stats = _reachable_uncertain_pairs(
+            pwx, pwy, pw_vel, pw_arr, pw_intervals, pw_reach,
+            pt_index, None,
+            pt_intervals, pt_deadline, pt_arr, pt_deadline_max, max_pt_reach,
+            now, local,
+        )
+        if rows.size:
+            existence = np.full(rows.size, existence_value)
+            if exact_predicted_quality:
+                q_vals = _pair_quality(
+                    quality_model, predicted_workers, predicted_tasks, rows, cols
+                )
+                quality = (q_vals, np.zeros_like(q_vals), q_vals, q_vals)
+            else:
+                quality = (
+                    np.full(rows.size, stats_cc.global_mean),
+                    np.full(rows.size, stats_cc.global_var),
+                    np.full(rows.size, stats_cc.global_min),
+                    np.full(rows.size, stats_cc.global_max),
+                )
+            if discount_by_existence:
+                quality = _discount_quality(*quality, existence)
+            _emit_predicted_block(
+                rows, cols, d_stats, quality, existence, worker_offset=n, task_offset=m
+            )
+
+    if stats is not None:
+        stats.merge(local)
+    return ProblemInstance(
+        workers=list(current_workers) + list(predicted_workers),
+        tasks=list(current_tasks) + list(predicted_tasks),
+        num_current_workers=n,
+        num_current_tasks=m,
+        pool=PairPool.concatenate(pools),
+        now=now,
+    )

@@ -131,6 +131,19 @@ class GridPredictor:
         counts = np.maximum(np.rint(raw), 0.0).astype(np.int64)
         return counts, raw
 
+    def predicted_count_near(self, point: Point, radius: float) -> float:
+        """Predicted next-instance arrivals within ``radius`` of ``point``.
+
+        Sums the rounded per-cell forecast over every cell whose area
+        intersects the disc (``GridIndex.cells_within_radius``), i.e.
+        a cell-resolution upper-ish estimate of local demand — the
+        streaming service's "how busy will it be here" query.  Raises
+        ``RuntimeError`` before any observation.
+        """
+        counts, _ = self.predict_counts()
+        cells = self._grid.cells_within_radius(point, radius)
+        return float(counts[cells].sum())
+
     def predict(
         self,
         rng: np.random.Generator,

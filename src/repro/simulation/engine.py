@@ -313,59 +313,94 @@ class SimulationEngine:
     ) -> tuple[list[Worker], list[Task]]:
         """Materialize ``W_{p+1}`` and ``T_{p+1}`` from the predictors."""
         config = self._config
-        worker_std = self._location_std([w.location for w in current_workers])
-        task_std = self._location_std([t.location for t in current_tasks])
-        predicted_w = self._worker_predictor.predict(rng, worker_std)
-        predicted_t = self._task_predictor.predict(rng, task_std)
-
-        if current_workers:
-            velocity = sum(w.velocity for w in current_workers) / len(current_workers)
-        else:
-            velocity = config.default_velocity
-        if current_tasks:
-            offset = sum(t.deadline - t.arrival for t in current_tasks) / len(
-                current_tasks
-            )
-        else:
-            offset = config.default_deadline_offset
-
-        workers = [
-            Worker(
-                id=_PREDICTED_ID_BASE + i,
-                location=sample,
-                velocity=velocity,
-                arrival=now + 1.0,
-                predicted=True,
-                box=box,
-            )
-            for i, (sample, box) in enumerate(
-                zip(predicted_w.samples, predicted_w.boxes)
-            )
-        ]
-        tasks = [
-            Task(
-                id=_PREDICTED_ID_BASE + len(workers) + j,
-                location=sample,
-                deadline=now + 1.0 + offset,
-                arrival=now + 1.0,
-                predicted=True,
-                box=box,
-            )
-            for j, (sample, box) in enumerate(
-                zip(predicted_t.samples, predicted_t.boxes)
-            )
-        ]
-        return workers, tasks
+        return predict_entities(
+            rng,
+            now,
+            current_workers,
+            current_tasks,
+            self._worker_predictor,
+            self._task_predictor,
+            default_velocity=config.default_velocity,
+            default_deadline_offset=config.default_deadline_offset,
+        )
 
     @staticmethod
     def _location_std(points) -> tuple[float, float]:
-        if not points:
-            return (0.0, 0.0)
-        xs = np.array([p.x for p in points])
-        ys = np.array([p.y for p in points])
-        return (float(xs.std()), float(ys.std()))
+        return location_std(points)
 
     @staticmethod
     def _last_counts(predictor: GridPredictor) -> np.ndarray:
         counts, _ = predictor.predict_counts()
         return counts
+
+
+def location_std(points) -> tuple[float, float]:
+    """Per-dimension standard deviation of a point set (KDE bandwidth)."""
+    if not points:
+        return (0.0, 0.0)
+    xs = np.array([p.x for p in points])
+    ys = np.array([p.y for p in points])
+    return (float(xs.std()), float(ys.std()))
+
+
+def predict_entities(
+    rng: np.random.Generator,
+    now: float,
+    current_workers: list[Worker],
+    current_tasks: list[Task],
+    worker_predictor: GridPredictor,
+    task_predictor: GridPredictor,
+    default_velocity: float,
+    default_deadline_offset: float,
+    step: float = 1.0,
+) -> tuple[list[Worker], list[Task]]:
+    """Materialize the next instance's predicted entity sets.
+
+    Shared by the batch engine (``step = 1.0``, one time instance
+    ahead) and the streaming engine, whose look-ahead is its round
+    interval.  Velocity and deadline offsets are estimated from the
+    current population, falling back to the configured defaults.
+    """
+    worker_std = location_std([w.location for w in current_workers])
+    task_std = location_std([t.location for t in current_tasks])
+    predicted_w = worker_predictor.predict(rng, worker_std)
+    predicted_t = task_predictor.predict(rng, task_std)
+
+    if current_workers:
+        velocity = sum(w.velocity for w in current_workers) / len(current_workers)
+    else:
+        velocity = default_velocity
+    if current_tasks:
+        offset = sum(t.deadline - t.arrival for t in current_tasks) / len(
+            current_tasks
+        )
+    else:
+        offset = default_deadline_offset
+
+    workers = [
+        Worker(
+            id=_PREDICTED_ID_BASE + i,
+            location=sample,
+            velocity=velocity,
+            arrival=now + step,
+            predicted=True,
+            box=box,
+        )
+        for i, (sample, box) in enumerate(
+            zip(predicted_w.samples, predicted_w.boxes)
+        )
+    ]
+    tasks = [
+        Task(
+            id=_PREDICTED_ID_BASE + len(workers) + j,
+            location=sample,
+            deadline=now + step + offset,
+            arrival=now + step,
+            predicted=True,
+            box=box,
+        )
+        for j, (sample, box) in enumerate(
+            zip(predicted_t.samples, predicted_t.boxes)
+        )
+    ]
+    return workers, tasks

@@ -1,0 +1,535 @@
+"""Continuous-time streaming assignment engine.
+
+Where :class:`~repro.simulation.engine.SimulationEngine` batches the
+world into discrete time instances, this engine consumes an *event
+stream* (arrivals, expiries, worker releases) and runs assignment
+rounds on a configurable micro-batch cadence: events are applied in
+timestamp order between rounds, and each round prices and assigns only
+the entities alive at that moment, generating candidate pairs through
+the sparse, spatial-index-backed builder.
+
+Equivalence contract: with ``round_interval = 1.0`` and a workload
+adapter stamping arrivals at integer instances, the engine reproduces
+the batch framework's :class:`~repro.simulation.metrics.
+SimulationResult` *exactly* — same assignments, same quality/cost
+accounting, same prediction errors (``cpu_seconds`` is wall-clock and
+necessarily differs).  Everything order- or RNG-sensitive (pool
+ordering, released-worker id allocation, predictor draws) mirrors the
+batch loop; the differential suite in
+``tests/test_streaming_equivalence.py`` enforces the contract.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import Assigner
+from repro.geo.grid import GridIndex
+from repro.geo.point import euclidean_distance
+from repro.geo.spatial_index import SpatialIndex
+from repro.model.entities import Task, Worker
+from repro.model.instance import build_problem
+from repro.model.quality import QualityModel
+from repro.model.sparse import SparseBuildStats, build_problem_sparse
+from repro.prediction.accuracy import average_relative_error
+from repro.prediction.grid_predictor import GridPredictor
+from repro.prediction.predictors import CountPredictor
+from repro.simulation.engine import (
+    EngineConfig,
+    _PREDICTED_ID_BASE,
+    predict_entities,
+)
+from repro.simulation.metrics import (
+    AssignmentRecord,
+    InstanceMetrics,
+    SimulationResult,
+)
+from repro.streaming.events import (
+    PHASE_RELEASE,
+    Event,
+    EventQueue,
+    TaskArrival,
+    TaskExpiry,
+    WorkerArrival,
+    WorkerRelease,
+)
+
+_RELEASED_ID_BASE = _PREDICTED_ID_BASE * 2
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Streaming engine knobs.
+
+    The assignment-policy fields mirror :class:`~repro.simulation.
+    engine.EngineConfig`; the streaming-specific ones are:
+
+    Attributes:
+        round_interval: time between micro-batch assignment rounds.
+            ``1.0`` aligns rounds with the batch engine's instances.
+        budget: reward budget ``B`` granted per round.
+        use_sparse_builder: generate candidates through the spatial
+            index (``build_problem_sparse``) instead of the dense
+            matrix builder.  Both produce identical pools; the sparse
+            path is output-sensitive.
+        index_gamma: grid resolution of the maintained task index.
+    """
+
+    round_interval: float = 1.0
+    budget: float = 300.0
+    unit_cost: float = 10.0
+    use_prediction: bool = True
+    grid_gamma: int = 10
+    window: int = 3
+    discount_by_existence: bool = True
+    reservation_filter: bool = True
+    include_future_future_pairs: bool = True
+    default_deadline_offset: float = 1.5
+    default_velocity: float = 0.25
+    use_sparse_builder: bool = True
+    index_gamma: int = 16
+
+    def __post_init__(self) -> None:
+        if self.round_interval <= 0.0:
+            raise ValueError("round_interval must be positive")
+        if self.budget < 0.0:
+            raise ValueError("budget must be non-negative")
+        if self.unit_cost < 0.0:
+            raise ValueError("unit cost must be non-negative")
+        if self.grid_gamma < 1:
+            raise ValueError("grid_gamma must be >= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.index_gamma < 1:
+            raise ValueError("index_gamma must be >= 1")
+
+    @classmethod
+    def from_engine_config(
+        cls,
+        config: EngineConfig,
+        round_interval: float = 1.0,
+        use_sparse_builder: bool = True,
+        index_gamma: int = 16,
+    ) -> "StreamConfig":
+        """Lift a batch :class:`EngineConfig` into streaming form."""
+        if config.oracle_prediction:
+            raise ValueError(
+                "oracle prediction needs workload look-ahead; the streaming "
+                "engine has no future to peek at"
+            )
+        return cls(
+            round_interval=round_interval,
+            budget=config.budget,
+            unit_cost=config.unit_cost,
+            use_prediction=config.use_prediction,
+            grid_gamma=config.grid_gamma,
+            window=config.window,
+            discount_by_existence=config.discount_by_existence,
+            reservation_filter=config.reservation_filter,
+            include_future_future_pairs=config.include_future_future_pairs,
+            default_deadline_offset=config.default_deadline_offset,
+            default_velocity=config.default_velocity,
+            use_sparse_builder=use_sparse_builder,
+            index_gamma=index_gamma,
+        )
+
+
+class StreamingEngine:
+    """Event-driven MQA assignment over a continuous timeline.
+
+    Feed events with :meth:`submit` (or the helpers in
+    :mod:`repro.streaming.adapters`), then :meth:`advance_to` a
+    timestamp: every due micro-batch round up to it is executed.  The
+    engine never looks at future events — a round sees exactly the
+    entities whose events were stamped at or before it.
+    """
+
+    def __init__(
+        self,
+        assigner: Assigner,
+        quality_model: QualityModel,
+        config: StreamConfig | None = None,
+        predictor: CountPredictor | None = None,
+        seed: int = 0,
+        end_time: float | None = None,
+    ) -> None:
+        self._assigner = assigner
+        self._quality_model = quality_model
+        self._config = config if config is not None else StreamConfig()
+        self._end_time = end_time
+        self._rng = np.random.default_rng(seed)
+
+        grid = GridIndex(self._config.grid_gamma)
+        self._worker_predictor = GridPredictor(grid, self._config.window, predictor)
+        self._task_predictor = GridPredictor(grid, self._config.window, predictor)
+
+        self._queue = EventQueue()
+        self._available_workers: list[Worker] = []
+        self._available_worker_ids: set[int] = set()
+        self._available_tasks: list[Task] = []
+        self._available_task_ids: set[int] = set()
+        self._total_quality = 0.0
+        self._total_cost = 0.0
+        self._task_index = SpatialIndex(GridIndex(self._config.index_gamma))
+        self._release_buffer: list[WorkerRelease] = []
+        self._joined_workers: list[Worker] = []
+        self._new_tasks: list[Task] = []
+
+        self._next_released_id = _RELEASED_ID_BASE
+        self._assignment_seq = 0
+        self._next_round_index = 0
+        self._last_worker_prediction: np.ndarray | None = None
+        self._last_task_prediction: np.ndarray | None = None
+
+        self._metrics: list[InstanceMetrics] = []
+        self._log: list[AssignmentRecord] = []
+        self.events_processed = 0
+        self.build_stats = SparseBuildStats()
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def config(self) -> StreamConfig:
+        return self._config
+
+    @property
+    def worker_predictor(self) -> GridPredictor:
+        return self._worker_predictor
+
+    @property
+    def task_predictor(self) -> GridPredictor:
+        return self._task_predictor
+
+    @property
+    def clock(self) -> float | None:
+        """Timestamp of the last executed round (``None`` before any)."""
+        if self._next_round_index == 0:
+            return None
+        return (self._next_round_index - 1) * self._config.round_interval
+
+    @property
+    def rounds_run(self) -> int:
+        return self._next_round_index
+
+    @property
+    def num_available_workers(self) -> int:
+        return len(self._available_workers)
+
+    @property
+    def num_available_tasks(self) -> int:
+        return len(self._available_tasks)
+
+    @property
+    def num_pending_events(self) -> int:
+        return len(self._queue)
+
+    def result(self) -> SimulationResult:
+        """Metrics and audit trail of every round executed so far."""
+        return SimulationResult(
+            instances=list(self._metrics), assignments=list(self._log)
+        )
+
+    @property
+    def num_assignments(self) -> int:
+        return len(self._log)
+
+    @property
+    def total_quality(self) -> float:
+        """Running realized quality (O(1); no history copy)."""
+        return self._total_quality
+
+    @property
+    def total_cost(self) -> float:
+        """Running realized cost (O(1); no history copy)."""
+        return self._total_cost
+
+    def assignments_since(self, start: int) -> list[AssignmentRecord]:
+        """Audit-trail records from position ``start`` on (a copy).
+
+        Lets a long-lived service hand out only the fresh tail instead
+        of re-materializing the whole history every drain.
+        """
+        return self._log[start:]
+
+    # -- event intake -------------------------------------------------------
+
+    def submit(self, event: Event) -> None:
+        """Enqueue one event.
+
+        Events stamped before the engine's clock are not an error —
+        they simply become visible at the next round, the streaming
+        analogue of a late-arriving record.
+        """
+        self._queue.push(event)
+
+    def submit_worker(self, worker: Worker, at: float | None = None) -> None:
+        """Enqueue a worker arrival (defaults to the worker's arrival time)."""
+        if worker.predicted:
+            raise ValueError(f"worker {worker.id}: cannot submit a predicted entity")
+        self._queue.push(WorkerArrival(worker.arrival if at is None else at, worker))
+
+    def submit_task(self, task: Task, at: float | None = None) -> None:
+        """Enqueue a task arrival (defaults to the task's arrival time)."""
+        if task.predicted:
+            raise ValueError(f"task {task.id}: cannot submit a predicted entity")
+        self._queue.push(TaskArrival(task.arrival if at is None else at, task))
+
+    # -- time advancement ---------------------------------------------------
+
+    def advance_to(self, until: float) -> None:
+        """Run every micro-batch round scheduled at or before ``until``.
+
+        Rounds fire at multiples of ``round_interval``; when the engine
+        was built with an ``end_time`` (workload mode), rounds at or
+        past it never run — matching the batch loop's ``R`` instances.
+        """
+        while True:
+            round_time = self._next_round_index * self._config.round_interval
+            if round_time > until:
+                break
+            if self._end_time is not None and round_time >= self._end_time:
+                break
+            self._run_round(round_time, self._next_round_index)
+            self._next_round_index += 1
+
+    def drain_pending(self) -> None:
+        """Advance so every queued arrival/release has seen a round.
+
+        Expiry events are deliberately ignored when picking the target
+        time: a far-future deadline on an unassignable task must not
+        fast-forward the clock through dozens of empty rounds.
+        """
+        latest = self._queue.latest_time(max_phase=PHASE_RELEASE)
+        if latest is None:
+            return
+        interval = self._config.round_interval
+        # At least the next round, even when every queued event is
+        # late-stamped (before the clock) — submit() promises late
+        # events become visible at the next round.
+        rounds_needed = max(
+            int(np.ceil(latest / interval)), self._next_round_index
+        )
+        self.advance_to(rounds_needed * interval)
+
+    # -- the round ----------------------------------------------------------
+
+    def _apply_due_events(self, now: float) -> None:
+        expired: set[int] = set()
+        for event in self._queue.pop_due(now):
+            self.events_processed += 1
+            if isinstance(event, WorkerArrival):
+                worker = event.worker
+                if worker.id in self._available_worker_ids:
+                    raise ValueError(
+                        f"worker {worker.id} is already in the pool; live "
+                        "entity ids must be unique"
+                    )
+                self._available_worker_ids.add(worker.id)
+                self._available_workers.append(worker)
+                self._joined_workers.append(worker)
+            elif isinstance(event, TaskArrival):
+                task = event.task
+                if task.id in self._available_task_ids:
+                    raise ValueError(
+                        f"task {task.id} is already pending; live entity "
+                        "ids must be unique"
+                    )
+                self._available_task_ids.add(task.id)
+                self._available_tasks.append(task)
+                self._task_index.insert(task.id, task.location)
+                self._queue.push(TaskExpiry(task.deadline, task.id))
+                self._new_tasks.append(task)
+            elif isinstance(event, WorkerRelease):
+                self._release_buffer.append(event)
+            elif isinstance(event, TaskExpiry):
+                # Expiries for tasks already assigned (or dropped) are
+                # stale — deadlines only matter while still available.
+                if event.task_id in self._available_task_ids:
+                    expired.add(event.task_id)
+                    self._available_task_ids.discard(event.task_id)
+                    self._task_index.remove(event.task_id)
+        if expired:
+            # One filtering pass per round, not one per expiry: a burst
+            # round can expire hundreds of tasks at once.
+            self._available_tasks = [
+                t for t in self._available_tasks if t.id not in expired
+            ]
+
+    def _flush_releases(self, now: float) -> None:
+        """Re-materialize released workers in assignment order.
+
+        The batch engine iterates its busy list in append (assignment)
+        order when releasing, so released ids — which seed the hashed
+        quality scores — must be allocated in that order here too, not
+        in release-time order.
+        """
+        if not self._release_buffer:
+            return
+        self._release_buffer.sort(key=lambda event: event.assignment_seq)
+        for event in self._release_buffer:
+            worker = Worker(
+                id=self._next_released_id,
+                location=event.location,
+                velocity=event.velocity,
+                arrival=now,
+            )
+            self._next_released_id += 1
+            self._available_worker_ids.add(worker.id)
+            self._available_workers.append(worker)
+            self._joined_workers.append(worker)
+        self._release_buffer.clear()
+
+    def _run_round(self, now: float, round_index: int) -> None:
+        config = self._config
+        started = _time.perf_counter()
+
+        self._apply_due_events(now)
+        self._flush_releases(now)
+
+        # Prediction bookkeeping: score the previous round's forecast
+        # against what actually joined, observe, forecast the next.
+        grid = self._worker_predictor.grid
+        actual_worker_counts = grid.count_points(
+            [w.location for w in self._joined_workers]
+        )
+        actual_task_counts = grid.count_points([t.location for t in self._new_tasks])
+        worker_error = (
+            average_relative_error(self._last_worker_prediction, actual_worker_counts)
+            if self._last_worker_prediction is not None
+            else None
+        )
+        task_error = (
+            average_relative_error(self._last_task_prediction, actual_task_counts)
+            if self._last_task_prediction is not None
+            else None
+        )
+        self._worker_predictor.observe_counts(actual_worker_counts)
+        self._task_predictor.observe_counts(actual_task_counts)
+        self._joined_workers.clear()
+        self._new_tasks.clear()
+
+        predicting = config.use_prediction and (
+            self._end_time is None
+            or now + config.round_interval < self._end_time
+        )
+        predicted_workers: list[Worker] = []
+        predicted_tasks: list[Task] = []
+        if predicting:
+            predicted_workers, predicted_tasks = predict_entities(
+                self._rng,
+                now,
+                self._available_workers,
+                self._available_tasks,
+                self._worker_predictor,
+                self._task_predictor,
+                default_velocity=config.default_velocity,
+                default_deadline_offset=config.default_deadline_offset,
+                step=config.round_interval,
+            )
+            self._last_worker_prediction = self._worker_predictor.predict_counts()[0]
+            self._last_task_prediction = self._task_predictor.predict_counts()[0]
+        else:
+            self._last_worker_prediction = None
+            self._last_task_prediction = None
+
+        num_workers = len(self._available_workers)
+        num_tasks = len(self._available_tasks)
+
+        if config.use_sparse_builder:
+            problem = build_problem_sparse(
+                self._available_workers,
+                self._available_tasks,
+                predicted_workers,
+                predicted_tasks,
+                self._quality_model,
+                config.unit_cost,
+                now,
+                discount_by_existence=config.discount_by_existence,
+                reservation_filter=config.reservation_filter,
+                include_future_future_pairs=config.include_future_future_pairs,
+                task_index=self._task_index if num_tasks else None,
+                index_gamma=config.index_gamma,
+                stats=self.build_stats,
+            )
+        else:
+            problem = build_problem(
+                self._available_workers,
+                self._available_tasks,
+                predicted_workers,
+                predicted_tasks,
+                self._quality_model,
+                config.unit_cost,
+                now,
+                discount_by_existence=config.discount_by_existence,
+                reservation_filter=config.reservation_filter,
+                include_future_future_pairs=config.include_future_future_pairs,
+            )
+        budget_future = (
+            config.budget if predicted_workers or predicted_tasks else 0.0
+        )
+        result = self._assigner.assign(
+            problem, config.budget, budget_future, self._rng
+        )
+        elapsed = _time.perf_counter() - started
+
+        assigned_worker_ids = {p.worker.id for p in result.pairs}
+        assigned_task_ids = {p.task.id for p in result.pairs}
+        for pair in result.pairs:
+            travel = euclidean_distance(pair.worker.location, pair.task.location)
+            travel_time = travel / pair.worker.velocity
+            release_time = now + travel_time
+            self._queue.push(
+                WorkerRelease(
+                    time=release_time,
+                    location=pair.task.location,
+                    velocity=pair.worker.velocity,
+                    assignment_seq=self._assignment_seq,
+                )
+            )
+            self._assignment_seq += 1
+            self._log.append(
+                AssignmentRecord(
+                    instance=round_index,
+                    worker_id=pair.worker.id,
+                    task_id=pair.task.id,
+                    quality=pair.quality.mean,
+                    cost=pair.cost.mean,
+                    travel_time=travel_time,
+                    release_time=release_time,
+                )
+            )
+
+        if assigned_worker_ids:
+            self._available_workers = [
+                w for w in self._available_workers if w.id not in assigned_worker_ids
+            ]
+            self._available_worker_ids -= assigned_worker_ids
+        if assigned_task_ids:
+            self._available_tasks = [
+                t for t in self._available_tasks if t.id not in assigned_task_ids
+            ]
+            for task_id in assigned_task_ids:
+                self._available_task_ids.discard(task_id)
+                self._task_index.remove(task_id)
+
+        self._total_quality += result.total_quality
+        self._total_cost += result.total_cost
+        self._metrics.append(
+            InstanceMetrics(
+                instance=round_index,
+                quality=result.total_quality,
+                cost=result.total_cost,
+                assigned=result.num_assigned,
+                num_workers=num_workers,
+                num_tasks=num_tasks,
+                num_predicted_workers=len(predicted_workers),
+                num_predicted_tasks=len(predicted_tasks),
+                num_pairs=problem.num_pairs,
+                cpu_seconds=elapsed,
+                worker_prediction_error=worker_error,
+                task_prediction_error=task_error,
+            )
+        )

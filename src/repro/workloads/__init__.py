@@ -30,6 +30,7 @@ from repro.workloads.checkins import (
     save_checkins,
 )
 from repro.workloads.real import RealWorkload, map_to_unit_square
+from repro.workloads.streaming import BurstyWorkload, DriftingHotspotWorkload
 
 __all__ = [
     "Workload",
@@ -49,4 +50,6 @@ __all__ = [
     "save_checkins",
     "RealWorkload",
     "map_to_unit_square",
+    "BurstyWorkload",
+    "DriftingHotspotWorkload",
 ]

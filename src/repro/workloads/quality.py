@@ -34,10 +34,16 @@ def _splitmix64(values: np.ndarray) -> np.ndarray:
 
 
 def _hash_uniform(worker_ids: np.ndarray, task_ids: np.ndarray, salt: np.uint64) -> np.ndarray:
-    """Pairwise uniforms in ``(0, 1]`` from id pairs (broadcasting)."""
+    """Uniforms in ``(0, 1]`` from broadcastable id arrays.
+
+    Pass ``worker_ids[:, None]`` against ``task_ids`` for the full
+    pairwise matrix, or two aligned 1-D arrays for elementwise pairs;
+    a given ``(worker, task)`` id pair hashes to the same value either
+    way (all operations are elementwise).
+    """
     mixed_workers = _splitmix64(worker_ids.astype(np.uint64) * _WORKER_SALT + salt)
     mixed_tasks = _splitmix64(task_ids.astype(np.uint64) * _TASK_SALT + salt)
-    combined = _splitmix64(mixed_workers[:, None] ^ mixed_tasks[None, :])
+    combined = _splitmix64(mixed_workers ^ mixed_tasks)
     # Top 53 bits -> (0, 1]; +1 keeps log() finite in Box-Muller.
     return ((combined >> np.uint64(11)).astype(np.float64) + 1.0) / _TWO_POW_53
 
@@ -77,6 +83,30 @@ class HashQualityModel:
         task_ids = np.abs(np.asarray(task_ids, dtype=np.int64))
         if worker_ids.size == 0 or task_ids.size == 0:
             return np.zeros((worker_ids.size, task_ids.size))
+        return self._scores(worker_ids[:, None], task_ids[None, :])
+
+    def quality_pairs(self, workers: Sequence[Worker], tasks: Sequence[Task]) -> np.ndarray:
+        """Elementwise scores for aligned worker/task sequences.
+
+        ``workers[i]`` is paired with ``tasks[i]``; the result is the
+        diagonal of :meth:`quality_matrix` without materializing the
+        outer product — the hook the sparse pair builder uses to price
+        only reachable pairs.  Scores are bit-identical to the matrix
+        entries for the same id pairs.
+        """
+        if len(workers) != len(tasks):
+            raise ValueError(
+                f"aligned sequences required, got {len(workers)} workers "
+                f"and {len(tasks)} tasks"
+            )
+        worker_ids = np.abs(np.array([w.id for w in workers], dtype=np.int64))
+        task_ids = np.abs(np.array([t.id for t in tasks], dtype=np.int64))
+        if worker_ids.size == 0:
+            return np.zeros(0)
+        return self._scores(worker_ids, task_ids)
+
+    def _scores(self, worker_ids: np.ndarray, task_ids: np.ndarray) -> np.ndarray:
+        """Gaussian-in-range scores for broadcastable id arrays."""
         u1 = _hash_uniform(worker_ids, task_ids, self._seed)
         u2 = _hash_uniform(worker_ids, task_ids, self._seed + np.uint64(0x1234567))
         gaussians = np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)

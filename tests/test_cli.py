@@ -1,7 +1,5 @@
 """Tests for repro.cli."""
 
-import pytest
-
 from repro.cli import main
 
 
@@ -32,3 +30,59 @@ class TestCli:
         assert csv_file.exists()
         header = csv_file.read_text().splitlines()[0]
         assert header.startswith("figure,x,algorithm")
+
+
+class TestStreamCommand:
+    def test_stream_bursty(self, capsys):
+        assert main(
+            [
+                "stream",
+                "--scenario", "bursty",
+                "--workers", "60",
+                "--tasks", "60",
+                "--instances", "4",
+                "--round-interval", "0.5",
+                "--budget", "20",
+                "--seed", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bursty / greedy / sparse" in out
+        assert "events/s" in out
+        assert "candidate pairs" in out
+
+    def test_stream_json_output(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "stream.json"
+        assert main(
+            [
+                "stream",
+                "--scenario", "hotspot",
+                "--workers", "40",
+                "--tasks", "40",
+                "--instances", "3",
+                "--no-prediction",
+                "--json", str(path),
+            ]
+        ) == 0
+        summary = json.loads(path.read_text())
+        assert summary["scenario"] == "hotspot"
+        assert summary["rounds"] == 6  # 3 instances / 0.5 interval
+        assert summary["candidate_pairs_examined"] >= 0
+
+    def test_stream_dense_mode(self, capsys):
+        assert main(
+            [
+                "stream",
+                "--scenario", "synthetic",
+                "--workers", "40",
+                "--tasks", "40",
+                "--instances", "3",
+                "--dense",
+                "--no-prediction",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dense" in out
+        assert "candidate pairs" not in out

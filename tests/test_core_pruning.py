@@ -1,7 +1,6 @@
 """Tests for repro.core.pruning (Lemmas 4.1 and 4.2)."""
 
 import numpy as np
-import pytest
 
 from repro.core.pruning import cap_candidates, dominance_skyline, probability_prune
 from repro.model.pairs import PairPool

@@ -92,6 +92,61 @@ class TestGridCounting:
         assert GridIndex(3).count_points([]).sum() == 0
 
 
+class TestCellsWithinRadius:
+    def test_zero_radius_is_containing_cell(self):
+        grid = GridIndex(4)
+        point = Point(0.3, 0.7)
+        cells = grid.cells_within_radius(point, 0.0)
+        assert grid.cell_of(point) in cells.tolist()
+
+    def test_covering_radius_returns_all_cells(self):
+        grid = GridIndex(3)
+        cells = grid.cells_within_radius(Point(0.5, 0.5), 2.0)
+        assert cells.tolist() == list(grid.cells())
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            GridIndex(3).cells_within_radius(Point(0.5, 0.5), -0.1)
+
+    def test_ring_shape(self):
+        grid = GridIndex(5)
+        # Disc of radius one cell-side around a cell center touches the
+        # 4-neighborhood but not the diagonal neighbors' far corners.
+        center = grid.cell_center(12)  # middle cell (row 2, col 2)
+        cells = set(grid.cells_within_radius(center, grid.cell_side).tolist())
+        assert {12, 7, 17, 11, 13} <= cells
+        assert 0 not in cells and 24 not in cells
+
+    def test_center_outside_square_allowed(self):
+        grid = GridIndex(4)
+        cells = grid.cells_within_radius(Point(-0.2, 0.5), 0.25)
+        assert cells.size > 0
+        assert all(c % 4 == 0 for c in cells.tolist())  # left column only
+
+    def test_sorted_unique(self):
+        grid = GridIndex(6)
+        cells = grid.cells_within_radius(Point(0.4, 0.4), 0.3)
+        assert np.array_equal(cells, np.unique(cells))
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        coord,
+        coord,
+        st.floats(min_value=0.0, max_value=1.5, allow_nan=False),
+    )
+    def test_matches_brute_force(self, gamma, x, y, radius):
+        grid = GridIndex(gamma)
+        point = Point(x, y)
+        expected = []
+        for cell in grid.cells():
+            box = grid.cell_box(cell)
+            dx = max(box.x_lo - x, x - box.x_hi, 0.0)
+            dy = max(box.y_lo - y, y - box.y_hi, 0.0)
+            if np.hypot(dx, dy) <= radius:
+                expected.append(cell)
+        assert grid.cells_within_radius(point, radius).tolist() == expected
+
+
 class TestGridSampling:
     def test_samples_land_in_cell(self, rng):
         grid = GridIndex(5)

@@ -121,3 +121,21 @@ class TestPredictSamples:
         predictor.observe(points_in_cell(grid, 0, 3) + points_in_cell(grid, 15, 3))
         predicted = predictor.predict(rng)
         assert predicted.total == 6
+
+
+class TestPredictedCountNear:
+    def test_sums_cells_in_disc(self):
+        grid = GridIndex(4)
+        predictor = GridPredictor(grid, 2, LastValuePredictor())
+        predictor.observe(points_in_cell(grid, 0, 5) + points_in_cell(grid, 15, 2))
+        # A disc hugging cell 0's center only counts that corner.
+        near_origin = predictor.predicted_count_near(grid.cell_center(0), 0.1)
+        assert near_origin == 5.0
+        # Covering the whole square counts everything.
+        everywhere = predictor.predicted_count_near(Point(0.5, 0.5), 1.0)
+        assert everywhere == 7.0
+
+    def test_requires_observation(self):
+        predictor = GridPredictor(GridIndex(3), 2)
+        with pytest.raises(RuntimeError):
+            predictor.predicted_count_near(Point(0.5, 0.5), 0.2)

@@ -10,7 +10,6 @@ structural invariants every MQA assigner must uphold:
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,6 @@ no task is served twice across the whole run, and no worker starts a
 new task while still traveling to a previous one.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.divide_conquer import MQADivideConquer

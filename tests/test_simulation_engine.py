@@ -1,6 +1,5 @@
 """Tests for repro.simulation.engine (the MQA framework loop)."""
 
-import numpy as np
 import pytest
 
 from repro.core.greedy import MQAGreedy

@@ -5,7 +5,6 @@ checked against the audit-trail invariants.  Sizes are kept small so
 the suite stays fast; breadth comes from hypothesis' exploration.
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

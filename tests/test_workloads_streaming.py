@@ -1,0 +1,114 @@
+"""Tests for the streaming scenario workloads."""
+
+import numpy as np
+import pytest
+
+from repro.geo.point import euclidean_distance
+from repro.workloads import BurstyWorkload, DriftingHotspotWorkload, WorkloadParams
+
+PARAMS = WorkloadParams(num_workers=400, num_tasks=300, num_instances=8)
+
+
+def _all_entities(workload):
+    workers, tasks = [], []
+    for i in range(workload.num_instances):
+        w, t = workload.arrivals(i)
+        workers.extend(w)
+        tasks.extend(t)
+    return workers, tasks
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: BurstyWorkload(PARAMS, seed=3),
+        lambda: DriftingHotspotWorkload(PARAMS, seed=3),
+    ],
+    ids=["bursty", "hotspot"],
+)
+class TestScenarioProtocol:
+    def test_totals_match_params(self, factory):
+        workers, tasks = _all_entities(factory())
+        assert len(workers) == PARAMS.num_workers
+        assert len(tasks) == PARAMS.num_tasks
+
+    def test_deterministic_per_seed(self, factory):
+        a_workers, a_tasks = _all_entities(factory())
+        b_workers, b_tasks = _all_entities(factory())
+        assert a_workers == b_workers
+        assert a_tasks == b_tasks
+
+    def test_entities_well_formed(self, factory):
+        workers, tasks = _all_entities(factory())
+        v_low, v_high = PARAMS.velocity_range
+        e_low, e_high = PARAMS.deadline_range
+        for w in workers:
+            assert 0.0 <= w.location.x <= 1.0 and 0.0 <= w.location.y <= 1.0
+            assert v_low <= w.velocity <= v_high
+            assert not w.predicted
+        for t in tasks:
+            assert 0.0 <= t.location.x <= 1.0 and 0.0 <= t.location.y <= 1.0
+            assert e_low <= t.deadline - t.arrival <= e_high
+            assert not t.predicted
+
+    def test_unique_ids(self, factory):
+        workers, tasks = _all_entities(factory())
+        ids = [w.id for w in workers] + [t.id for t in tasks]
+        assert len(ids) == len(set(ids))
+
+    def test_out_of_range_instance_rejected(self, factory):
+        with pytest.raises(IndexError):
+            factory().arrivals(PARAMS.num_instances)
+
+
+class TestBurstyShape:
+    def test_burst_instances_dominate(self):
+        workload = BurstyWorkload(
+            PARAMS, seed=5, burst_period=4, burst_multiplier=8.0
+        )
+        counts = [
+            len(workload.arrivals(i)[0]) for i in range(PARAMS.num_instances)
+        ]
+        burst = [counts[i] for i in range(0, PARAMS.num_instances, 4)]
+        quiet = [
+            counts[i] for i in range(PARAMS.num_instances) if i % 4 != 0
+        ]
+        assert min(burst) > 2 * max(quiet)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BurstyWorkload(PARAMS, burst_period=0)
+        with pytest.raises(ValueError):
+            BurstyWorkload(PARAMS, burst_multiplier=0.5)
+
+
+class TestHotspotShape:
+    def test_hotspot_center_moves(self):
+        workload = DriftingHotspotWorkload(PARAMS, seed=5, drift_rate=0.8)
+        first = workload.hotspot_center(0)
+        last = workload.hotspot_center(PARAMS.num_instances - 1)
+        assert euclidean_distance(first, last) > 0.1
+
+    def test_arrivals_track_the_center(self):
+        workload = DriftingHotspotWorkload(
+            PARAMS, seed=5, hotspot_std=0.05, drift_rate=0.9
+        )
+        for instance in (0, PARAMS.num_instances - 1):
+            workers, _ = workload.arrivals(instance)
+            center = workload.hotspot_center(instance)
+            xs = np.array([w.location.x for w in workers])
+            ys = np.array([w.location.y for w in workers])
+            mean = np.array([xs.mean(), ys.mean()])
+            assert np.hypot(mean[0] - center.x, mean[1] - center.y) < 0.1
+
+    def test_tasks_lead_workers(self):
+        workload = DriftingHotspotWorkload(PARAMS, seed=5, task_lead=0.5)
+        worker_center = workload.hotspot_center(3, kind="worker")
+        task_center = workload.hotspot_center(3, kind="task")
+        assert euclidean_distance(worker_center, task_center) > 0.05
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DriftingHotspotWorkload(PARAMS, orbit_radius=0.8)
+        with pytest.raises(ValueError):
+            DriftingHotspotWorkload(PARAMS, hotspot_std=0.0)
