@@ -29,12 +29,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.base import Assigner, AssignmentResult
-from repro.core.pruning import cap_candidates, dominance_skyline, probability_prune
+from repro.core.pruning import probability_prune
 from repro.core.selection import (
     budget_confident_rows,
     feasible_rows,
     select_best_row,
 )
+from repro.core.triplet_select import triplet_greedy_select
 from repro.model.instance import ProblemInstance
 from repro.model.pairs import PairPool
 
@@ -97,16 +98,71 @@ def greedy_select(
     reserving workers for predicted pairs can never starve the current
     instance's budget.  Eq. 9 is evaluated against the combined
     ``budget_max``, as in the paper.
+
+    The selection is sparse-native (CSR-style over pool triplets) and
+    never materializes an ``n x m`` matrix.  Large row sets run on the
+    amortized engine of :mod:`repro.core.triplet_select` — sorted pool
+    orders, worker/task occupancy groups, monotone budget sweeps —
+    while small sets (and deltas outside the z-threshold shortcut) use
+    the per-iteration rescan loop below.  Both produce identical
+    selections; the differential suite cross-validates them.
     """
     num_pairs = len(pool)
     if num_pairs == 0 or len(rows) == 0:
         return []
 
-    alive = np.zeros(num_pairs, dtype=bool)
-    alive[np.asarray(rows, dtype=np.int64)] = True
-    # One global sort by cost upper bound; per-iteration skylines
-    # filter this order instead of re-sorting.
-    cost_ub_order = np.argsort(pool.cost_ub, kind="stable")
+    rows = np.unique(np.asarray(rows, dtype=np.int64))
+    if rows.size >= _TRIPLET_ENGINE_MIN_ROWS:
+        selected = triplet_greedy_select(pool, rows, budget_current, budget_max, config)
+        if selected is not None:
+            return selected
+    return _greedy_select_rescan(pool, rows, budget_current, budget_max, config)
+
+
+#: Row-count floor for the amortized engine; below it the rescan
+#: loop's smaller setup cost wins.
+_TRIPLET_ENGINE_MIN_ROWS = 2048
+
+
+def _greedy_select_rescan(
+    pool: PairPool,
+    rows: np.ndarray,
+    budget_current: float,
+    budget_max: float,
+    config: GreedyConfig,
+) -> list[int]:
+    """Reference selection loop: rescans the survivors every iteration.
+
+    ``rows`` must be unique and ascending.  Kept both as the
+    small-problem fast path and as the differential baseline for the
+    amortized engine.
+    """
+    num_pairs = len(pool)
+    # Survivors sorted by (cost_ub, row) once; filtering preserves the
+    # order, so the dominance skyline never re-sorts.
+    alive = pool.order_by_cost_ub(rows)
+    # Global candidate-cap order over the same rows; per-iteration
+    # caps reduce to one membership gather along it.
+    weight_order = pool.order_by_weight(rows)
+    member = np.zeros(num_pairs, dtype=bool)
+
+    if config.use_dominance_pruning:
+        # Fixed-position skyline scaffolding: positions in the initial
+        # cost_ub order never move, so the Lemma 4.1 prefix boundary
+        # (first position with cost_ub >= cost_lb[j]) is computed once;
+        # per iteration only a masked prefix-max remains.  Masking dead
+        # positions to -inf makes the prefix max range over exactly the
+        # iteration's candidate set, so the pruned set is identical to
+        # dominance_skyline over that set.
+        position_of = np.empty(num_pairs, dtype=np.int64)
+        position_of[alive] = np.arange(alive.size)
+        cost_ub_sorted = pool.cost_ub[alive]
+        quality_lb_sorted = pool.quality_lb[alive]
+        quality_ub_sorted = pool.quality_ub[alive]
+        cut = np.searchsorted(cost_ub_sorted, pool.cost_lb[alive], side="left")
+        cut_of = np.empty(num_pairs, dtype=np.int64)
+        cut_of[alive] = cut
+        masked_lb = np.full(alive.size, -np.inf)
 
     budget_future = max(budget_max - budget_current, 0.0)
     spent_current = 0.0
@@ -114,34 +170,46 @@ def greedy_select(
     spent_lower_bound = 0.0
     selected: list[int] = []
 
-    while True:
-        alive_rows = np.nonzero(alive)[0]
+    while alive.size:
         # Hard per-instance constraint for materializable pairs;
-        # future-share constraint for predicted pairs — one bulk scan
-        # over the surviving rows only.
-        candidate_rows = feasible_rows(
+        # future-share constraint for predicted pairs.  Both filters
+        # are monotone in the spend, so failures are permanent and the
+        # survivor set only shrinks.
+        alive = feasible_rows(
             pool,
-            alive_rows,
+            alive,
             budget_current - spent_current,
             budget_future - spent_future,
         )
-        if candidate_rows.size == 0:
+        if alive.size == 0:
             break
-
-        candidate_rows = budget_confident_rows(
-            pool, candidate_rows, spent_lower_bound, budget_max, config.delta
+        alive = budget_confident_rows(
+            pool, alive, spent_lower_bound, budget_max, config.delta
         )
-        if candidate_rows.size == 0:
+        if alive.size == 0:
             break
 
+        candidate_rows = alive
         if config.use_dominance_pruning:
-            confident = np.zeros(num_pairs, dtype=bool)
-            confident[candidate_rows] = True
-            ordered = cost_ub_order[confident[cost_ub_order]]
-            candidate_rows = dominance_skyline(
-                pool, ordered, presorted_by_cost_ub=np.arange(ordered.size)
-            )
-        candidate_rows = cap_candidates(pool, candidate_rows, config.candidate_cap)
+            positions = position_of[alive]
+            masked_lb[positions] = quality_lb_sorted[positions]
+            prefix_max = np.maximum.accumulate(masked_lb)
+            cuts = cut_of[alive]
+            best_before = np.where(cuts > 0, prefix_max[np.maximum(cuts - 1, 0)], -np.inf)
+            dominated = best_before > quality_ub_sorted[positions]
+            masked_lb[positions] = -np.inf
+            candidate_rows = alive[~dominated]
+        # Canonical candidate order: the Eq. 10 scores sum float
+        # probabilities in array order, so the order fed to the
+        # selection stages is part of the contract — ascending rows
+        # when the cap is loose, quality-weight order when it binds.
+        if candidate_rows.size > config.candidate_cap:
+            member[candidate_rows] = True
+            capped = weight_order[member[weight_order]][: config.candidate_cap]
+            member[candidate_rows] = False
+            candidate_rows = capped
+        else:
+            candidate_rows = np.sort(candidate_rows)
         if config.use_probability_pruning:
             candidate_rows = probability_prune(pool, candidate_rows)
 
@@ -152,9 +220,12 @@ def greedy_select(
             spent_current += float(pool.cost_mean[best])
         else:
             spent_future += float(pool.cost_mean[best])
-        worker = pool.worker_idx[best]
-        task = pool.task_idx[best]
-        alive &= (pool.worker_idx != worker) & (pool.task_idx != task)
+        # Occupancy cut: drop every pair sharing the winner's worker or
+        # task (one pass over the survivors, not the pool).
+        keep = (pool.worker_idx[alive] != pool.worker_idx[best]) & (
+            pool.task_idx[alive] != pool.task_idx[best]
+        )
+        alive = alive[keep]
 
     return selected
 

@@ -23,6 +23,15 @@ import numpy as np
 from repro.model.pairs import PairPool
 from repro.uncertainty.vector import prob_greater_vec, prob_less_or_equal_vec
 
+_VARIANCE_FLOOR = 1e-24
+#: Band half-width (in z units, squared against the combined variance)
+#: inside which the Lemma 4.2 probability comparisons are evaluated
+#: exactly; outside it the mean-gap sign decides.  The phi_vec
+#: threshold for 0.5 sits at |z| = 0.0101 (see selection._PHI_BAND);
+#: 1.6e-4 = (0.01265)^2 clears it with 25% headroom, far beyond the
+#: squared-form rounding error.
+_PRUNE_BAND_SQ = 1.6e-4
+
 
 def dominance_skyline(
     pool: PairPool, rows: np.ndarray, presorted_by_cost_ub: np.ndarray | None = None
@@ -88,16 +97,64 @@ def probability_prune(pool: PairPool, rows: np.ndarray) -> np.ndarray:
     c_mean = pool.cost_mean[rows]
     c_var = pool.cost_var[rows]
 
-    quality_better = prob_greater_vec(
-        q_mean[:, None], q_var[:, None], q_mean[None, :], q_var[None, :]
-    )
-    cost_better = prob_less_or_equal_vec(
-        c_mean[:, None], c_var[:, None], c_mean[None, :], c_var[None, :]
-    )
-    worse_both = (quality_better < 0.5) & (cost_better < 0.5)
+    # Both probability comparisons against 0.5 are decided by the sign
+    # of the mean gap alone — for deterministic lanes exactly, and for
+    # stochastic lanes whenever |z| clears the phi_vec threshold band
+    # (|z| <= 0.01 needs the exact CDF; see selection._phi_threshold).
+    # Only the rare band lanes pay for the full Eqs. 7-8: the pruned
+    # set is bit-identical to evaluating the probabilities everywhere.
+    worse_q = _probably_less(q_mean, q_var, prob_greater_vec)
+    worse_c = _probably_less(-c_mean, c_var, prob_less_or_equal_vec, negated=True)
+    worse_both = worse_q & worse_c
     np.fill_diagonal(worse_both, False)
     pruned = worse_both.any(axis=1)
     return rows[~pruned]
+
+
+def _probably_less(mean: np.ndarray, var: np.ndarray, prob_fn, negated: bool = False):
+    """Pairwise mask of ``prob_fn(value_i, value_j) < 0.5``.
+
+    ``prob_fn`` is ``prob_greater_vec`` (is ``i``'s value probably
+    larger?) or ``prob_less_or_equal_vec`` with negated means (is
+    ``i``'s value probably smaller?); in both conventions the result
+    drops below 0.5 exactly when ``mean_i < mean_j``, outside the
+    threshold band.  ``fl(1 - p) < 0.5  <=>  p > 0.5`` holds for every
+    float ``p`` in [0, 1] (Sterbenz), so the sign test is exact.
+    """
+    gap = mean[:, None] - mean[None, :]
+    combined = var[:, None] + var[None, :]
+    mask = gap < 0.0
+    stochastic = combined > _VARIANCE_FLOOR
+    # Exact-zero gaps are the common band case (predicted pairs share
+    # per-task/per-worker/global quality statistics): their probability
+    # is the constant phi_vec(-0.0) regardless of the variances, so the
+    # comparison outcome is a per-function constant.
+    if _zero_gap_outcome(prob_fn):
+        mask |= stochastic & (gap == 0.0)
+    # (when the zero-gap outcome is >= 0.5, ``gap < 0.0`` is already
+    # False on those lanes, so nothing to do)
+    band = stochastic & (gap != 0.0) & (gap * gap <= _PRUNE_BAND_SQ * combined)
+    lanes = np.nonzero(band)
+    if lanes[0].size:
+        i, j = lanes
+        if negated:
+            mask[i, j] = prob_fn(-mean[i], var[i], -mean[j], var[j]) < 0.5
+        else:
+            mask[i, j] = prob_fn(mean[i], var[i], mean[j], var[j]) < 0.5
+    return mask
+
+
+_zero_gap_outcomes: dict[object, bool] = {}
+
+
+def _zero_gap_outcome(prob_fn) -> bool:
+    """Whether ``prob_fn`` on a zero-gap stochastic pair is < 0.5."""
+    if prob_fn not in _zero_gap_outcomes:
+        one = np.ones(1)
+        _zero_gap_outcomes[prob_fn] = bool(
+            prob_fn(np.zeros(1), one, np.zeros(1), one)[0] < 0.5
+        )
+    return _zero_gap_outcomes[prob_fn]
 
 
 def cap_candidates(pool: PairPool, rows: np.ndarray, cap: int) -> np.ndarray:
@@ -109,5 +166,4 @@ def cap_candidates(pool: PairPool, rows: np.ndarray, cap: int) -> np.ndarray:
     rows = np.asarray(rows, dtype=np.int64)
     if rows.size <= cap:
         return rows
-    order = np.lexsort((rows, pool.cost_mean[rows], -pool.quality_mean[rows]))
-    return rows[order[:cap]]
+    return pool.order_by_weight(rows)[:cap]

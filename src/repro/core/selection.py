@@ -17,6 +17,48 @@ from repro.uncertainty.vector import phi_vec, prob_greater_vec
 _VARIANCE_FLOOR = 1e-24
 _EPS = 1e-9
 
+#: Half-width (in standard-normal z units) of the uncertainty band
+#: around the Eq. 9 threshold inside which ``phi_vec`` is evaluated
+#: exactly.  phi_vec tracks the true normal CDF within 7.5e-8, and the
+#: normal density at |z| <= 3.8 exceeds 2.9e-4, so a z-gap of 1e-2
+#: moves the CDF by >= 2.9e-6 — orders of magnitude past the
+#: approximation error.  Outside the band the comparison outcome is
+#: therefore certain from z alone.
+_PHI_BAND = 1e-2
+#: |z| ceiling for the shortcut: past it the density is too flat for
+#: the band argument, so extreme deltas fall back to exact evaluation.
+_PHI_Z_LIMIT = 3.8
+
+_phi_thresholds: dict[float, tuple[float, float] | None] = {}
+
+
+def _phi_threshold(delta: float) -> tuple[float, float] | None:
+    """Conservative z thresholds deciding ``phi_vec(z) > delta``.
+
+    Returns ``(z_lo, z_hi)`` such that ``z > z_hi`` guarantees
+    ``phi_vec(z) > delta`` and ``z < z_lo`` guarantees
+    ``phi_vec(z) <= delta`` — for every float ``z``, including the
+    approximation's sub-1.5e-7 wiggle — or ``None`` when ``delta`` is
+    too extreme for the shortcut.  Found once per distinct ``delta``
+    by bisection on ``phi_vec`` itself and cached.
+    """
+    cached = _phi_thresholds.get(delta)
+    if cached is not None or delta in _phi_thresholds:
+        return cached
+    lo, hi = -_PHI_Z_LIMIT, _PHI_Z_LIMIT
+    if not float(phi_vec(np.array([lo]))[0]) <= delta <= float(phi_vec(np.array([hi]))[0]):
+        _phi_thresholds[delta] = None
+        return None
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if float(phi_vec(np.array([mid]))[0]) > delta:
+            hi = mid
+        else:
+            lo = mid
+    result = (lo - _PHI_BAND, hi + _PHI_BAND)
+    _phi_thresholds[delta] = result
+    return result
+
 
 def feasible_rows(
     pool: PairPool,
@@ -63,9 +105,27 @@ def budget_confident_rows(
     headroom = budget_max - selected_lower_bound_sum - pool.cost_mean[rows]
     variance = pool.cost_var[rows]
     deterministic = variance <= _VARIANCE_FLOOR
-    safe_std = np.sqrt(np.where(deterministic, 1.0, variance))
-    prob = np.where(deterministic, (headroom >= 0.0).astype(float), phi_vec(headroom / safe_std))
-    return rows[prob > delta]
+    # Deterministic lanes degenerate to the exact indicator: for any
+    # delta in [0, 1), prob {0, 1} > delta iff the headroom fits.
+    keep = headroom >= 0.0
+    stochastic = np.nonzero(~deterministic)[0]
+    if stochastic.size:
+        z = headroom[stochastic] / np.sqrt(variance[stochastic])
+        thresholds = _phi_threshold(delta)
+        if thresholds is None:
+            keep[stochastic] = phi_vec(z) > delta
+        else:
+            # The comparison outcome is determined by z alone outside
+            # a narrow band around the threshold; only band lanes pay
+            # for the exact CDF.  Bit-identical to evaluating phi_vec
+            # everywhere (see _phi_threshold).
+            z_lo, z_hi = thresholds
+            outcome = z > z_hi
+            band = np.nonzero((z >= z_lo) & ~outcome)[0]
+            if band.size:
+                outcome[band] = phi_vec(z[band]) > delta
+            keep[stochastic] = outcome
+    return rows[keep]
 
 
 #: Cost floor for the efficiency objective: a co-located pair (cost 0)
@@ -111,8 +171,12 @@ def select_best_row(pool: PairPool, rows: np.ndarray, objective: str = "probabil
             q_mean[:, None], q_var[:, None], q_mean[None, :], q_var[None, :]
         )
         np.fill_diagonal(probabilities, 1.0)
-        with np.errstate(divide="ignore"):
-            scores = np.log(probabilities).sum(axis=1)
+        # log(0) lanes are meaningful (-inf kills the product); mask
+        # them explicitly instead of paying for an errstate context.
+        positive = probabilities > 0.0
+        logs = np.full_like(probabilities, -np.inf)
+        logs[positive] = np.log(probabilities[positive])
+        scores = logs.sum(axis=1)
 
     order = np.lexsort((rows, pool.cost_mean[rows], -scores))
     return int(rows[order[0]])

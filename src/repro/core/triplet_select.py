@@ -1,0 +1,362 @@
+"""Sparse-native greedy selection over CSR-style pool triplets.
+
+:class:`TripletSelection` runs the Fig. 5 selection loop without the
+per-iteration full-pool rescans of the straightforward implementation
+(kept as ``repro.core.greedy._greedy_select_rescan``): the pool rows
+are organized once into sorted orders and occupancy groups, and every
+iteration touches only the rows whose state can actually have changed.
+The selected rows are *identical* to the rescan loop's — every stage
+below reproduces the same candidate row set per iteration, and the
+shared ``probability_prune`` / ``select_best_row`` tail breaks ties
+identically.
+
+Per-iteration stages and why they are exact:
+
+- **Budget feasibility** (Fig. 5 line 6) and the **deterministic
+  Eq. 9 lanes** are monotone: budgets and headroom only shrink, so a
+  row that fails once fails forever.  Rows sorted by expected cost are
+  swept from the expensive end and killed permanently — each row is
+  visited once across the whole run (amortized O(1)), and the kill
+  condition is the same float comparison the rescan evaluates.
+- **Stochastic Eq. 9 lanes** use the conservative z-thresholds of
+  :func:`repro.core.selection._phi_threshold`: rows whose outcome is
+  certain from ``z`` alone are swept with precomputed keys
+  (``cost_mean + z * std``); only rows inside the narrow band around
+  the threshold are re-tested with the exact ``phi_vec`` each
+  iteration, and failures are permanent because ``phi`` is monotone in
+  the spent budget.
+- **Dominance pruning** (Lemma 4.1) uses fixed positions in the
+  initial cost-upper-bound order, a live-value array updated on every
+  kill, and a *stale* prefix-max that is only rebuilt periodically.
+  Staleness is conservative (values only leave the live set, so the
+  stale max is an upper bound): rows the stale max cannot dominate are
+  accepted outright, and the rare "maybe dominated" rows fall back to
+  an exact prefix scan over the live values.
+- **Candidate cap**: candidates are collected by walking the fixed
+  quality-weight order (the ``cap_candidates`` order) and skipping
+  dead or dominated rows until ``candidate_cap`` survivors are found —
+  exactly the top-``cap`` of the skyline.
+- **Occupancy**: rows are grouped by worker and by task once; when a
+  pair is selected, both groups are killed in bulk (Fig. 5 line 13).
+
+The engine requires the z-threshold shortcut to be available for the
+configured ``delta``; callers fall back to the rescan loop otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pruning import probability_prune
+from repro.core.selection import _EPS, _VARIANCE_FLOOR, _phi_threshold, select_best_row
+from repro.model.pairs import PairPool
+from repro.uncertainty.vector import phi_vec
+
+#: Weight-order walk chunk: big enough that one chunk usually yields a
+#: full candidate cap, small enough that dead prefixes stay cheap.
+_WALK_CHUNK = 256
+
+
+class TripletSelection:
+    """One greedy selection run (see module docstring)."""
+
+    def __init__(
+        self,
+        pool: PairPool,
+        rows: np.ndarray,
+        budget_current: float,
+        budget_max: float,
+        config,
+        thresholds: tuple[float, float],
+    ) -> None:
+        self._pool = pool
+        self._config = config
+        self._budget_current = budget_current
+        self._budget_max = budget_max
+        self._budget_future = max(budget_max - budget_current, 0.0)
+
+        # Canonical positions: index into the ascending row array.
+        self._rows = rows
+        size = rows.size
+        self._cost = pool.cost_mean[rows]
+        self._cost_lb = pool.cost_lb[rows]
+        self._quality_ub = pool.quality_ub[rows]
+        self._dead = np.zeros(size, dtype=bool)
+
+        # Occupancy groups: positions sharing a worker / a task.
+        self._w_keys, self._w_starts, self._w_members = self._group(
+            pool.worker_idx[rows]
+        )
+        self._t_keys, self._t_starts, self._t_members = self._group(
+            pool.task_idx[rows]
+        )
+
+        # Weight order (the candidate-cap order) as positions.
+        self._weight_positions = np.lexsort(
+            (rows, self._cost, -pool.quality_mean[rows])
+        )
+        self._walk_start = 0
+
+        # Dominance scaffolding in cost-ub order.
+        cost_ub = pool.cost_ub[rows]
+        order = np.argsort(cost_ub, kind="stable")
+        self._rank_of_pos = np.empty(size, dtype=np.int64)
+        self._rank_of_pos[order] = np.arange(size)
+        self._cut_of_pos = np.searchsorted(cost_ub[order], self._cost_lb, side="left")
+        self._live_lb = pool.quality_lb[rows][order].copy()
+        self._stale_pmax = np.maximum.accumulate(self._live_lb) if size else self._live_lb
+        # The prefix max stays exact until a kill removes a value that
+        # was attaining it somewhere (a "load-bearing" kill); only then
+        # does a dominance query need a rebuild.
+        self._pmax_dirty = False
+
+        # Budget sweep orders: positions ascending by their kill key.
+        # Each sweep keeps an end pointer; per iteration one
+        # searchsorted finds the new boundary and the crossed suffix is
+        # killed in bulk — every row is killed at most once, so the
+        # sweeps are amortized O(1) per iteration.
+        is_current = pool.is_current[rows]
+        by_cost = np.argsort(self._cost, kind="stable")
+        self._cur_sweep = by_cost[is_current[by_cost]]
+        self._cur_keys = self._cost[self._cur_sweep]
+        self._fut_sweep = by_cost[~is_current[by_cost]]
+        self._fut_keys = self._cost[self._fut_sweep]
+        self._cur_end = self._cur_sweep.size
+        self._fut_end = self._fut_sweep.size
+
+        # Eq. 9 sweep orders.  Deterministic lanes fail when their cost
+        # exceeds the remaining headroom; stochastic lanes carry
+        # conservative pass/fail keys derived from the z-thresholds.
+        variance = pool.cost_var[rows]
+        deterministic = variance <= _VARIANCE_FLOOR
+        det_positions = np.nonzero(deterministic)[0]
+        det_order = np.argsort(self._cost[det_positions], kind="stable")
+        self._det_sweep = det_positions[det_order]
+        self._det_keys = self._cost[self._det_sweep]
+        self._det_end = self._det_sweep.size
+
+        z_lo, z_hi = thresholds
+        sto_positions = np.nonzero(~deterministic)[0]
+        self._std = np.zeros(size)
+        self._std[sto_positions] = np.sqrt(variance[sto_positions])
+        fail_key = self._cost[sto_positions] + z_lo * self._std[sto_positions]
+        pass_key = self._cost[sto_positions] + z_hi * self._std[sto_positions]
+        fail_order = np.argsort(fail_key, kind="stable")
+        self._sto_fail_sweep = sto_positions[fail_order]
+        self._sto_fail_keys = fail_key[fail_order]
+        self._sto_fail_end = self._sto_fail_sweep.size
+        # Band entry: once the headroom drops to a row's pass key the
+        # outcome is no longer certain; the row joins the exact-phi
+        # band until it passes no more (permanently killed).
+        enter_order = np.argsort(pass_key, kind="stable")
+        self._band_entry = sto_positions[enter_order]
+        self._band_entry_keys = pass_key[enter_order]
+        self._band_start = self._band_entry.size
+        self._band: np.ndarray = np.zeros(0, dtype=np.int64)
+
+        self._spent_current = 0.0
+        self._spent_future = 0.0
+        self._spent_lower_bound = 0.0
+
+    @staticmethod
+    def _group(keys: np.ndarray):
+        order = np.argsort(keys, kind="stable").astype(np.int64)
+        sorted_keys = keys[order]
+        uniq, first = np.unique(sorted_keys, return_index=True)
+        starts = np.concatenate((first, [sorted_keys.size])).astype(np.int64)
+        return uniq, starts, order
+
+    # -- kills ---------------------------------------------------------------
+
+    def _kill(self, positions: np.ndarray) -> None:
+        if positions.size == 0:
+            return
+        fresh = positions[~self._dead[positions]]
+        if fresh.size == 0:
+            return
+        self._dead[fresh] = True
+        ranks = self._rank_of_pos[fresh]
+        if not self._pmax_dirty and bool(
+            (self._live_lb[ranks] >= self._stale_pmax[ranks]).any()
+        ):
+            # A killed value attained the running max at its position,
+            # so some prefix maxima may have dropped.
+            self._pmax_dirty = True
+        self._live_lb[ranks] = -np.inf
+
+    def _sweep_budgets(self) -> None:
+        """Apply every monotone kill due at the current spend levels.
+
+        Each kill condition is a comparison against a sorted key array,
+        so the crossed rows form a suffix found by one ``searchsorted``
+        per sweep — the same float comparisons the rescan loop
+        evaluates, batched.
+        """
+        # Fig. 5 line 6 feasibility: kill when cost > remaining + EPS.
+        limit = (self._budget_current - self._spent_current) + _EPS
+        boundary = int(np.searchsorted(self._cur_keys[: self._cur_end], limit, side="right"))
+        if boundary < self._cur_end:
+            self._kill(self._cur_sweep[boundary : self._cur_end])
+            self._cur_end = boundary
+        limit = (self._budget_future - self._spent_future) + _EPS
+        boundary = int(np.searchsorted(self._fut_keys[: self._fut_end], limit, side="right"))
+        if boundary < self._fut_end:
+            self._kill(self._fut_sweep[boundary : self._fut_end])
+            self._fut_end = boundary
+
+        # Eq. 9, deterministic lanes: kill when headroom - cost < 0,
+        # i.e. cost > headroom (IEEE subtraction is sign-exact).
+        headroom_base = self._budget_max - self._spent_lower_bound
+        boundary = int(
+            np.searchsorted(self._det_keys[: self._det_end], headroom_base, side="right")
+        )
+        if boundary < self._det_end:
+            self._kill(self._det_sweep[boundary : self._det_end])
+            self._det_end = boundary
+        # Eq. 9, stochastic sure-fail lanes.
+        boundary = int(
+            np.searchsorted(
+                self._sto_fail_keys[: self._sto_fail_end], headroom_base, side="right"
+            )
+        )
+        if boundary < self._sto_fail_end:
+            self._kill(self._sto_fail_sweep[boundary : self._sto_fail_end])
+            self._sto_fail_end = boundary
+
+        # Rows whose sure-pass key no longer clears the headroom enter
+        # the exact-phi band (key >= headroom).
+        boundary = int(
+            np.searchsorted(
+                self._band_entry_keys[: self._band_start], headroom_base, side="left"
+            )
+        )
+        if boundary < self._band_start:
+            entering = self._band_entry[boundary : self._band_start]
+            self._band_start = boundary
+            self._band = np.concatenate((self._band, entering))
+        if self._band.size:
+            band = self._band[~self._dead[self._band]]
+            if band.size:
+                z = (headroom_base - self._cost[band]) / self._std[band]
+                failing = ~(phi_vec(z) > self._config.delta)
+                self._kill(band[failing])
+                band = band[~failing]
+            self._band = band
+
+    # -- dominance -----------------------------------------------------------
+
+    def _not_dominated(self, positions: np.ndarray) -> np.ndarray:
+        """Mask of ``positions`` surviving Lemma 4.1 against the live set."""
+        cuts = self._cut_of_pos[positions]
+        stale_best = np.where(
+            cuts > 0, self._stale_pmax[np.maximum(cuts - 1, 0)], -np.inf
+        )
+        clean = ~(stale_best > self._quality_ub[positions])
+        if self._pmax_dirty and not clean.all():
+            # The stale max is an upper bound (values only ever leave
+            # the live set), so only flagged rows can be false alarms:
+            # refresh the prefix max once and re-test them exactly.
+            self._stale_pmax = np.maximum.accumulate(self._live_lb)
+            self._pmax_dirty = False
+            fresh_best = np.where(
+                cuts > 0, self._stale_pmax[np.maximum(cuts - 1, 0)], -np.inf
+            )
+            clean = ~(fresh_best > self._quality_ub[positions])
+        return clean
+
+    # -- candidate walk ------------------------------------------------------
+
+    def _collect_candidates(self) -> np.ndarray:
+        """The iteration's candidate positions, in canonical order.
+
+        Walks the weight order collecting live, non-dominated
+        positions.  One extra row beyond the cap is gathered to learn
+        whether the cap actually binds: the Eq. 10 scores downstream
+        sum float probabilities in array order, so the order is part
+        of the selection contract — quality-weight when the cap binds
+        (``cap_candidates``' output order), ascending otherwise (the
+        skyline's).
+        """
+        cap = self._config.candidate_cap + 1
+        prune_dominated = self._config.use_dominance_pruning
+        wpos = self._weight_positions
+        picked: list[np.ndarray] = []
+        count = 0
+        start = self._walk_start
+        while start < wpos.size and count < cap:
+            chunk = wpos[start : start + _WALK_CHUNK]
+            live = chunk[~self._dead[chunk]]
+            if start == self._walk_start:
+                # Advance the walk origin past the dead prefix so fully
+                # selected regions are never rescanned (amortized).
+                if live.size == 0:
+                    self._walk_start = start + chunk.size
+                else:
+                    first_live = np.nonzero(~self._dead[chunk])[0][0]
+                    self._walk_start = start + int(first_live)
+            start += chunk.size
+            if live.size == 0:
+                continue
+            if prune_dominated:
+                live = live[self._not_dominated(live)]
+            if live.size:
+                picked.append(live[: cap - count])
+                count += min(live.size, cap - count)
+        if not picked:
+            return np.zeros(0, dtype=np.int64)
+        positions = np.concatenate(picked)
+        if positions.size > self._config.candidate_cap:
+            return positions[: self._config.candidate_cap]
+        return np.sort(positions)
+
+    # -- the loop ------------------------------------------------------------
+
+    def run(self) -> list[int]:
+        pool = self._pool
+        config = self._config
+        selected: list[int] = []
+        while True:
+            self._sweep_budgets()
+            positions = self._collect_candidates()
+            if positions.size == 0:
+                break
+            candidate_rows = self._rows[positions]
+            if config.use_probability_pruning:
+                candidate_rows = probability_prune(pool, candidate_rows)
+            best = select_best_row(pool, candidate_rows, config.selection_objective)
+            selected.append(best)
+            self._spent_lower_bound += float(pool.cost_lb[best])
+            if pool.is_current[best]:
+                self._spent_current += float(pool.cost_mean[best])
+            else:
+                self._spent_future += float(pool.cost_mean[best])
+            w_slot = np.searchsorted(self._w_keys, pool.worker_idx[best])
+            self._kill(
+                self._w_members[self._w_starts[w_slot] : self._w_starts[w_slot + 1]]
+            )
+            t_slot = np.searchsorted(self._t_keys, pool.task_idx[best])
+            self._kill(
+                self._t_members[self._t_starts[t_slot] : self._t_starts[t_slot + 1]]
+            )
+        return selected
+
+
+def triplet_greedy_select(
+    pool: PairPool,
+    rows: np.ndarray,
+    budget_current: float,
+    budget_max: float,
+    config,
+) -> list[int] | None:
+    """Run the sparse-native engine, or ``None`` when not applicable.
+
+    ``rows`` must be unique and ascending (the caller normalizes).
+    Returns ``None`` when the configured ``delta`` is too extreme for
+    the z-threshold shortcut — the caller then uses the rescan loop.
+    """
+    thresholds = _phi_threshold(config.delta)
+    if thresholds is None:
+        return None
+    return TripletSelection(
+        pool, rows, budget_current, budget_max, config, thresholds
+    ).run()

@@ -114,8 +114,13 @@ class GridIndex:
             counts[self.cell_of(point)] += 1
         return counts
 
-    def count_coordinates(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`count_points` over coordinate arrays."""
+    def cells_of_coordinates(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cell_of` over coordinate arrays.
+
+        Applies the same boundary correction as the scalar form, so
+        ``cells_of_coordinates(x, y)[i] == cell_of(Point(x[i], y[i]))``
+        for every point in the unit square.
+        """
         xs = np.asarray(xs, dtype=float)
         ys = np.asarray(ys, dtype=float)
         if xs.shape != ys.shape:
@@ -124,7 +129,11 @@ class GridIndex:
             raise ValueError("coordinates outside the unit square")
         cols = self._clamp_axis_vec(xs)
         rows = self._clamp_axis_vec(ys)
-        cells = rows * self._gamma + cols
+        return rows * self._gamma + cols
+
+    def count_coordinates(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`count_points` over coordinate arrays."""
+        cells = self.cells_of_coordinates(xs, ys)
         return np.bincount(cells, minlength=self.num_cells).astype(np.int64)
 
     def cells_within_radius(self, point: Point, radius: float) -> np.ndarray:

@@ -105,6 +105,32 @@ class SpatialIndex:
         result.sort()
         return result
 
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR view of the current contents, grouped by cell.
+
+        Returns ``(cells, starts, keys)``: ``cells`` is the sorted
+        array of occupied cell ids and the keys bucketed in
+        ``cells[i]`` are ``keys[starts[i]:starts[i+1]]``.  The batched
+        sparse pair builder turns one snapshot per build into bulk
+        cell-join queries instead of issuing one dict-backed gather
+        per entity; coordinates are deliberately not extracted — the
+        builder prices pairs from its own entity columns.
+        """
+        if not self._cell_of_key:
+            empty_i = np.zeros(0, dtype=np.int64)
+            return empty_i, np.zeros(1, dtype=np.int64), empty_i
+        cells = np.fromiter(self._buckets, dtype=np.int64, count=len(self._buckets))
+        cells.sort()
+        sizes = np.empty(cells.size, dtype=np.int64)
+        keys_parts: list[np.ndarray] = []
+        for position, cell in enumerate(cells):
+            bucket = self._buckets[int(cell)]
+            sizes[position] = len(bucket)
+            keys_parts.append(np.fromiter(bucket, dtype=np.int64, count=len(bucket)))
+        starts = np.zeros(cells.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=starts[1:])
+        return cells, starts, np.concatenate(keys_parts)
+
     def query_radius(self, center: Point, radius: float) -> np.ndarray:
         """Keys whose point lies within ``radius`` of ``center`` (sorted)."""
         candidates = self.candidates_in_radius(center, radius)

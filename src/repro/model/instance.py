@@ -52,11 +52,12 @@ class ProblemInstance:
     def current_dense(self) -> DensePairMatrices:
         """Dense matrices over the current-current block, cached.
 
-        Built in one bulk scatter from the pool columns and memoized on
-        the instance, so every candidate evaluation within the same
-        time instance (optimal-matching baseline, greedy comparators,
-        diagnostics) shares one set of matrices instead of rebuilding
-        them pair by pair.
+        Built in one bulk scatter from the pool columns and memoized
+        on the instance.  This is the *dense* assignment path: only
+        the optimal-matching Hungarian baseline (and diagnostics)
+        consume it — GREEDY and D&C select sparse-natively over the
+        pool triplets and never touch it, so sparse-built instances
+        stay matrix-free end to end unless Hungarian runs.
         """
         return self.pool.dense(np.nonzero(self.pool.is_current)[0])
 

@@ -236,6 +236,27 @@ class PairPool:
             quality=quality,
         )
 
+    def order_by_cost_ub(self, rows: np.ndarray) -> np.ndarray:
+        """``rows`` sorted ascending by cost upper bound (stable).
+
+        For ascending-row input this equals the restriction of the
+        global ``(cost_ub, row)`` order to the subset — the invariant
+        the greedy selection loop maintains so the dominance skyline
+        never re-sorts.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        return rows[np.argsort(self.cost_ub[rows], kind="stable")]
+
+    def order_by_weight(self, rows: np.ndarray) -> np.ndarray:
+        """``rows`` sorted by descending expected quality.
+
+        Ties broken by lower expected cost, then by row index, so the
+        order is a strict total order determined by the row *set*
+        alone — the candidate-cap order of the selection algorithms.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        return rows[np.lexsort((rows, self.cost_mean[rows], -self.quality_mean[rows]))]
+
     def cost_value(self, row: int) -> UncertainValue:
         """The cost of pair ``row`` as an :class:`UncertainValue`."""
         return UncertainValue(

@@ -411,6 +411,17 @@ class StreamingEngine:
         self._joined_workers.clear()
         self._new_tasks.clear()
 
+        # Last-round cutoff, audited against the batch engine: the
+        # batch loop predicts iff ``instance + 1 < num_instances``;
+        # with ``end_time = num_instances`` and instance-aligned
+        # rounds, ``now + round_interval < end_time`` is the same
+        # strict comparison, so the final round skips prediction in
+        # both engines and no earlier round drops it.  A prediction at
+        # ``now + round_interval == end_time`` would target arrivals no
+        # later round could ever assign (rounds at or past ``end_time``
+        # never run — see advance_to), so the strict ``<`` is correct
+        # for non-aligned intervals too.  Locked by
+        # TestLastRoundPredictionCutoff in the differential suite.
         predicting = config.use_prediction and (
             self._end_time is None
             or now + config.round_interval < self._end_time

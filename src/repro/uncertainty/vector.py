@@ -28,8 +28,15 @@ def uniform_raw_moments_vec(lb: np.ndarray, ub: np.ndarray, k: int) -> np.ndarra
     # closed form; treat them as points (matches the scalar version).
     scale = np.maximum(np.maximum(np.abs(lb), np.abs(ub)), 1.0)
     degenerate = width <= 1e-12 * scale
-    safe_width = np.where(degenerate, 1.0, width)
-    moments = (ub ** (k + 1) - lb ** (k + 1)) / ((k + 1) * safe_width)
+    # All-or-nothing shortcuts skip the unused branch; the selected
+    # expressions are the same, so the values are bit-identical.  The
+    # all-degenerate case is the workhorse: current entities are
+    # points, so whole interval sets collapse to it.
+    if degenerate.all():
+        return lb**k
+    moments = (ub ** (k + 1) - lb ** (k + 1)) / ((k + 1) * np.where(degenerate, 1.0, width))
+    if not degenerate.any():
+        return moments
     return np.where(degenerate, lb**k, moments)
 
 
@@ -88,6 +95,46 @@ def distance_stats_vec(
         elementwise (delta-method mean/variance, exact bounds).
     """
     wx_lo, wx_hi, wy_lo, wy_hi = (np.asarray(a, dtype=float)[:, None] for a in worker_intervals)
+    tx_lo, tx_hi, ty_lo, ty_hi = (np.asarray(a, dtype=float) for a in task_intervals)
+
+    e_z1_sq, e_z1_4 = _difference_moments_vec(wx_lo, wx_hi, tx_lo, tx_hi)
+    e_z2_sq, e_z2_4 = _difference_moments_vec(wy_lo, wy_hi, ty_lo, ty_hi)
+
+    mean_sq = e_z1_sq + e_z2_sq
+    e_z4 = e_z1_4 + 2.0 * e_z1_sq * e_z2_sq + e_z2_4
+    variance_sq = np.maximum(e_z4 - mean_sq * mean_sq, 0.0)
+
+    lower = np.hypot(
+        _interval_gap_vec(wx_lo, wx_hi, tx_lo, tx_hi),
+        _interval_gap_vec(wy_lo, wy_hi, ty_lo, ty_hi),
+    )
+    upper = np.hypot(
+        _interval_span_vec(wx_lo, wx_hi, tx_lo, tx_hi),
+        _interval_span_vec(wy_lo, wy_hi, ty_lo, ty_hi),
+    )
+
+    positive = mean_sq > 0.0
+    safe_mean_sq = np.where(positive, mean_sq, 1.0)
+    mean = np.where(positive, np.sqrt(safe_mean_sq), 0.0)
+    variance = np.where(positive, variance_sq / (4.0 * safe_mean_sq), 0.0)
+    mean = np.clip(mean, lower, upper)
+    return mean, variance, lower, upper
+
+
+def distance_stats_aligned(
+    worker_intervals: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    task_intervals: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-pair distance statistics for aligned box sequences.
+
+    Same arithmetic as :func:`distance_stats_vec` without the outer
+    worker-axis broadcast: ``worker_intervals[i]`` is paired with
+    ``task_intervals[i]`` and the outputs have shape ``(k,)``.  Every
+    operation involved is elementwise, so the results are bit-identical
+    to the corresponding entries of the pairwise form — the contract
+    the sparse pair builder's batched pricing relies on.
+    """
+    wx_lo, wx_hi, wy_lo, wy_hi = (np.asarray(a, dtype=float) for a in worker_intervals)
     tx_lo, tx_hi, ty_lo, ty_hi = (np.asarray(a, dtype=float) for a in task_intervals)
 
     e_z1_sq, e_z1_4 = _difference_moments_vec(wx_lo, wx_hi, tx_lo, tx_hi)

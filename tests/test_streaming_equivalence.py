@@ -152,6 +152,86 @@ class TestStreamingReproducesBatch:
         assert_results_identical(batch, stream)
 
 
+class TestLastRoundPredictionCutoff:
+    """The final-round prediction cutoff mirrors the batch engine.
+
+    Batch predicts iff ``instance + 1 < num_instances``; streaming iff
+    ``now + round_interval < end_time``.  With ``end_time`` exactly one
+    round away these agree on skipping the final forecast, and no
+    earlier round drops one the batch path keeps.
+    """
+
+    @staticmethod
+    def _engines(num_instances: int, round_interval: float = 1.0):
+        workload = SyntheticWorkload(
+            WorkloadParams(
+                num_workers=120, num_tasks=120, num_instances=num_instances
+            ),
+            seed=13,
+        )
+        engine_config = EngineConfig(budget=25.0, use_prediction=True)
+        batch = SimulationEngine(workload, MQAGreedy(), engine_config, seed=13).run()
+        stream = run_stream(
+            workload,
+            MQAGreedy(),
+            config=StreamConfig.from_engine_config(
+                engine_config, round_interval=round_interval
+            ),
+            seed=13,
+        )
+        return batch, stream
+
+    def test_final_round_skips_prediction_in_both_engines(self):
+        batch, stream = self._engines(num_instances=4)
+        assert_results_identical(batch, stream)
+        # Earlier rounds do predict (the cutoff is not over-eager)...
+        assert batch.instances[-2].num_predicted_workers > 0
+        assert stream.instances[-2].num_predicted_workers > 0
+        # ...and the round exactly one interval before end_time does not.
+        assert batch.instances[-1].num_predicted_workers == 0
+        assert batch.instances[-1].num_predicted_tasks == 0
+        assert stream.instances[-1].num_predicted_workers == 0
+        assert stream.instances[-1].num_predicted_tasks == 0
+
+    def test_no_round_at_or_past_end_time(self):
+        from repro.streaming import prepared_engine
+        from repro.workloads import SyntheticWorkload as SW
+
+        workload = SW(
+            WorkloadParams(num_workers=40, num_tasks=40, num_instances=3), seed=5
+        )
+        engine, _ = prepared_engine(
+            workload,
+            MQAGreedy(),
+            config=StreamConfig(round_interval=1.0, budget=20.0),
+            seed=5,
+        )
+        engine.advance_to(100.0)
+        # Rounds fire at 0, 1, 2 only: the round at end_time == 3 never
+        # runs, matching the batch loop's R instances.
+        assert engine.rounds_run == 3
+        assert engine.clock == 2.0
+
+    def test_subinstance_rounds_keep_the_strict_cutoff(self):
+        """With a finer interval, only the literal final round skips."""
+        workload = SyntheticWorkload(
+            WorkloadParams(num_workers=80, num_tasks=80, num_instances=3),
+            seed=21,
+        )
+        stream = run_stream(
+            workload,
+            MQAGreedy(),
+            config=StreamConfig(round_interval=0.5, budget=20.0, use_prediction=True),
+            seed=21,
+        )
+        # Rounds at 0.0 .. 2.5; only the 2.5 round (end_time exactly one
+        # interval away) must skip the forecast.
+        assert len(stream.instances) == 6
+        assert stream.instances[-1].num_predicted_workers == 0
+        assert stream.instances[-1].num_predicted_tasks == 0
+        assert stream.instances[-2].num_predicted_workers > 0
+
+
 class TestSparseBuilderEquivalence:
     """``build_problem_sparse`` is pair-for-pair the dense builder."""
 
