@@ -49,6 +49,24 @@ def write_bench_json(name: str, payload: dict) -> Path:
     return path
 
 
+def merge_bench_json(name: str, payload: dict) -> Path:
+    """Merge top-level keys into an existing ``BENCH_<name>.json``.
+
+    Several benches contribute *sections* of one shared trajectory
+    file (the throughput legs and the sharded-scaling matrix both
+    land in ``BENCH_streaming.json``); merging instead of rewriting
+    means a run that only regenerates one section keeps the committed
+    others untouched, so partial runs never silently drop trajectory
+    data and the file always diffs cleanly.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    existing: dict = {}
+    if path.exists():
+        existing = json.loads(path.read_text(encoding="utf-8"))
+    existing.update(payload)
+    return write_bench_json(name, {k: v for k, v in existing.items() if k != "bench"})
+
+
 def run_figure_bench(benchmark, figure_id: str, scale: float = SCALE, seed: int = SEED):
     """Run one figure sweep under pytest-benchmark and persist output."""
     result = benchmark.pedantic(

@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Gate the bench trajectory: fresh BENCH_*.json vs committed baselines.
+
+The bench CI job regenerates the machine-readable bench results and
+then runs this checker against the baselines committed in the repo.
+The job fails when:
+
+- a throughput figure (``events_per_second``, ``rounds_per_second``,
+  ``speedup_at_500``) drops more than ``--tolerance`` (default 30%)
+  below the committed baseline, or
+- a pruning ratio falls below the floor *recorded in the baseline*
+  (``pair_ratio`` vs ``pair_ratio_floor`` for both streaming legs;
+  ``speedup_at_500`` vs ``speedup_floor`` for the matching bench) —
+  these are machine-independent and carry no tolerance.
+
+A baseline file that does not exist passes with a note (first run); a
+*fresh* file that does not exist fails, because that means the bench
+silently stopped producing its results.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py --baseline ci-baseline --fresh .
+
+Exit code 0 = trajectory holds, 1 = regression (reasons on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Bench files under trajectory control.
+BENCH_FILES = ("BENCH_matching.json", "BENCH_streaming.json")
+
+DEFAULT_TOLERANCE = 0.30
+
+
+def _load(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def _check_drop(
+    errors: list[str], label: str, fresh: float, baseline: float, tolerance: float
+) -> None:
+    """Relative-drop rule for wall-clock-derived throughput figures."""
+    floor = (1.0 - tolerance) * baseline
+    if fresh < floor:
+        errors.append(
+            f"{label}: {fresh:.1f} dropped more than {tolerance:.0%} below "
+            f"the committed {baseline:.1f} (floor {floor:.1f})"
+        )
+
+
+def check_streaming(
+    baseline: dict, fresh: dict, tolerance: float
+) -> list[str]:
+    errors: list[str] = []
+    floor = baseline.get("pair_ratio_floor")
+    for leg in ("no_prediction", "with_prediction"):
+        fresh_leg = fresh.get(leg)
+        base_leg = baseline.get(leg)
+        if fresh_leg is None:
+            errors.append(f"streaming: fresh results miss the {leg!r} leg")
+            continue
+        if floor is not None and fresh_leg["pair_ratio"] < floor:
+            errors.append(
+                f"streaming {leg}: pair_ratio {fresh_leg['pair_ratio']} fell "
+                f"below the recorded floor {floor}"
+            )
+        if base_leg is not None:
+            _check_drop(
+                errors,
+                f"streaming {leg}: events_per_second",
+                fresh_leg["events_per_second"],
+                base_leg["events_per_second"],
+                tolerance,
+            )
+    base_sharded = baseline.get("sharded")
+    fresh_sharded = fresh.get("sharded")
+    if base_sharded is not None and fresh_sharded is None:
+        errors.append(
+            "streaming: the baseline has a 'sharded' section but the fresh "
+            "results do not — the scaling bench silently stopped running"
+        )
+    if base_sharded is not None and fresh_sharded is not None:
+        _check_drop(
+            errors,
+            "streaming sharded serial: rounds_per_second",
+            fresh_sharded["serial"]["rounds_per_second"],
+            base_sharded["serial"]["rounds_per_second"],
+            tolerance,
+        )
+        # The parallel speedup trajectory is only comparable between
+        # machines with the same core budget.
+        if (
+            base_sharded.get("scaling_asserted")
+            and fresh_sharded.get("scaling_asserted")
+            and fresh_sharded.get("cpu_count") == base_sharded.get("cpu_count")
+        ):
+            for label, base_variant in base_sharded.get("variants", {}).items():
+                fresh_variant = fresh_sharded.get("variants", {}).get(label)
+                if fresh_variant is None:
+                    errors.append(f"streaming sharded: fresh results miss {label!r}")
+                    continue
+                _check_drop(
+                    errors,
+                    f"streaming sharded {label}: speedup_vs_serial",
+                    fresh_variant["speedup_vs_serial"],
+                    base_variant["speedup_vs_serial"],
+                    tolerance,
+                )
+    return errors
+
+
+def check_matching(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    errors: list[str] = []
+    floor = baseline.get("speedup_floor")
+    speedup = fresh.get("speedup_at_500")
+    if speedup is None:
+        errors.append("matching: fresh results miss speedup_at_500")
+        return errors
+    if floor is not None and speedup < floor:
+        errors.append(
+            f"matching: speedup_at_500 {speedup} fell below the recorded "
+            f"floor {floor}"
+        )
+    if baseline.get("speedup_at_500") is not None:
+        _check_drop(
+            errors,
+            "matching: speedup_at_500",
+            speedup,
+            baseline["speedup_at_500"],
+            tolerance,
+        )
+    return errors
+
+
+_CHECKERS = {
+    "BENCH_streaming.json": check_streaming,
+    "BENCH_matching.json": check_matching,
+}
+
+
+def check_file(
+    name: str, baseline_dir: Path, fresh_dir: Path, tolerance: float
+) -> list[str]:
+    baseline = _load(baseline_dir / name)
+    fresh = _load(fresh_dir / name)
+    if baseline is None:
+        print(f"{name}: no committed baseline, nothing to compare (pass)")
+        return []
+    if fresh is None:
+        return [f"{name}: bench produced no fresh results at {fresh_dir / name}"]
+    return _CHECKERS[name](baseline, fresh, tolerance)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="directory holding the freshly produced BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative throughput drop that fails the gate (default 0.30)",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        choices=BENCH_FILES,
+        help="check only these files (default: all)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
+
+    errors: list[str] = []
+    for name in args.bench or BENCH_FILES:
+        errors.extend(check_file(name, args.baseline, args.fresh, args.tolerance))
+    if errors:
+        for error in errors:
+            print(f"REGRESSION: {error}", file=sys.stderr)
+        return 1
+    print("bench trajectory holds: no regressions against the committed baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,7 +96,7 @@ def _build_stream_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--scenario",
-        choices=("bursty", "hotspot", "synthetic"),
+        choices=("bursty", "hotspot", "citywide", "synthetic"),
         default="bursty",
         help="arrival scenario (default bursty)",
     )
@@ -133,6 +133,25 @@ def _build_stream_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the dense pair builder instead of the spatial index",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="K",
+        help="partition the grid into K spatial shards (0 = unsharded engine)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("process", "thread", "serial"),
+        default="thread",
+        help="shard execution backend (with --shards; default thread)",
+    )
+    parser.add_argument(
+        "--hotspots",
+        type=int,
+        default=4,
+        help="hotspot count for the citywide scenario (default 4)",
+    )
     parser.add_argument("--seed", type=int, default=7, help="random seed (default 7)")
     parser.add_argument(
         "--json", type=Path, default=None, metavar="FILE", help="write summary JSON"
@@ -143,6 +162,7 @@ def _build_stream_parser() -> argparse.ArgumentParser:
 def _stream_workload(args):
     from repro.workloads import (
         BurstyWorkload,
+        CitywideMultiHotspotWorkload,
         DriftingHotspotWorkload,
         SyntheticWorkload,
         WorkloadParams,
@@ -158,19 +178,37 @@ def _stream_workload(args):
         return BurstyWorkload(params, seed=args.seed)
     if args.scenario == "hotspot":
         return DriftingHotspotWorkload(params, seed=args.seed)
+    if args.scenario == "citywide":
+        return CitywideMultiHotspotWorkload(
+            params, seed=args.seed, num_hotspots=args.hotspots
+        )
     return SyntheticWorkload(params, seed=args.seed)
 
 
 def _run_stream_command(argv: list[str]) -> int:
     args = _build_stream_parser().parse_args(argv)
     from repro.core import MQADivideConquer, MQAGreedy, RandomAssigner
-    from repro.streaming import StreamConfig, prepared_engine
+    from repro.streaming import (
+        ShardingConfig,
+        StreamConfig,
+        prepared_engine,
+        prepared_sharded_engine,
+    )
 
     assigner = {
         "greedy": MQAGreedy,
         "dc": MQADivideConquer,
         "random": RandomAssigner,
     }[args.algorithm]()
+    if args.shards < 0:
+        print("--shards must be >= 0", file=sys.stderr)
+        return 2
+    if args.shards and args.dense:
+        print("--shards requires the sparse builder (drop --dense)", file=sys.stderr)
+        return 2
+    if args.hotspots < 1:
+        print("--hotspots must be >= 1", file=sys.stderr)
+        return 2
     workload = _stream_workload(args)
     config = StreamConfig(
         round_interval=args.round_interval,
@@ -179,11 +217,24 @@ def _run_stream_command(argv: list[str]) -> int:
         use_prediction=not args.no_prediction,
         use_sparse_builder=not args.dense,
     )
-    engine, events_in = prepared_engine(
-        workload, assigner, config=config, seed=args.seed
-    )
+    if args.shards:
+        engine, events_in = prepared_sharded_engine(
+            workload,
+            assigner,
+            config=config,
+            sharding=ShardingConfig(num_shards=args.shards, backend=args.backend),
+            seed=args.seed,
+        )
+    else:
+        engine, events_in = prepared_engine(
+            workload, assigner, config=config, seed=args.seed
+        )
     started = time.perf_counter()
-    engine.advance_to(float(workload.num_instances))
+    try:
+        engine.advance_to(float(workload.num_instances))
+    finally:
+        if args.shards:
+            engine.close()
     wall = time.perf_counter() - started
     result = engine.result()
 
@@ -196,6 +247,8 @@ def _run_stream_command(argv: list[str]) -> int:
         "algorithm": args.algorithm,
         "round_interval": args.round_interval,
         "builder": "dense" if args.dense else "sparse",
+        "shards": args.shards,
+        "backend": args.backend if args.shards else "none",
         "events_in": events_in,
         "events_processed": engine.events_processed,
         "rounds": engine.rounds_run,
@@ -208,8 +261,11 @@ def _run_stream_command(argv: list[str]) -> int:
         "candidate_pairs_examined": engine.build_stats.candidates,
         "dense_pairs_equivalent": engine.build_stats.dense_equivalent,
     }
+    layout = (
+        f"{args.shards} shards ({summary['backend']})" if args.shards else "unsharded"
+    )
     print(
-        f"{args.scenario} / {args.algorithm} / {summary['builder']}: "
+        f"{args.scenario} / {args.algorithm} / {summary['builder']} / {layout}: "
         f"{summary['rounds']} rounds, {summary['events_processed']} events"
     )
     print(

@@ -9,6 +9,7 @@ from repro.geo.point import Point, euclidean_distance, travel_time
 from repro.geo.box import Box, min_box_distance, max_box_distance
 from repro.geo.grid import GridIndex
 from repro.geo.spatial_index import SpatialIndex
+from repro.geo.tiles import TileGrid
 
 __all__ = [
     "Point",
@@ -19,4 +20,5 @@ __all__ = [
     "max_box_distance",
     "GridIndex",
     "SpatialIndex",
+    "TileGrid",
 ]

@@ -148,23 +148,52 @@ class GridIndex:
         """
         if radius < 0.0:
             raise ValueError(f"radius must be non-negative, got {radius}")
+        # A point is a degenerate box, so the disc query is the
+        # rectangle query with zero extent — one implementation owns
+        # the window/gap arithmetic (it needed a ulp-boundary fix once;
+        # a second copy would have to be fixed twice).
+        return self._cells_near_intervals(
+            point.x, point.x, point.y, point.y, radius
+        )
+
+    def cells_intersecting_box(self, box, margin: float = 0.0) -> np.ndarray:
+        """Cells whose closed box lies within ``margin`` of ``box``.
+
+        The rectangular analogue of :meth:`cells_within_radius`: the
+        per-axis gap between each candidate cell interval and the box
+        interval is computed exactly, and a cell is kept iff the hypot
+        of the gaps is ``<= margin``.  With ``margin = 0`` this is
+        border membership — the cells a tile touches, including the
+        ring sharing only an edge or corner with it.  The sharded
+        streaming layer uses it to slice a cell-grouped candidate CSR
+        down to one tile's margin zone.
+        """
+        if margin < 0.0:
+            raise ValueError(f"margin must be non-negative, got {margin}")
+        return self._cells_near_intervals(box.x_lo, box.x_hi, box.y_lo, box.y_hi, margin)
+
+    def _cells_near_intervals(
+        self, x_lo: float, x_hi: float, y_lo: float, y_hi: float, reach: float
+    ) -> np.ndarray:
+        """Cells whose closed box is within ``reach`` of the intervals.
+
+        The shared window/gap kernel of :meth:`cells_within_radius`
+        (degenerate intervals) and :meth:`cells_intersecting_box`: the
+        candidate window is padded by one cell per side — the floor can
+        land exactly on a cell edge (closed boxes *touch* there) — and
+        the exact per-axis gap filter discards any overshoot.
+        """
         gamma = self._gamma
         side = self._side
-        # Candidate range padded by one cell per side: the floor can
-        # land exactly on a cell edge (closed boxes *touch* there), and
-        # the exact gap filter below discards any overshoot.
-        col_lo = min(max(int(np.floor((point.x - radius) * gamma)) - 1, 0), gamma - 1)
-        col_hi = min(max(int(np.floor((point.x + radius) * gamma)) + 1, 0), gamma - 1)
-        row_lo = min(max(int(np.floor((point.y - radius) * gamma)) - 1, 0), gamma - 1)
-        row_hi = min(max(int(np.floor((point.y + radius) * gamma)) + 1, 0), gamma - 1)
+        col_lo = min(max(int(np.floor((x_lo - reach) * gamma)) - 1, 0), gamma - 1)
+        col_hi = min(max(int(np.floor((x_hi + reach) * gamma)) + 1, 0), gamma - 1)
+        row_lo = min(max(int(np.floor((y_lo - reach) * gamma)) - 1, 0), gamma - 1)
+        row_hi = min(max(int(np.floor((y_hi + reach) * gamma)) + 1, 0), gamma - 1)
         cols = np.arange(col_lo, col_hi + 1)
         rows = np.arange(row_lo, row_hi + 1)
-        # Per-axis gap from the point to each candidate cell interval;
-        # a cell intersects the disc iff the hypot of the gaps is
-        # within the radius.
-        dx = np.maximum(np.maximum(cols * side - point.x, point.x - (cols + 1) * side), 0.0)
-        dy = np.maximum(np.maximum(rows * side - point.y, point.y - (rows + 1) * side), 0.0)
-        near = np.hypot(dx[None, :], dy[:, None]) <= radius
+        dx = np.maximum(np.maximum(cols * side - x_hi, x_lo - (cols + 1) * side), 0.0)
+        dy = np.maximum(np.maximum(rows * side - y_hi, y_lo - (rows + 1) * side), 0.0)
+        near = np.hypot(dx[None, :], dy[:, None]) <= reach
         r_idx, c_idx = np.nonzero(near)
         return ((rows[r_idx]) * gamma + cols[c_idx]).astype(np.int64)
 

@@ -214,6 +214,69 @@ def _triplet_pool(
     )
 
 
+def _predicted_family_coupling(
+    stats,
+    side: str,
+    index: np.ndarray,
+    existence: np.ndarray,
+    discount_by_existence: bool,
+    reservation_filter: bool,
+    exact_quality: np.ndarray | None = None,
+):
+    """Quality estimate, discount and reservation verdict of one family.
+
+    The single source of the Section III-B predicted-pair semantics,
+    shared by the serial sparse builder and the sharded builder so the
+    two can never diverge: ``side`` selects the sample-statistic axis
+    (``"task"`` for ``<w_hat, t>`` gathered by ``index = cols``,
+    ``"worker"`` for ``<w, t_hat>`` gathered by ``index = rows``,
+    ``"global"`` for ``<w_hat, t_hat>``), the quality is discounted by
+    the existence probability when enabled, and the reservation filter
+    returns a keep mask (``None`` when it does not apply — the
+    future-future family reserves no current entity).  Callers apply
+    the mask to their own aligned columns.
+    """
+    if exact_quality is not None:
+        quality = (
+            exact_quality,
+            np.zeros_like(exact_quality),
+            exact_quality,
+            exact_quality,
+        )
+    elif side == "task":
+        quality = tuple(
+            axis[index]
+            for axis in (stats.task_mean, stats.task_var, stats.task_min, stats.task_max)
+        )
+    elif side == "worker":
+        quality = tuple(
+            axis[index]
+            for axis in (
+                stats.worker_mean,
+                stats.worker_var,
+                stats.worker_min,
+                stats.worker_max,
+            )
+        )
+    else:
+        quality = (
+            np.full(index.size, stats.global_mean),
+            np.full(index.size, stats.global_var),
+            np.full(index.size, stats.global_min),
+            np.full(index.size, stats.global_max),
+        )
+    if discount_by_existence:
+        quality = _discount_quality(*quality, existence)
+    keep = None
+    if reservation_filter and side in ("task", "worker"):
+        count = stats.task_count if side == "task" else stats.worker_count
+        best_axis = stats.task_max if side == "task" else stats.worker_max
+        has_current = count > 0
+        best_current = np.where(has_current, best_axis, -np.inf)
+        keep = (quality[0] > best_current[index]) | ~has_current[index]
+    return quality, keep
+
+
 # ---------------------------------------------------------------------------
 # Batched cell-join candidate generation
 # ---------------------------------------------------------------------------
@@ -259,6 +322,34 @@ class _CandidateCSR:
         cells, first = np.unique(sorted_cells, return_index=True)
         starts = np.concatenate((first, [sorted_cells.size])).astype(np.int64)
         return cls(grid, cells, starts, order)
+
+    def restrict_to_cells(self, cells: np.ndarray) -> "_CandidateCSR":
+        """CSR sliced to the occupied cells listed in ``cells``.
+
+        ``cells`` is a sorted array of cell ids (typically one tile's
+        margin zone from :meth:`GridIndex.cells_intersecting_box`); the
+        result keeps only the buckets of those cells, preserving the
+        original candidate column values — the per-shard view the
+        sharded builder queries, with no re-indexing of columns.
+        """
+        if self.cells.size == 0 or cells.size == 0:
+            return _CandidateCSR(
+                self.grid,
+                np.zeros(0, dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+            )
+        positions = np.searchsorted(self.cells, cells)
+        clamped = np.minimum(positions, self.cells.size - 1)
+        positions = positions[
+            (positions < self.cells.size) & (self.cells[clamped] == cells)
+        ]
+        kept_cells = self.cells[positions]
+        sizes = self.starts[positions + 1] - self.starts[positions]
+        starts = np.zeros(positions.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=starts[1:])
+        cols = self.cols[_concat_ranges(self.starts[positions], self.starts[positions + 1])]
+        return _CandidateCSR(self.grid, kept_cells, starts, cols)
 
     @classmethod
     def from_index(cls, index: SpatialIndex, key_to_col: dict[int, int]) -> "_CandidateCSR":
@@ -778,27 +869,16 @@ def build_problem_sparse(
         )
         if rows.size:
             existence = exist_task[cols]
-            if exact_predicted_quality:
-                q_vals = _pair_quality(
-                    quality_model, predicted_workers, current_tasks, rows, cols
-                )
-                quality = (q_vals, np.zeros_like(q_vals), q_vals, q_vals)
-            else:
-                quality = tuple(
-                    axis[cols]
-                    for axis in (
-                        stats_cc.task_mean,
-                        stats_cc.task_var,
-                        stats_cc.task_min,
-                        stats_cc.task_max,
-                    )
-                )
-            if discount_by_existence:
-                quality = _discount_quality(*quality, existence)
-            if reservation_filter:
-                has_current = stats_cc.task_count > 0
-                best_current = np.where(has_current, stats_cc.task_max, -np.inf)
-                keep = (quality[0] > best_current[cols]) | ~has_current[cols]
+            exact_q = (
+                _pair_quality(quality_model, predicted_workers, current_tasks, rows, cols)
+                if exact_predicted_quality
+                else None
+            )
+            quality, keep = _predicted_family_coupling(
+                stats_cc, "task", cols, existence,
+                discount_by_existence, reservation_filter, exact_q,
+            )
+            if keep is not None:
                 rows, cols = rows[keep], cols[keep]
                 if d_stats is not None:
                     d_stats = tuple(a[keep] for a in d_stats)
@@ -836,27 +916,16 @@ def build_problem_sparse(
         )
         if rows.size:
             existence = exist_worker[rows]
-            if exact_predicted_quality:
-                q_vals = _pair_quality(
-                    quality_model, current_workers, predicted_tasks, rows, cols
-                )
-                quality = (q_vals, np.zeros_like(q_vals), q_vals, q_vals)
-            else:
-                quality = tuple(
-                    axis[rows]
-                    for axis in (
-                        stats_cc.worker_mean,
-                        stats_cc.worker_var,
-                        stats_cc.worker_min,
-                        stats_cc.worker_max,
-                    )
-                )
-            if discount_by_existence:
-                quality = _discount_quality(*quality, existence)
-            if reservation_filter:
-                has_current = stats_cc.worker_count > 0
-                best_current = np.where(has_current, stats_cc.worker_max, -np.inf)
-                keep = (quality[0] > best_current[rows]) | ~has_current[rows]
+            exact_q = (
+                _pair_quality(quality_model, current_workers, predicted_tasks, rows, cols)
+                if exact_predicted_quality
+                else None
+            )
+            quality, keep = _predicted_family_coupling(
+                stats_cc, "worker", rows, existence,
+                discount_by_existence, reservation_filter, exact_q,
+            )
+            if keep is not None:
                 rows, cols = rows[keep], cols[keep]
                 if d_stats is not None:
                     d_stats = tuple(a[keep] for a in d_stats)
@@ -876,20 +945,15 @@ def build_problem_sparse(
         )
         if rows.size:
             existence = np.full(rows.size, existence_value)
-            if exact_predicted_quality:
-                q_vals = _pair_quality(
-                    quality_model, predicted_workers, predicted_tasks, rows, cols
-                )
-                quality = (q_vals, np.zeros_like(q_vals), q_vals, q_vals)
-            else:
-                quality = (
-                    np.full(rows.size, stats_cc.global_mean),
-                    np.full(rows.size, stats_cc.global_var),
-                    np.full(rows.size, stats_cc.global_min),
-                    np.full(rows.size, stats_cc.global_max),
-                )
-            if discount_by_existence:
-                quality = _discount_quality(*quality, existence)
+            exact_q = (
+                _pair_quality(quality_model, predicted_workers, predicted_tasks, rows, cols)
+                if exact_predicted_quality
+                else None
+            )
+            quality, _ = _predicted_family_coupling(
+                stats_cc, "global", rows, existence,
+                discount_by_existence, reservation_filter, exact_q,
+            )
             if d_stats is None:
                 d_stats = _price_distance(pw_intervals, pt_intervals, rows, cols)
             _emit_predicted_block(

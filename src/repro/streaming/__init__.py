@@ -30,6 +30,13 @@ from repro.streaming.adapters import (
     workload_events,
 )
 from repro.streaming.service import StreamSnapshot, StreamingService
+from repro.streaming.sharding import (
+    ShardedStreamingEngine,
+    ShardingConfig,
+    build_problem_sharded,
+    prepared_sharded_engine,
+    run_sharded_stream,
+)
 
 __all__ = [
     "Event",
@@ -46,4 +53,9 @@ __all__ = [
     "run_stream",
     "StreamSnapshot",
     "StreamingService",
+    "ShardingConfig",
+    "ShardedStreamingEngine",
+    "build_problem_sharded",
+    "prepared_sharded_engine",
+    "run_sharded_stream",
 ]

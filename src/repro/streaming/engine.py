@@ -382,6 +382,50 @@ class StreamingEngine:
             self._joined_workers.append(worker)
         self._release_buffer.clear()
 
+    def _build_problem(
+        self,
+        now: float,
+        predicted_workers: list[Worker],
+        predicted_tasks: list[Task],
+    ):
+        """Assemble the round's candidate-pair problem.
+
+        The single extension point of the round loop: subclasses that
+        generate candidates differently — notably the sharded engine,
+        which fans the build out over spatial shards — override this
+        and nothing else, so event handling, prediction RNG draws and
+        selection stay byte-for-byte shared with the serial engine.
+        """
+        config = self._config
+        if config.use_sparse_builder:
+            return build_problem_sparse(
+                self._available_workers,
+                self._available_tasks,
+                predicted_workers,
+                predicted_tasks,
+                self._quality_model,
+                config.unit_cost,
+                now,
+                discount_by_existence=config.discount_by_existence,
+                reservation_filter=config.reservation_filter,
+                include_future_future_pairs=config.include_future_future_pairs,
+                task_index=self._task_index if self._available_tasks else None,
+                index_gamma=config.index_gamma,
+                stats=self.build_stats,
+            )
+        return build_problem(
+            self._available_workers,
+            self._available_tasks,
+            predicted_workers,
+            predicted_tasks,
+            self._quality_model,
+            config.unit_cost,
+            now,
+            discount_by_existence=config.discount_by_existence,
+            reservation_filter=config.reservation_filter,
+            include_future_future_pairs=config.include_future_future_pairs,
+        )
+
     def _run_round(self, now: float, round_index: int) -> None:
         config = self._config
         started = _time.perf_counter()
@@ -449,35 +493,7 @@ class StreamingEngine:
         num_workers = len(self._available_workers)
         num_tasks = len(self._available_tasks)
 
-        if config.use_sparse_builder:
-            problem = build_problem_sparse(
-                self._available_workers,
-                self._available_tasks,
-                predicted_workers,
-                predicted_tasks,
-                self._quality_model,
-                config.unit_cost,
-                now,
-                discount_by_existence=config.discount_by_existence,
-                reservation_filter=config.reservation_filter,
-                include_future_future_pairs=config.include_future_future_pairs,
-                task_index=self._task_index if num_tasks else None,
-                index_gamma=config.index_gamma,
-                stats=self.build_stats,
-            )
-        else:
-            problem = build_problem(
-                self._available_workers,
-                self._available_tasks,
-                predicted_workers,
-                predicted_tasks,
-                self._quality_model,
-                config.unit_cost,
-                now,
-                discount_by_existence=config.discount_by_existence,
-                reservation_filter=config.reservation_filter,
-                include_future_future_pairs=config.include_future_future_pairs,
-            )
+        problem = self._build_problem(now, predicted_workers, predicted_tasks)
         budget_future = (
             config.budget if predicted_workers or predicted_tasks else 0.0
         )

@@ -30,7 +30,11 @@ from repro.workloads.checkins import (
     save_checkins,
 )
 from repro.workloads.real import RealWorkload, map_to_unit_square
-from repro.workloads.streaming import BurstyWorkload, DriftingHotspotWorkload
+from repro.workloads.streaming import (
+    BurstyWorkload,
+    CitywideMultiHotspotWorkload,
+    DriftingHotspotWorkload,
+)
 
 __all__ = [
     "Workload",
@@ -51,5 +55,6 @@ __all__ = [
     "RealWorkload",
     "map_to_unit_square",
     "BurstyWorkload",
+    "CitywideMultiHotspotWorkload",
     "DriftingHotspotWorkload",
 ]

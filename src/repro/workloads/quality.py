@@ -105,6 +105,28 @@ class HashQualityModel:
             return np.zeros(0)
         return self._scores(worker_ids, task_ids)
 
+    def quality_pairs_by_ids(
+        self, worker_ids: np.ndarray, task_ids: np.ndarray
+    ) -> np.ndarray:
+        """Elementwise scores keyed directly by aligned id arrays.
+
+        Same contract as :meth:`quality_pairs` without the entity
+        objects — the hook the sharded candidate builder uses so shard
+        workers can price qualities from numpy id gathers instead of
+        materializing per-pair Python lists.  Bit-identical to the
+        matrix entries for the same id pairs.
+        """
+        worker_ids = np.abs(np.asarray(worker_ids, dtype=np.int64))
+        task_ids = np.abs(np.asarray(task_ids, dtype=np.int64))
+        if worker_ids.shape != task_ids.shape:
+            raise ValueError(
+                f"aligned id arrays required, got shapes {worker_ids.shape} "
+                f"and {task_ids.shape}"
+            )
+        if worker_ids.size == 0:
+            return np.zeros(0)
+        return self._scores(worker_ids, task_ids)
+
     def _scores(self, worker_ids: np.ndarray, task_ids: np.ndarray) -> np.ndarray:
         """Gaussian-in-range scores for broadcastable id arrays."""
         u1 = _hash_uniform(worker_ids, task_ids, self._seed)

@@ -175,6 +175,82 @@ class BurstyWorkload(_GeneratedStream):
         return [Point(float(x), float(y)) for x, y in points]
 
 
+class CitywideMultiHotspotWorkload(_GeneratedStream):
+    """Several dense, far-apart demand pockets active at once.
+
+    Models a whole city at rush hour: ``num_hotspots`` compact
+    Gaussian pockets sit on a jittered sub-grid spanning the region,
+    and every instance's arrivals split across them (workers and tasks
+    drawn around the same centers, so each pocket is locally dense).
+    Reachability radii are small relative to the pocket spacing, which
+    makes the assignment problem *spatially decomposable*: pockets
+    rarely interact, but each one generates a heavy local candidate
+    block.  This is the scenario built to separate the sharded engine
+    from the serial one — a single engine round must grind through
+    every pocket's candidates sequentially, while grid-partitioned
+    shards price the pockets concurrently and only the thin border
+    reconciliation runs globally.  (The bursty/drifting scenarios
+    concentrate demand in one place at a time, which leaves most
+    shards idle and shows little sharding benefit.)
+    """
+
+    def __init__(
+        self,
+        params: WorkloadParams,
+        seed: int = 0,
+        num_hotspots: int = 4,
+        hotspot_std: float = 0.06,
+        center_jitter: float = 0.05,
+    ) -> None:
+        if num_hotspots < 1:
+            raise ValueError(f"num_hotspots must be >= 1, got {num_hotspots}")
+        if hotspot_std <= 0.0:
+            raise ValueError(f"hotspot_std must be positive, got {hotspot_std}")
+        if center_jitter < 0.0:
+            raise ValueError(f"center_jitter must be >= 0, got {center_jitter}")
+        self._num_hotspots = num_hotspots
+        self._hotspot_std = hotspot_std
+        # Centers on the smallest sub-grid that fits, jittered per seed
+        # so hotspots do not sit exactly on shard boundaries.
+        grid = int(math.ceil(math.sqrt(num_hotspots)))
+        center_rng = np.random.default_rng(seed ^ 0x5EED_C17D)
+        centers = []
+        for h in range(num_hotspots):
+            row, col = divmod(h, grid)
+            centers.append(
+                (
+                    float(np.clip((col + 0.5) / grid
+                                  + center_rng.uniform(-center_jitter, center_jitter),
+                                  0.05, 0.95)),
+                    float(np.clip((row + 0.5) / grid
+                                  + center_rng.uniform(-center_jitter, center_jitter),
+                                  0.05, 0.95)),
+                )
+            )
+        self._centers = centers
+        super().__init__(params, seed)
+
+    @property
+    def hotspot_centers(self) -> list[Point]:
+        return [Point(x, y) for x, y in self._centers]
+
+    def _instance_weights(self, rng: np.random.Generator, phase: int) -> np.ndarray:
+        return np.ones(self._params.num_instances)
+
+    def _locations(
+        self, rng: np.random.Generator, instance: int, count: int, kind: str
+    ) -> list[Point]:
+        centers = np.asarray(self._centers)
+        which = rng.integers(0, self._num_hotspots, size=count)
+        xs = np.clip(
+            rng.normal(centers[which, 0], self._hotspot_std), 0.0, 1.0
+        )
+        ys = np.clip(
+            rng.normal(centers[which, 1], self._hotspot_std), 0.0, 1.0
+        )
+        return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
 class DriftingHotspotWorkload(_GeneratedStream):
     """A compact demand hotspot orbiting the region center.
 

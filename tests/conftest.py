@@ -9,11 +9,25 @@ collected in one pytest run.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.model.instance import ProblemInstance
 from repro.testing import make_problem
+
+# Hypothesis profiles: local runs stay fast on the library defaults;
+# the CI matrix exports HYPOTHESIS_PROFILE=ci for a deeper, fully
+# reproducible sweep (derandomized, so a red CI run is replayable
+# locally with the same profile; tests that pin their own
+# max_examples keep it, everything else gets the deeper default).
+settings.register_profile("dev", settings.get_profile("default"))
+settings.register_profile(
+    "ci", max_examples=200, derandomize=True, deadline=None, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -1,0 +1,195 @@
+"""The bench-regression gate fails on regressions and passes on truth.
+
+Exercises ``benchmarks/check_bench_regression.py`` against synthetic
+baseline/fresh directories — including the committed repo baselines
+compared against themselves (which must always pass) and a corrupted
+baseline (which must fail), the end-to-end proof the CI gate bites.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import shutil
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+CHECKER = REPO_ROOT / "benchmarks" / "check_bench_regression.py"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(directory: Path, name: str, payload: dict) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def _streaming_payload(events: float, ratio: float) -> dict:
+    leg = {"events_per_second": events, "pair_ratio": ratio}
+    return {
+        "bench": "streaming",
+        "pair_ratio_floor": 5.0,
+        "no_prediction": dict(leg),
+        "with_prediction": dict(leg),
+    }
+
+
+class TestStreamingRules:
+    def test_identical_results_pass(self, checker, tmp_path):
+        payload = _streaming_payload(5000.0, 6.4)
+        _write(tmp_path / "base", "BENCH_streaming.json", payload)
+        _write(tmp_path / "fresh", "BENCH_streaming.json", payload)
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 0
+
+    def test_events_drop_over_tolerance_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
+        _write(tmp_path / "fresh", "BENCH_streaming.json", _streaming_payload(3000.0, 6.4))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_events_drop_within_tolerance_passes(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
+        _write(tmp_path / "fresh", "BENCH_streaming.json", _streaming_payload(3600.0, 6.4))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 0
+
+    def test_pair_ratio_below_recorded_floor_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
+        _write(tmp_path / "fresh", "BENCH_streaming.json", _streaming_payload(5000.0, 4.9))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_missing_fresh_leg_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
+        broken = _streaming_payload(5000.0, 6.4)
+        del broken["with_prediction"]
+        _write(tmp_path / "fresh", "BENCH_streaming.json", broken)
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_missing_fresh_file_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
+        (tmp_path / "fresh").mkdir()
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_missing_fresh_sharded_section_fails(self, checker, tmp_path):
+        """A baseline with a sharded section demands one in the fresh
+        results — the scaling bench silently not running must fail."""
+        base = _streaming_payload(5000.0, 6.4)
+        base["sharded"] = {"serial": {"rounds_per_second": 0.5}}
+        _write(tmp_path / "base", "BENCH_streaming.json", base)
+        _write(tmp_path / "fresh", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_missing_baseline_passes(self, checker, tmp_path):
+        (tmp_path / "base").mkdir()
+        _write(tmp_path / "fresh", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 0
+
+
+class TestMatchingRules:
+    @staticmethod
+    def _payload(speedup: float, floor: float = 5.0) -> dict:
+        return {
+            "bench": "matching",
+            "speedup_at_500": speedup,
+            "speedup_floor": floor,
+        }
+
+    def test_floor_violation_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_matching.json", self._payload(8.0))
+        _write(tmp_path / "fresh", "BENCH_matching.json", self._payload(4.5))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_matching.json"]
+        )
+        assert rc == 1
+
+    def test_drop_over_tolerance_fails_even_above_floor(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_matching.json", self._payload(10.0))
+        _write(tmp_path / "fresh", "BENCH_matching.json", self._payload(6.0))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_matching.json"]
+        )
+        assert rc == 1
+
+    def test_healthy_results_pass(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_matching.json", self._payload(8.0))
+        _write(tmp_path / "fresh", "BENCH_matching.json", self._payload(7.8))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_matching.json"]
+        )
+        assert rc == 0
+
+
+class TestAgainstCommittedBaselines:
+    """End-to-end over the real committed files."""
+
+    def test_committed_baselines_pass_against_themselves(self, checker, tmp_path):
+        base = tmp_path / "base"
+        base.mkdir()
+        for name in checker.BENCH_FILES:
+            shutil.copy(REPO_ROOT / name, base / name)
+        rc = checker.main(["--baseline", str(base), "--fresh", str(REPO_ROOT)])
+        assert rc == 0
+
+    def test_corrupted_baseline_fails(self, checker, tmp_path):
+        """Synthetic regression: inflate the committed baseline so the
+        repo's own fresh numbers look like a >30% collapse — the gate
+        must fire (this is the CI-bites proof the issue asks for)."""
+        base = tmp_path / "base"
+        base.mkdir()
+        for name in checker.BENCH_FILES:
+            shutil.copy(REPO_ROOT / name, base / name)
+        corrupted = json.loads((base / "BENCH_streaming.json").read_text())
+        corrupted["no_prediction"]["events_per_second"] *= 10.0
+        (base / "BENCH_streaming.json").write_text(json.dumps(corrupted))
+        rc = checker.main(["--baseline", str(base), "--fresh", str(REPO_ROOT)])
+        assert rc == 1
+
+    def test_tolerance_validation(self, checker, tmp_path):
+        with pytest.raises(SystemExit):
+            checker.main(
+                ["--baseline", str(tmp_path), "--fresh", str(tmp_path),
+                 "--tolerance", "1.5"]
+            )

@@ -71,6 +71,55 @@ class TestStreamCommand:
         assert summary["rounds"] == 6  # 3 instances / 0.5 interval
         assert summary["candidate_pairs_examined"] >= 0
 
+    def test_stream_sharded_citywide(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "sharded.json"
+        assert main(
+            [
+                "stream",
+                "--scenario", "citywide",
+                "--workers", "80",
+                "--tasks", "80",
+                "--instances", "3",
+                "--shards", "4",
+                "--backend", "serial",
+                "--seed", "3",
+                "--json", str(path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "citywide / greedy / sparse / 4 shards (serial)" in out
+        summary = json.loads(path.read_text())
+        assert summary["shards"] == 4
+        assert summary["backend"] == "serial"
+
+    def test_stream_sharded_matches_unsharded(self, capsys, tmp_path):
+        import json
+
+        base = tmp_path / "base.json"
+        sharded = tmp_path / "sharded.json"
+        common = [
+            "stream", "--scenario", "citywide", "--workers", "70",
+            "--tasks", "70", "--instances", "3", "--seed", "5",
+        ]
+        assert main(common + ["--json", str(base)]) == 0
+        assert main(
+            common + ["--shards", "2", "--backend", "thread", "--json", str(sharded)]
+        ) == 0
+        capsys.readouterr()
+        a = json.loads(base.read_text())
+        b = json.loads(sharded.read_text())
+        assert b["assignments"] == a["assignments"]
+        assert b["total_quality"] == a["total_quality"]
+        assert b["total_cost"] == a["total_cost"]
+
+    def test_stream_shards_reject_dense(self, capsys):
+        assert main(
+            ["stream", "--shards", "2", "--dense", "--workers", "10", "--tasks", "10"]
+        ) == 2
+        assert "sparse builder" in capsys.readouterr().err
+
     def test_stream_dense_mode(self, capsys):
         assert main(
             [

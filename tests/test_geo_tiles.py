@@ -1,0 +1,141 @@
+"""Tile partition properties: exact coverage, margin membership, borders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import GridIndex, TileGrid
+from repro.geo.box import Box
+
+
+class TestTileGridBasics:
+    def test_from_shard_count_factors_squarely(self):
+        assert (TileGrid.from_shard_count(1).nx, TileGrid.from_shard_count(1).ny) == (1, 1)
+        assert (TileGrid.from_shard_count(2).nx, TileGrid.from_shard_count(2).ny) == (2, 1)
+        assert (TileGrid.from_shard_count(4).nx, TileGrid.from_shard_count(4).ny) == (2, 2)
+        assert (TileGrid.from_shard_count(6).nx, TileGrid.from_shard_count(6).ny) == (3, 2)
+        assert (TileGrid.from_shard_count(7).nx, TileGrid.from_shard_count(7).ny) == (7, 1)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            TileGrid(0, 2)
+        with pytest.raises(ValueError):
+            TileGrid.from_shard_count(0)
+        with pytest.raises(ValueError):
+            TileGrid(2, 2).margin_members(np.array([0.5]), np.array([0.5]), -0.1)
+        with pytest.raises(IndexError):
+            TileGrid(2, 2).tile_box(4)
+
+    def test_tile_boxes_partition_the_unit_square(self):
+        tiles = TileGrid(3, 2)
+        area = sum(
+            (b.x_hi - b.x_lo) * (b.y_hi - b.y_lo)
+            for b in (tiles.tile_box(t) for t in range(tiles.num_tiles))
+        )
+        assert area == pytest.approx(1.0)
+
+    def test_owner_contains_point(self):
+        tiles = TileGrid(4, 3)
+        rng = np.random.default_rng(3)
+        xs, ys = rng.random(500), rng.random(500)
+        owners = tiles.tile_of_coordinates(xs, ys)
+        for x, y, tile in zip(xs, ys, owners):
+            box = tiles.tile_box(int(tile))
+            assert box.x_lo <= x <= box.x_hi and box.y_lo <= y <= box.y_hi
+
+
+class TestPartitionProperties:
+    @given(
+        nx=st.integers(min_value=1, max_value=5),
+        ny=st.integers(min_value=1, max_value=5),
+        gamma=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grid_cells_covered_exactly_once(self, nx, ny, gamma):
+        """Ownership is a partition: every grid cell's center (and so
+        every interior point) has exactly one owning tile, and the
+        owners of all cells cover all tiles that contain any cell."""
+        tiles = TileGrid(nx, ny)
+        grid = GridIndex(gamma)
+        centers = [grid.cell_center(c) for c in grid.cells()]
+        xs = np.array([p.x for p in centers])
+        ys = np.array([p.y for p in centers])
+        owners = tiles.tile_of_coordinates(xs, ys)
+        # Exactly one owner per cell by construction; the zero-margin
+        # membership of the owner always includes the cell.
+        counts = tiles.membership_counts(xs, ys, 0.0)
+        assert (counts >= 1).all()
+        members = tiles.margin_members(xs, ys, 0.0)
+        seen = np.zeros(xs.size, dtype=int)
+        for tile, rows in enumerate(members):
+            seen[rows] += tile == owners[rows]
+        np.testing.assert_array_equal(seen, np.ones(xs.size, dtype=int))
+
+    @given(
+        nx=st.integers(min_value=1, max_value=4),
+        ny=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        margin=st.floats(min_value=0.0, max_value=0.2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_margin_membership_bounds(self, nx, ny, seed, margin):
+        """Margin zones are covers with bounded duplication: every
+        point is seen by its owner; a point is *border* iff more than
+        one tile sees it; and when the margin is smaller than a tile,
+        duplication is bounded by 2 per split axis (<= 2 shards for a
+        strip partition, <= 4 at the corner of a 2x2 cross)."""
+        tiles = TileGrid(nx, ny)
+        rng = np.random.default_rng(seed)
+        xs, ys = rng.random(300), rng.random(300)
+        owners = tiles.tile_of_coordinates(xs, ys)
+        members = tiles.margin_members(xs, ys, margin)
+        counts = tiles.membership_counts(xs, ys, margin)
+        in_owner = np.zeros(xs.size, dtype=bool)
+        total = 0
+        for tile, rows in enumerate(members):
+            in_owner[rows[owners[rows] == tile]] = True
+            total += rows.size
+        assert in_owner.all()
+        assert total == counts.sum()
+        border = tiles.is_border(xs, ys, margin)
+        np.testing.assert_array_equal(border, counts > 1)
+        if margin < min(tiles.tile_width, tiles.tile_height) / 2:
+            cap = (2 if nx > 1 else 1) * (2 if ny > 1 else 1)
+            assert counts.max() <= cap
+        if nx == ny == 1:
+            assert not border.any()
+
+    @given(
+        gamma=st.integers(min_value=1, max_value=20),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        margin=st.floats(min_value=0.0, max_value=0.3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cells_intersecting_box_is_exact(self, gamma, seed, margin):
+        """The CSR-slicing predicate agrees with brute force: a cell is
+        kept iff the gap between its closed box and the query box is at
+        most the margin."""
+        grid = GridIndex(gamma)
+        rng = np.random.default_rng(seed)
+        x_lo, y_lo = rng.random(2) * 0.8
+        box = Box(x_lo, x_lo + 0.2 * rng.random(), y_lo, y_lo + 0.2 * rng.random())
+        got = set(int(c) for c in grid.cells_intersecting_box(box, margin))
+        expected = set()
+        for cell in grid.cells():
+            cb = grid.cell_box(cell)
+            dx = max(cb.x_lo - box.x_hi, box.x_lo - cb.x_hi, 0.0)
+            dy = max(cb.y_lo - box.y_hi, box.y_lo - cb.y_hi, 0.0)
+            if float(np.hypot(dx, dy)) <= margin:
+                expected.add(cell)
+        assert got == expected
+
+    def test_cells_intersecting_box_zero_margin_is_border_membership(self):
+        grid = GridIndex(4)
+        tiles = TileGrid(2, 2)
+        cells = grid.cells_intersecting_box(tiles.tile_box(0), 0.0)
+        # Tile 0 covers cells rows 0-1 x cols 0-1 plus the touching
+        # ring at row/col 2 (closed boxes share the boundary edge).
+        assert set(int(c) for c in cells) == {0, 1, 2, 4, 5, 6, 8, 9, 10}
