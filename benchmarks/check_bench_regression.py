@@ -55,6 +55,66 @@ def _check_drop(
         )
 
 
+def _check_delta_section(
+    baseline: dict, fresh: dict, tolerance: float
+) -> list[str]:
+    """Guards for the incremental pool-maintenance section.
+
+    The steady-state build speedup is checked against the floor
+    *recorded in the baseline* (machine-independent: a ratio of two
+    runs from the same process), and both speedups get the relative
+    drop rule against the committed values.
+    """
+    errors: list[str] = []
+    base_delta = baseline.get("delta")
+    fresh_delta = fresh.get("delta")
+    if base_delta is None:
+        return errors
+    if fresh_delta is None:
+        errors.append(
+            "streaming: the baseline has a 'delta' section but the fresh "
+            "results do not — the delta maintenance bench silently stopped "
+            "running"
+        )
+        return errors
+    floor = base_delta.get("build_speedup_floor")
+    speedup = fresh_delta.get("steady_state_build_speedup")
+    if speedup is None:
+        errors.append("streaming delta: fresh results miss steady_state_build_speedup")
+        return errors
+    if floor is not None and speedup < floor:
+        errors.append(
+            f"streaming delta: steady_state_build_speedup {speedup} fell "
+            f"below the recorded floor {floor}"
+        )
+    round_floor = base_delta.get("round_speedup_floor")
+    round_speedup = fresh_delta.get("round_speedup")
+    if round_floor is not None and (
+        round_speedup is None or round_speedup < round_floor
+    ):
+        errors.append(
+            f"streaming delta: round_speedup {round_speedup} fell below "
+            f"the recorded floor {round_floor}"
+        )
+    if base_delta.get("steady_state_build_speedup") is not None:
+        _check_drop(
+            errors,
+            "streaming delta: steady_state_build_speedup",
+            speedup,
+            base_delta["steady_state_build_speedup"],
+            tolerance,
+        )
+    if base_delta.get("round_speedup") is not None and round_speedup is not None:
+        _check_drop(
+            errors,
+            "streaming delta: round_speedup",
+            round_speedup,
+            base_delta["round_speedup"],
+            tolerance,
+        )
+    return errors
+
+
 def check_streaming(
     baseline: dict, fresh: dict, tolerance: float
 ) -> list[str]:
@@ -79,6 +139,13 @@ def check_streaming(
                 base_leg["events_per_second"],
                 tolerance,
             )
+            if base_leg.get("phases") is not None and fresh_leg.get("phases") is None:
+                errors.append(
+                    f"streaming {leg}: the baseline records a phase breakdown "
+                    "but the fresh results do not — phase timing silently "
+                    "stopped being measured"
+                )
+    errors.extend(_check_delta_section(baseline, fresh, tolerance))
     base_sharded = baseline.get("sharded")
     fresh_sharded = fresh.get("sharded")
     if base_sharded is not None and fresh_sharded is None:

@@ -134,6 +134,27 @@ def _build_stream_parser() -> argparse.ArgumentParser:
         help="use the dense pair builder instead of the spatial index",
     )
     parser.add_argument(
+        "--delta",
+        dest="delta",
+        action="store_true",
+        default=True,
+        help="maintain the candidate pool incrementally across rounds (default)",
+    )
+    parser.add_argument(
+        "--no-delta",
+        dest="delta",
+        action="store_false",
+        help="rebuild the candidate pool from scratch every round",
+    )
+    parser.add_argument(
+        "--delta-slack",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="motion slack for the delta builder (default 0.0; engine "
+        "entities are static)",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -210,12 +231,17 @@ def _run_stream_command(argv: list[str]) -> int:
         print("--hotspots must be >= 1", file=sys.stderr)
         return 2
     workload = _stream_workload(args)
+    if args.delta_slack < 0.0:
+        print("--delta-slack must be >= 0", file=sys.stderr)
+        return 2
     config = StreamConfig(
         round_interval=args.round_interval,
         budget=args.budget,
         unit_cost=args.unit_cost,
         use_prediction=not args.no_prediction,
         use_sparse_builder=not args.dense,
+        use_delta_builder=args.delta,
+        delta_slack=args.delta_slack,
     )
     if args.shards:
         engine, events_in = prepared_sharded_engine(
@@ -242,11 +268,20 @@ def _run_stream_command(argv: list[str]) -> int:
     mean_latency_ms = (
         1000.0 * sum(round_latencies) / len(round_latencies) if round_latencies else 0.0
     )
+    build_ms = 1000.0 * sum(i.build_seconds for i in result.instances)
+    assign_ms = 1000.0 * sum(i.assign_seconds for i in result.instances)
+    rounds_count = max(len(result.instances), 1)
     summary = {
         "scenario": args.scenario,
         "algorithm": args.algorithm,
         "round_interval": args.round_interval,
-        "builder": "dense" if args.dense else "sparse",
+        "builder": (
+            "dense"
+            if args.dense
+            else ("delta" if args.delta and not args.shards else "sparse")
+        ),
+        "mean_build_ms": build_ms / rounds_count,
+        "mean_assign_ms": assign_ms / rounds_count,
         "shards": args.shards,
         "backend": args.backend if args.shards else "none",
         "events_in": events_in,
@@ -274,8 +309,24 @@ def _run_stream_command(argv: list[str]) -> int:
     )
     print(
         f"  throughput {summary['events_per_second']:.0f} events/s  "
-        f"mean round latency {mean_latency_ms:.2f} ms"
+        f"mean round latency {mean_latency_ms:.2f} ms "
+        f"(build {summary['mean_build_ms']:.2f} ms, "
+        f"assign {summary['mean_assign_ms']:.2f} ms)"
     )
+    delta_stats = getattr(engine, "delta_stats", None)
+    if delta_stats is not None:
+        summary["delta"] = {
+            "primes": delta_stats.primes,
+            "incremental_rounds": delta_stats.incremental_rounds,
+            "rows_joined": delta_stats.rows_joined,
+            "cols_joined": delta_stats.cols_joined,
+            "pairs_cached": delta_stats.pairs_cached,
+        }
+        print(
+            f"  delta maintenance: {delta_stats.incremental_rounds} incremental "
+            f"rounds, {delta_stats.primes} full rebuilds, "
+            f"{delta_stats.pairs_cached} pairs cached"
+        )
     if not args.dense:
         ratio = (
             summary["dense_pairs_equivalent"] / summary["candidate_pairs_examined"]

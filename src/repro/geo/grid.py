@@ -9,12 +9,19 @@ plain constructor parameter here.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 
 import numpy as np
 
 from repro.geo.box import Box
 from repro.geo.point import Point
+
+#: Entries kept in the per-grid disc-query stencil cache.  Keys are the
+#: radius quantized to whole cells, so a handful of entries covers every
+#: radius a round issues (the candidate index and the grid predictor
+#: both re-query the same few radii every round).
+_STENCIL_CACHE_SIZE = 16
 
 
 class GridIndex:
@@ -29,6 +36,9 @@ class GridIndex:
             raise ValueError(f"gamma must be a positive integer, got {gamma}")
         self._gamma = int(gamma)
         self._side = 1.0 / self._gamma
+        # Disc-query stencils keyed on the radius quantized to whole
+        # cells; see cells_within_radius.
+        self._stencils: OrderedDict[int, tuple[np.ndarray, np.ndarray]] = OrderedDict()
 
     @property
     def gamma(self) -> int:
@@ -148,13 +158,59 @@ class GridIndex:
         """
         if radius < 0.0:
             raise ValueError(f"radius must be non-negative, got {radius}")
-        # A point is a degenerate box, so the disc query is the
-        # rectangle query with zero extent — one implementation owns
-        # the window/gap arithmetic (it needed a ulp-boundary fix once;
-        # a second copy would have to be fixed twice).
-        return self._cells_near_intervals(
-            point.x, point.x, point.y, point.y, radius
+        gamma = self._gamma
+        # Stencil fast path: for a radius spanning fewer cells than the
+        # grid, the candidate window is a fixed offset pattern around
+        # the query point's cell — cacheable per quantized radius (the
+        # half-extent ``h`` below only depends on ceil-ish cells), so
+        # repeated same-radius queries skip the window construction.
+        # The *exact* per-cell gap filter still runs with the actual
+        # radius, so the result is identical to the shared kernel's:
+        # both windows are supersets of every cell passing the filter
+        # (floor(a±b) is within floor(a) ± (floor(b)+1), plus the same
+        # one-cell pad), and the filter is the same float arithmetic.
+        h = int(np.floor(radius * gamma)) + 2
+        if 2 * h + 1 >= gamma or not np.isfinite(point.x) or not np.isfinite(point.y):
+            # Window spans the whole grid (or the center is degenerate):
+            # the stencil saves nothing — use the shared kernel.
+            return self._cells_near_intervals(
+                point.x, point.x, point.y, point.y, radius
+            )
+        stencil = self._stencils.get(h)
+        if stencil is None:
+            offsets = np.arange(-h, h + 1, dtype=np.int64)
+            d_rows = np.repeat(offsets, offsets.size)
+            d_cols = np.tile(offsets, offsets.size)
+            if len(self._stencils) >= _STENCIL_CACHE_SIZE:
+                self._stencils.popitem(last=False)
+            self._stencils[h] = stencil = (d_rows, d_cols)
+        else:
+            self._stencils.move_to_end(h)
+            d_rows, d_cols = stencil
+        side = self._side
+        # Anchor clamped into a safe band so far-outside centers cannot
+        # overflow the int conversion; the exact gap filter rejects
+        # every cell of such queries anyway, matching the kernel.
+        col_anchor = int(np.clip(np.floor(point.x * gamma), -2 * gamma, 3 * gamma))
+        row_anchor = int(np.clip(np.floor(point.y * gamma), -2 * gamma, 3 * gamma))
+        cols = col_anchor + d_cols
+        rows = row_anchor + d_rows
+        dx = np.maximum(
+            np.maximum(cols * side - point.x, point.x - (cols + 1) * side), 0.0
         )
+        dy = np.maximum(
+            np.maximum(rows * side - point.y, point.y - (rows + 1) * side), 0.0
+        )
+        near = (
+            (np.hypot(dx, dy) <= radius)
+            & (cols >= 0)
+            & (cols < gamma)
+            & (rows >= 0)
+            & (rows < gamma)
+        )
+        # Offsets are enumerated row-major ascending, so the masked
+        # result keeps the kernel's sorted row-major order.
+        return (rows[near] * gamma + cols[near]).astype(np.int64)
 
     def cells_intersecting_box(self, box, margin: float = 0.0) -> np.ndarray:
         """Cells whose closed box lies within ``margin`` of ``box``.

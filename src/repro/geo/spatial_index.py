@@ -28,6 +28,54 @@ from repro.geo.point import Point
 #: holds an exactly-reachable point.
 _CELL_EPSILON = 1e-9
 
+#: Default mutation-journal capacity per subscriber.  A consumer that
+#: falls further behind than this must resynchronize from scratch — the
+#: log reports ``overflowed`` instead of growing without bound.
+_LOG_CAPACITY = 65536
+
+
+class IndexChangeLog:
+    """Ordered journal of one subscriber's unseen index mutations.
+
+    Each entry is ``(op, key, x, y)`` with ``op`` one of ``"insert"``,
+    ``"remove"`` (coordinates are the point the key held) or ``"move"``
+    (coordinates are the *new* point).  Ops are recorded in mutation
+    order, so a consumer replaying them sees exactly the sequence of
+    dirty-set changes — including remove-then-reinsert of one key.
+    ``drain()`` hands the batch over and resets; when more than
+    ``capacity`` ops accumulate between drains the log discards them
+    and reports ``overflowed=True``, telling the consumer to rebuild
+    its derived state from the index instead of repairing it.
+    """
+
+    __slots__ = ("_ops", "_overflowed", "_capacity")
+
+    def __init__(self, capacity: int = _LOG_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._ops: list[tuple[str, int, float, float]] = []
+        self._overflowed = False
+        self._capacity = capacity
+
+    def record(self, op: str, key: int, x: float, y: float) -> None:
+        if self._overflowed:
+            return
+        if len(self._ops) >= self._capacity:
+            self._ops = []
+            self._overflowed = True
+            return
+        self._ops.append((op, key, x, y))
+
+    def drain(self) -> tuple[list[tuple[str, int, float, float]], bool]:
+        """The unseen ops (and the overflow flag), then reset."""
+        ops, overflowed = self._ops, self._overflowed
+        self._ops = []
+        self._overflowed = False
+        return ops, overflowed
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
 
 class SpatialIndex:
     """Dynamic point set with radius queries, bucketed on a grid.
@@ -41,6 +89,8 @@ class SpatialIndex:
         self._grid = grid if isinstance(grid, GridIndex) else GridIndex(grid)
         self._buckets: dict[int, dict[int, tuple[float, float]]] = {}
         self._cell_of_key: dict[int, int] = {}
+        self._version = 0
+        self._subscribers: list[IndexChangeLog] = []
 
     @classmethod
     def from_points(
@@ -62,6 +112,38 @@ class SpatialIndex:
     def __contains__(self, key: int) -> bool:
         return key in self._cell_of_key
 
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: bumps on insert, remove and move.
+
+        Derived structures (cached CSR snapshots, tile slices, delta
+        candidate pools) key their validity on it — an unchanged
+        version guarantees the indexed point set (and therefore any
+        pure function of it) is unchanged.
+        """
+        return self._version
+
+    def subscribe(self, capacity: int = _LOG_CAPACITY) -> IndexChangeLog:
+        """Attach a mutation journal fed by every subsequent change.
+
+        Each subscriber owns its log and drains it independently (the
+        serial delta builder and the sharded slice cache can watch one
+        index side by side).  The log starts empty — the subscriber is
+        assumed to synchronize with the current contents first.
+        """
+        log = IndexChangeLog(capacity)
+        self._subscribers.append(log)
+        return log
+
+    def unsubscribe(self, log: IndexChangeLog) -> None:
+        """Detach a journal previously returned by :meth:`subscribe`."""
+        self._subscribers.remove(log)
+
+    def _notify(self, op: str, key: int, x: float, y: float) -> None:
+        self._version += 1
+        for log in self._subscribers:
+            log.record(op, key, x, y)
+
     def insert(self, key: int, point: Point) -> None:
         """Add ``key`` at ``point``; re-inserting a live key is an error."""
         if key in self._cell_of_key:
@@ -69,14 +151,34 @@ class SpatialIndex:
         cell = self._grid.cell_of(point)
         self._buckets.setdefault(cell, {})[key] = (point.x, point.y)
         self._cell_of_key[key] = cell
+        self._notify("insert", key, point.x, point.y)
 
     def remove(self, key: int) -> None:
         """Drop ``key``; raises ``KeyError`` when absent."""
         cell = self._cell_of_key.pop(key)  # KeyError propagates
         bucket = self._buckets[cell]
-        del bucket[key]
+        x, y = bucket.pop(key)
         if not bucket:
             del self._buckets[cell]
+        self._notify("remove", key, x, y)
+
+    def move(self, key: int, point: Point) -> None:
+        """Relocate a live ``key`` to ``point``; ``KeyError`` when absent.
+
+        One journal entry (``"move"``, with the new coordinates) and
+        one version bump, whether or not the cell changes — consumers
+        track accumulated displacement, not cell membership.
+        """
+        old_cell = self._cell_of_key[key]  # KeyError propagates
+        new_cell = self._grid.cell_of(point)
+        if new_cell != old_cell:
+            bucket = self._buckets[old_cell]
+            del bucket[key]
+            if not bucket:
+                del self._buckets[old_cell]
+            self._cell_of_key[key] = new_cell
+        self._buckets.setdefault(new_cell, {})[key] = (point.x, point.y)
+        self._notify("move", key, point.x, point.y)
 
     def location(self, key: int) -> Point:
         """The indexed point of ``key``."""

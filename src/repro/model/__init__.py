@@ -12,6 +12,7 @@ from repro.model.validity import can_reach, latest_feasible_distance
 from repro.model.pairs import CandidatePair, PairPool
 from repro.model.instance import ProblemInstance, build_problem
 from repro.model.sparse import SparseBuildStats, build_problem_sparse
+from repro.model.delta import DeltaBuildStats, DeltaPoolBuilder
 
 __all__ = [
     "Worker",
@@ -25,4 +26,6 @@ __all__ = [
     "build_problem",
     "SparseBuildStats",
     "build_problem_sparse",
+    "DeltaBuildStats",
+    "DeltaPoolBuilder",
 ]

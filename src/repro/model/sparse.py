@@ -36,6 +36,7 @@ sample statistics are produced by the shared
 from __future__ import annotations
 
 import math
+import time as _time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -89,6 +90,10 @@ class SparseBuildStats:
         queries: candidate-index gathers issued — one per query entity
             in per-entity mode, one per occupied query cell in batched
             mode.
+        price_seconds: wall-clock spent in the expensive pricing
+            kernels (delta-method distance statistics and quality
+            scoring) — the ``price_ms`` slice of the bench phase
+            breakdown.
     """
 
     candidates: int = 0
@@ -96,6 +101,7 @@ class SparseBuildStats:
     emitted: int = 0
     dense_equivalent: int = 0
     queries: int = 0
+    price_seconds: float = 0.0
 
     def merge(self, other: "SparseBuildStats") -> None:
         self.candidates += other.candidates
@@ -103,6 +109,7 @@ class SparseBuildStats:
         self.emitted += other.emitted
         self.dense_equivalent += other.dense_equivalent
         self.queries += other.queries
+        self.price_seconds += other.price_seconds
 
     @property
     def pruning_ratio(self) -> float:
@@ -352,6 +359,79 @@ class _CandidateCSR:
         return _CandidateCSR(self.grid, kept_cells, starts, cols)
 
     @classmethod
+    def empty(cls, grid: GridIndex) -> "_CandidateCSR":
+        return cls(
+            grid,
+            np.zeros(0, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+        )
+
+    def remove_columns(self, keep: np.ndarray, renumber: bool = True) -> "_CandidateCSR":
+        """Splice out columns, optionally renumbering the survivors.
+
+        ``keep`` is a boolean mask over the column-id space.  With
+        ``renumber`` (the default) surviving column values compact to
+        ``cumsum(keep) - 1``, matching a caller that drops the same
+        rows from its aligned column arrays; ``renumber=False`` keeps
+        the original values — the drop-and-reinsert a moved column
+        needs.  Emptied cells are dropped.  The delta pool builder
+        uses this when tasks expire, get assigned, or drift past
+        their motion slack.
+        """
+        if self.cols.size == 0:
+            return _CandidateCSR.empty(self.grid)
+        keep = np.asarray(keep, dtype=bool)
+        kept = keep[self.cols]
+        lengths = np.add.reduceat(kept, self.starts[:-1])
+        keep_cell = lengths > 0
+        starts = np.zeros(int(keep_cell.sum()) + 1, dtype=np.int64)
+        np.cumsum(lengths[keep_cell], out=starts[1:])
+        cols = self.cols[kept]
+        if renumber:
+            cols = (np.cumsum(keep) - 1)[cols]
+        return _CandidateCSR(
+            self.grid,
+            self.cells[keep_cell],
+            starts,
+            cols.astype(np.int64),
+        )
+
+    def insert_columns(self, cells_of_new: np.ndarray, new_cols: np.ndarray) -> "_CandidateCSR":
+        """Splice new columns (cell of each in ``cells_of_new``) in.
+
+        The merge re-groups by cell with one stable argsort over the
+        combined entries; within-cell order is unspecified, which is
+        fine for every caller — the batched joins canonicalize their
+        output with a full ``(row, col)`` lexsort.
+        """
+        if new_cols.size == 0:
+            return self
+        lengths = np.diff(self.starts)
+        combined_cells = np.concatenate(
+            (np.repeat(self.cells, lengths), np.asarray(cells_of_new, dtype=np.int64))
+        )
+        combined_cols = np.concatenate((self.cols, np.asarray(new_cols, dtype=np.int64)))
+        order = np.argsort(combined_cells, kind="stable").astype(np.int64)
+        sorted_cells = combined_cells[order]
+        cells, first = np.unique(sorted_cells, return_index=True)
+        starts = np.concatenate((first, [sorted_cells.size])).astype(np.int64)
+        return _CandidateCSR(self.grid, cells, starts, combined_cols[order])
+
+    def join(
+        self,
+        qx: np.ndarray,
+        qy: np.ndarray,
+        radius: np.ndarray,
+        stats: SparseBuildStats,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-level cell join: every (query row, candidate column)
+        pair whose candidate cell intersects the row's query disc — the
+        primitive the delta builder uses to (re)join individual rows
+        against the maintained CSR."""
+        return _cell_join(self, qx, qy, radius, stats)
+
+    @classmethod
     def from_index(cls, index: SpatialIndex, key_to_col: dict[int, int]) -> "_CandidateCSR":
         cells, starts, keys = index.snapshot()
         try:
@@ -537,15 +617,26 @@ def _uncertain_pairs_batched(
     return rows[order], cols[order], None
 
 
-def _price_distance(w_intervals, t_intervals, rows: np.ndarray, cols: np.ndarray):
+def _price_distance(
+    w_intervals,
+    t_intervals,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    stats: SparseBuildStats | None = None,
+):
     """Delta-method distance statistics of the ``(rows, cols)`` pairs.
 
     Recomputes the identical ``d_lb`` the validity scan used
     (elementwise, value-deterministic) along with mean/variance/upper.
+    Accumulates its wall-clock into ``stats.price_seconds`` when given.
     """
+    started = _time.perf_counter()
     w_iv = tuple(axis[rows] for axis in w_intervals)
     t_iv = tuple(axis[cols] for axis in t_intervals)
-    return distance_stats_aligned(w_iv, t_iv)
+    priced = distance_stats_aligned(w_iv, t_iv)
+    if stats is not None:
+        stats.price_seconds += _time.perf_counter() - started
+    return priced
 
 
 # ---------------------------------------------------------------------------
@@ -787,9 +878,11 @@ def build_problem_sparse(
     else:
         cc_rows = cc_cols = _EMPTY_IDX
         cc_dist = np.zeros(0)
+    _price_started = _time.perf_counter()
     cc_quality = _pair_quality(
         quality_model, current_workers, current_tasks, cc_rows, cc_cols
     )
+    local.price_seconds += _time.perf_counter() - _price_started
     if cc_rows.size:
         cost_cc = unit_cost * cc_dist
         zeros = np.zeros_like(cc_dist)
@@ -885,7 +978,7 @@ def build_problem_sparse(
                 quality = tuple(a[keep] for a in quality)
                 existence = existence[keep]
             if d_stats is None:
-                d_stats = _price_distance(pw_intervals, t_intervals, rows, cols)
+                d_stats = _price_distance(pw_intervals, t_intervals, rows, cols, local)
             _emit_predicted_block(
                 rows, cols, d_stats, quality, existence, worker_offset=n, task_offset=0
             )
@@ -932,7 +1025,7 @@ def build_problem_sparse(
                 quality = tuple(a[keep] for a in quality)
                 existence = existence[keep]
             if d_stats is None:
-                d_stats = _price_distance(cw_intervals, pt_intervals, rows, cols)
+                d_stats = _price_distance(cw_intervals, pt_intervals, rows, cols, local)
             _emit_predicted_block(
                 rows, cols, d_stats, quality, existence, worker_offset=0, task_offset=m
             )
@@ -955,7 +1048,7 @@ def build_problem_sparse(
                 discount_by_existence, reservation_filter, exact_q,
             )
             if d_stats is None:
-                d_stats = _price_distance(pw_intervals, pt_intervals, rows, cols)
+                d_stats = _price_distance(pw_intervals, pt_intervals, rows, cols, local)
             _emit_predicted_block(
                 rows, cols, d_stats, quality, existence, worker_offset=n, task_offset=m
             )

@@ -54,6 +54,9 @@ class InstanceMetrics:
             relative error of the *previous* instance's count
             prediction against this instance's actual arrivals
             (``None`` while the window is not yet comparable).
+        build_seconds / assign_seconds: phase split of ``cpu_seconds``
+            — candidate-pool construction vs. budgeted selection
+            (``0.0`` for engines that do not break the phases out).
     """
 
     instance: int
@@ -68,6 +71,8 @@ class InstanceMetrics:
     cpu_seconds: float
     worker_prediction_error: float | None = None
     task_prediction_error: float | None = None
+    build_seconds: float = 0.0
+    assign_seconds: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ from repro.core.base import Assigner
 from repro.geo.grid import GridIndex
 from repro.geo.point import euclidean_distance
 from repro.geo.spatial_index import SpatialIndex
+from repro.model.delta import DeltaPoolBuilder
 from repro.model.entities import Task, Worker
 from repro.model.instance import build_problem
 from repro.model.quality import QualityModel
@@ -76,6 +77,19 @@ class StreamConfig:
             matrix builder.  Both produce identical pools; the sparse
             path is output-sensitive.
         index_gamma: grid resolution of the maintained task index.
+        use_delta_builder: maintain the current×current candidate pool
+            incrementally across rounds (:class:`~repro.model.delta.
+            DeltaPoolBuilder`) instead of rebuilding it every round.
+            Emits bit-identical pools; only the work per round changes.
+            Requires the sparse builder.
+        delta_slack: motion slack handed to the delta builder.  The
+            engine's own entities never move, so ``0.0`` (exact joins)
+            is right here; embedders that relocate tasks through the
+            index can budget ``expected per-round displacement x
+            horizon rounds``.
+        delta_rebuild_ratio: churn fraction above which the delta
+            builder re-primes instead of repairing (see
+            ``DeltaPoolBuilder.rebuild_churn_ratio``).
     """
 
     round_interval: float = 1.0
@@ -91,6 +105,9 @@ class StreamConfig:
     default_velocity: float = 0.25
     use_sparse_builder: bool = True
     index_gamma: int = 16
+    use_delta_builder: bool = True
+    delta_slack: float = 0.0
+    delta_rebuild_ratio: float = 0.5
 
     def __post_init__(self) -> None:
         if self.round_interval <= 0.0:
@@ -105,6 +122,10 @@ class StreamConfig:
             raise ValueError("window must be >= 1")
         if self.index_gamma < 1:
             raise ValueError("index_gamma must be >= 1")
+        if self.delta_slack < 0.0:
+            raise ValueError("delta_slack must be non-negative")
+        if not 0.0 < self.delta_rebuild_ratio <= 1.0:
+            raise ValueError("delta_rebuild_ratio must be in (0, 1]")
 
     @classmethod
     def from_engine_config(
@@ -113,6 +134,7 @@ class StreamConfig:
         round_interval: float = 1.0,
         use_sparse_builder: bool = True,
         index_gamma: int = 16,
+        use_delta_builder: bool = True,
     ) -> "StreamConfig":
         """Lift a batch :class:`EngineConfig` into streaming form."""
         if config.oracle_prediction:
@@ -134,6 +156,7 @@ class StreamConfig:
             default_velocity=config.default_velocity,
             use_sparse_builder=use_sparse_builder,
             index_gamma=index_gamma,
+            use_delta_builder=use_delta_builder,
         )
 
 
@@ -188,6 +211,20 @@ class StreamingEngine:
         self._log: list[AssignmentRecord] = []
         self.events_processed = 0
         self.build_stats = SparseBuildStats()
+        # Created lazily on the first delta-path build so subclasses
+        # that override _build_problem never pay the subscription.
+        self._delta_builder: DeltaPoolBuilder | None = None
+        # Engine-side churn journal handed to the delta builder as
+        # trusted hints: this round's worker arrivals (append order)
+        # and the ids assigned away since the previous build.  Only
+        # journaled while a delta-path build will consume it —
+        # subclasses that override _build_problem opt out so the list
+        # cannot grow unboundedly in a long-lived stream.
+        self._round_worker_arrivals: list[Worker] = []
+        self._removed_worker_ids: list[int] = []
+        self._journal_worker_churn = (
+            self._config.use_sparse_builder and self._config.use_delta_builder
+        )
 
     # -- state inspection ---------------------------------------------------
 
@@ -202,6 +239,14 @@ class StreamingEngine:
     @property
     def task_predictor(self) -> GridPredictor:
         return self._task_predictor
+
+    @property
+    def delta_stats(self):
+        """Counters of the incremental pool maintenance (``None``
+        before the first delta-path round, or when disabled)."""
+        if self._delta_builder is None:
+            return None
+        return self._delta_builder.delta_stats
 
     @property
     def clock(self) -> float | None:
@@ -397,6 +442,32 @@ class StreamingEngine:
         selection stay byte-for-byte shared with the serial engine.
         """
         config = self._config
+        if config.use_sparse_builder and config.use_delta_builder:
+            if self._delta_builder is None:
+                self._delta_builder = DeltaPoolBuilder(
+                    self._quality_model,
+                    config.unit_cost,
+                    self._task_index,
+                    discount_by_existence=config.discount_by_existence,
+                    reservation_filter=config.reservation_filter,
+                    include_future_future_pairs=config.include_future_future_pairs,
+                    index_gamma=config.index_gamma,
+                    slack=config.delta_slack,
+                    rebuild_churn_ratio=config.delta_rebuild_ratio,
+                    assume_static_queries=True,
+                    stats=self.build_stats,
+                )
+            problem = self._delta_builder.build(
+                self._available_workers,
+                self._available_tasks,
+                predicted_workers,
+                predicted_tasks,
+                now,
+                worker_arrivals=self._round_worker_arrivals,
+                worker_removed_ids=self._removed_worker_ids,
+            )
+            self._removed_worker_ids = []
+            return problem
         if config.use_sparse_builder:
             return build_problem_sparse(
                 self._available_workers,
@@ -452,6 +523,8 @@ class StreamingEngine:
         )
         self._worker_predictor.observe_counts(actual_worker_counts)
         self._task_predictor.observe_counts(actual_task_counts)
+        if self._journal_worker_churn:
+            self._round_worker_arrivals = list(self._joined_workers)
         self._joined_workers.clear()
         self._new_tasks.clear()
 
@@ -493,13 +566,17 @@ class StreamingEngine:
         num_workers = len(self._available_workers)
         num_tasks = len(self._available_tasks)
 
+        build_started = _time.perf_counter()
         problem = self._build_problem(now, predicted_workers, predicted_tasks)
+        build_seconds = _time.perf_counter() - build_started
         budget_future = (
             config.budget if predicted_workers or predicted_tasks else 0.0
         )
+        assign_started = _time.perf_counter()
         result = self._assigner.assign(
             problem, config.budget, budget_future, self._rng
         )
+        assign_seconds = _time.perf_counter() - assign_started
         elapsed = _time.perf_counter() - started
 
         assigned_worker_ids = {p.worker.id for p in result.pairs}
@@ -534,6 +611,8 @@ class StreamingEngine:
                 w for w in self._available_workers if w.id not in assigned_worker_ids
             ]
             self._available_worker_ids -= assigned_worker_ids
+            if self._journal_worker_churn:
+                self._removed_worker_ids.extend(assigned_worker_ids)
         if assigned_task_ids:
             self._available_tasks = [
                 t for t in self._available_tasks if t.id not in assigned_task_ids
@@ -558,5 +637,7 @@ class StreamingEngine:
                 cpu_seconds=elapsed,
                 worker_prediction_error=worker_error,
                 task_prediction_error=task_error,
+                build_seconds=build_seconds,
+                assign_seconds=assign_seconds,
             )
         )

@@ -146,6 +146,7 @@ class BurstyWorkload(_GeneratedStream):
         seed: int = 0,
         burst_period: int = 4,
         burst_multiplier: float = 8.0,
+        burst_offset: int = 0,
     ) -> None:
         if burst_period < 1:
             raise ValueError(f"burst_period must be >= 1, got {burst_period}")
@@ -153,8 +154,13 @@ class BurstyWorkload(_GeneratedStream):
             raise ValueError(
                 f"burst_multiplier must be >= 1, got {burst_multiplier}"
             )
+        if not 0 <= burst_offset < burst_period:
+            raise ValueError(
+                f"burst_offset must be in [0, burst_period), got {burst_offset}"
+            )
         self._burst_period = burst_period
         self._burst_multiplier = burst_multiplier
+        self._burst_offset = burst_offset
         self._worker_sampler = make_sampler(
             params.worker_distribution, params.zipf_skew
         )
@@ -164,7 +170,9 @@ class BurstyWorkload(_GeneratedStream):
     def _instance_weights(self, rng: np.random.Generator, phase: int) -> np.ndarray:
         instances = np.arange(self._params.num_instances)
         weights = np.ones(self._params.num_instances)
-        weights[instances % self._burst_period == 0] = self._burst_multiplier
+        weights[
+            instances % self._burst_period == self._burst_offset
+        ] = self._burst_multiplier
         return weights
 
     def _locations(

@@ -102,6 +102,95 @@ class TestStreamingRules:
         )
         assert rc == 1
 
+    def test_missing_fresh_phases_fails(self, checker, tmp_path):
+        base = _streaming_payload(5000.0, 6.4)
+        base["no_prediction"]["phases"] = {"mean_build_ms": 3.0}
+        base["with_prediction"]["phases"] = {"mean_build_ms": 9.0}
+        _write(tmp_path / "base", "BENCH_streaming.json", base)
+        _write(tmp_path / "fresh", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def _delta_payload(self, build_speedup: float, round_speedup: float = 1.4) -> dict:
+        payload = _streaming_payload(5000.0, 6.4)
+        payload["delta"] = {
+            "build_speedup_floor": 3.0,
+            "round_speedup_floor": 1.15,
+            "steady_state_build_speedup": build_speedup,
+            "round_speedup": round_speedup,
+        }
+        return payload
+
+    def test_delta_build_speedup_below_floor_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", self._delta_payload(4.1))
+        _write(tmp_path / "fresh", "BENCH_streaming.json", self._delta_payload(2.8))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_delta_round_speedup_below_floor_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", self._delta_payload(4.1))
+        _write(
+            tmp_path / "fresh", "BENCH_streaming.json",
+            self._delta_payload(4.1, round_speedup=1.0),
+        )
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_delta_drop_over_tolerance_fails_even_above_floor(self, checker, tmp_path):
+        # 8.0 -> 4.0 is a 50% collapse of the speedup even though the
+        # 3.0 floor still holds — the drop rule must catch it.
+        _write(tmp_path / "base", "BENCH_streaming.json", self._delta_payload(8.0))
+        _write(tmp_path / "fresh", "BENCH_streaming.json", self._delta_payload(4.0))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_delta_round_drop_over_tolerance_fails_even_above_floor(
+        self, checker, tmp_path
+    ):
+        _write(
+            tmp_path / "base", "BENCH_streaming.json",
+            self._delta_payload(4.1, round_speedup=3.0),
+        )
+        _write(
+            tmp_path / "fresh", "BENCH_streaming.json",
+            self._delta_payload(4.1, round_speedup=1.6),
+        )
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_delta_healthy_passes(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", self._delta_payload(4.1))
+        _write(tmp_path / "fresh", "BENCH_streaming.json", self._delta_payload(3.9))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 0
+
+    def test_missing_fresh_delta_section_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", self._delta_payload(4.1))
+        _write(tmp_path / "fresh", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
     def test_missing_fresh_sharded_section_fails(self, checker, tmp_path):
         """A baseline with a sharded section demands one in the fresh
         results — the scaling bench silently not running must fail."""

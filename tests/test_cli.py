@@ -47,9 +47,28 @@ class TestStreamCommand:
             ]
         ) == 0
         out = capsys.readouterr().out
-        assert "bursty / greedy / sparse" in out
+        assert "bursty / greedy / delta" in out
         assert "events/s" in out
+        assert "delta maintenance:" in out
         assert "candidate pairs" in out
+
+    def test_stream_no_delta(self, capsys):
+        assert main(
+            [
+                "stream",
+                "--scenario", "bursty",
+                "--workers", "60",
+                "--tasks", "60",
+                "--instances", "4",
+                "--round-interval", "0.5",
+                "--budget", "20",
+                "--seed", "3",
+                "--no-delta",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bursty / greedy / sparse" in out
+        assert "delta maintenance:" not in out
 
     def test_stream_json_output(self, capsys, tmp_path):
         import json

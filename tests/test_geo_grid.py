@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geo.grid import GridIndex
@@ -164,3 +164,42 @@ class TestGridSampling:
     def test_sample_negative_rejected(self, rng):
         with pytest.raises(ValueError):
             GridIndex(3).sample_in_cell(0, rng, -1)
+
+
+class TestRadiusStencilCache:
+    """The cached-stencil fast path of cells_within_radius must be
+    invisible: identical cells, identical order, any center/radius."""
+
+    @given(
+        gamma=st.integers(min_value=4, max_value=40),
+        x=st.floats(min_value=-0.5, max_value=1.5),
+        y=st.floats(min_value=-0.5, max_value=1.5),
+        radius=st.floats(min_value=0.0, max_value=0.4),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_stencil_matches_shared_kernel(self, gamma, x, y, radius):
+        grid = GridIndex(gamma)
+        fast = grid.cells_within_radius(Point(x, y), radius)
+        exact = grid._cells_near_intervals(x, x, y, y, radius)
+        assert fast.tolist() == exact.tolist()
+
+    def test_repeated_radii_reuse_one_stencil(self):
+        grid = GridIndex(32)
+        for i in range(50):
+            grid.cells_within_radius(Point(0.3 + i * 0.005, 0.5), 0.07)
+        # All 50 queries share one quantized half-extent entry.
+        assert len(grid._stencils) == 1
+
+    def test_cache_is_bounded(self):
+        grid = GridIndex(256)
+        for i in range(100):
+            grid.cells_within_radius(Point(0.5, 0.5), 0.001 + i * 0.002)
+        from repro.geo.grid import _STENCIL_CACHE_SIZE
+
+        assert len(grid._stencils) <= _STENCIL_CACHE_SIZE
+
+    def test_whole_grid_radius_falls_back(self):
+        grid = GridIndex(6)
+        cells = grid.cells_within_radius(Point(0.5, 0.5), 2.0)
+        assert cells.tolist() == list(range(36))
+        assert len(grid._stencils) == 0

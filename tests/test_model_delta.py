@@ -1,0 +1,418 @@
+"""Differential tests: incremental round-over-round pool maintenance.
+
+Random event sequences — arrivals, expiries, assignments, and motion
+including slack-boundary crossings — must leave the
+:class:`~repro.model.delta.DeltaPoolBuilder` emitting pools
+bit-identical to a fresh :func:`~repro.model.sparse.
+build_problem_sparse` build every round, for both prediction legs,
+with trusted churn hints and with the builder deriving the diff
+itself.  The fallback triggers (clock regression, journal overflow,
+churn ratio, list/journal disagreement) are exercised separately: the
+builder must stay *total* — exact output, merely repaired less often.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.box import Box
+from repro.geo.grid import GridIndex
+from repro.geo.point import Point
+from repro.geo.spatial_index import SpatialIndex
+from repro.model.delta import DeltaPoolBuilder
+from repro.model.entities import Task, Worker
+from repro.model.sparse import build_problem_sparse
+from repro.testing import make_predicted_tasks, make_predicted_workers
+from repro.workloads.quality import HashQualityModel
+
+_POOL_COLUMNS = (
+    "worker_idx",
+    "task_idx",
+    "cost_mean",
+    "cost_var",
+    "cost_lb",
+    "cost_ub",
+    "quality_mean",
+    "quality_var",
+    "quality_lb",
+    "quality_ub",
+    "existence",
+    "is_current",
+)
+
+#: Fine enough that cell-granularity gather padding (half a cell side,
+#: 1/32) cannot silently absorb a missing slack term in a join radius —
+#: the tested slacks go up to 0.1.
+_GAMMA = 16
+_UNIT_COST = 10.0
+
+
+def _assert_pools_identical(expected, actual):
+    assert len(expected.pool) == len(actual.pool)
+    for name in _POOL_COLUMNS:
+        np.testing.assert_array_equal(
+            getattr(expected.pool, name), getattr(actual.pool, name), err_msg=name
+        )
+
+
+def _clip01(value: float) -> float:
+    return float(min(max(value, 0.0), 1.0))
+
+
+class _World:
+    """A random stream of entity lifecycle events driven by one rng."""
+
+    def __init__(self, rng: np.random.Generator, slack: float):
+        self.rng = rng
+        self.slack = slack
+        self.index = SpatialIndex(GridIndex(_GAMMA))
+        self.workers: list[Worker] = []
+        self.tasks: list[Task] = []
+        self.now = 0.0
+        self._next_id = 0
+
+    def _new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def arrive_workers(self, count: int) -> None:
+        for _ in range(count):
+            self.workers.append(
+                Worker(
+                    id=self._new_id(),
+                    location=Point(*self.rng.uniform(0.0, 1.0, 2)),
+                    velocity=float(self.rng.uniform(0.05, 0.4)),
+                    arrival=self.now,
+                )
+            )
+
+    def arrive_tasks(self, count: int) -> None:
+        for _ in range(count):
+            task = Task(
+                id=self._new_id(),
+                location=Point(*self.rng.uniform(0.0, 1.0, 2)),
+                deadline=self.now + float(self.rng.uniform(0.3, 3.0)),
+                arrival=self.now,
+            )
+            self.tasks.append(task)
+            self.index.insert(task.id, task.location)
+
+    def remove_workers(self, count: int) -> list[int]:
+        removed = []
+        for _ in range(min(count, len(self.workers))):
+            position = int(self.rng.integers(len(self.workers)))
+            removed.append(self.workers.pop(position).id)
+        return removed
+
+    def remove_tasks(self, count: int) -> None:
+        for _ in range(min(count, len(self.tasks))):
+            position = int(self.rng.integers(len(self.tasks)))
+            task = self.tasks.pop(position)
+            self.index.remove(task.id)
+
+    def move_tasks(self, count: int, scale: float) -> None:
+        """Displace random tasks; ``scale`` around the slack boundary
+        exercises both the keep-cached and the drop-and-rejoin path."""
+        for _ in range(min(count, len(self.tasks))):
+            position = int(self.rng.integers(len(self.tasks)))
+            task = self.tasks[position]
+            step = self.rng.uniform(-scale, scale, 2)
+            point = Point(
+                _clip01(task.location.x + step[0]), _clip01(task.location.y + step[1])
+            )
+            moved = replace(task, location=point, box=Box.from_point(point))
+            self.tasks[position] = moved
+            self.index.move(moved.id, point)
+
+    def move_workers(self, count: int, scale: float) -> None:
+        for _ in range(min(count, len(self.workers))):
+            position = int(self.rng.integers(len(self.workers)))
+            worker = self.workers[position]
+            step = self.rng.uniform(-scale, scale, 2)
+            point = Point(
+                _clip01(worker.location.x + step[0]),
+                _clip01(worker.location.y + step[1]),
+            )
+            self.workers[position] = replace(
+                worker, location=point, box=Box.from_point(point)
+            )
+
+    def random_round(self, allow_worker_motion: bool) -> None:
+        rng = self.rng
+        self.now += float(rng.uniform(0.0, 0.6))
+        self.arrive_workers(int(rng.integers(0, 5)))
+        self.arrive_tasks(int(rng.integers(0, 6)))
+        self.remove_workers(int(rng.integers(0, 3)))
+        self.remove_tasks(int(rng.integers(0, 3)))
+        if rng.random() < 0.7:
+            # Mix sub-slack jitter with boundary-crossing jumps.
+            self.move_tasks(int(rng.integers(0, 3)), self.slack * 0.8)
+            self.move_tasks(int(rng.integers(0, 2)), self.slack * 3.0 + 0.05)
+        if allow_worker_motion and rng.random() < 0.7:
+            self.move_workers(int(rng.integers(0, 3)), self.slack * 0.8)
+            self.move_workers(int(rng.integers(0, 2)), self.slack * 3.0 + 0.05)
+
+    def predicted(self, use_prediction: bool):
+        if not use_prediction:
+            return [], []
+        k = int(self.rng.integers(0, 5))
+        l = int(self.rng.integers(0, 5))
+        seed = int(self.rng.integers(0, 2**31))
+        prng = np.random.default_rng(seed)
+        return (
+            make_predicted_workers(
+                prng, k, arrival=self.now + 0.5, id_offset=5_000_000
+            ),
+            make_predicted_tasks(
+                prng, l, arrival=self.now + 0.5, id_offset=6_000_000
+            ),
+        )
+
+
+def _check_round(world: _World, builder: DeltaPoolBuilder, qm, use_prediction: bool):
+    predicted_workers, predicted_tasks = world.predicted(use_prediction)
+    fresh = build_problem_sparse(
+        world.workers,
+        world.tasks,
+        predicted_workers,
+        predicted_tasks,
+        qm,
+        _UNIT_COST,
+        world.now,
+        task_index=world.index if world.tasks else None,
+        index_gamma=_GAMMA,
+    )
+    maintained = builder.build(
+        world.workers, world.tasks, predicted_workers, predicted_tasks, world.now
+    )
+    _assert_pools_identical(fresh, maintained)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    rounds=st.integers(min_value=2, max_value=8),
+    slack=st.sampled_from([0.0, 0.03, 0.1]),
+    use_prediction=st.booleans(),
+    static_queries=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_delta_bit_identical_under_random_event_sequences(
+    seed, rounds, slack, use_prediction, static_queries
+):
+    """The core differential: every round of a random lifecycle/motion
+    stream emits a pool bit-identical to a fresh sparse build."""
+    rng = np.random.default_rng(seed)
+    qm = HashQualityModel((0.0, 1.0), seed=3)
+    world = _World(rng, slack=max(slack, 0.02))
+    world.arrive_workers(int(rng.integers(0, 12)))
+    world.arrive_tasks(int(rng.integers(0, 12)))
+    # Static-query mode promises immutable workers, so motion only
+    # happens on the task side there.
+    allow_worker_motion = not static_queries
+    builder = DeltaPoolBuilder(
+        qm,
+        _UNIT_COST,
+        world.index,
+        index_gamma=_GAMMA,
+        slack=slack,
+        assume_static_queries=static_queries,
+    )
+    _check_round(world, builder, qm, use_prediction)
+    for _ in range(rounds):
+        world.random_round(allow_worker_motion)
+        _check_round(world, builder, qm, use_prediction)
+    stats = builder.delta_stats
+    assert stats.rounds == rounds + 1
+    assert stats.primes + stats.incremental_rounds == stats.rounds
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_delta_trusted_hints_match_selfdiff(seed):
+    """The engine-style trusted churn hints and the self-derived diff
+    must repair to the same pool (both bit-identical to fresh)."""
+    rng = np.random.default_rng(seed)
+    qm = HashQualityModel((0.0, 1.0), seed=3)
+    world = _World(rng, slack=0.0)
+    world.arrive_workers(20)
+    world.arrive_tasks(20)
+    builder = DeltaPoolBuilder(qm, _UNIT_COST, world.index, index_gamma=_GAMMA)
+    builder.build(world.workers, world.tasks, [], [], world.now)
+
+    world.now += 0.4
+    removed = world.remove_workers(2)
+    before = len(world.workers)
+    world.arrive_workers(3)
+    arrivals = world.workers[before:]
+    world.remove_tasks(2)
+    world.arrive_tasks(3)
+
+    fresh = build_problem_sparse(
+        world.workers, world.tasks, [], [], qm, _UNIT_COST, world.now,
+        task_index=world.index if world.tasks else None, index_gamma=_GAMMA,
+    )
+    maintained = builder.build(
+        world.workers, world.tasks, [], [], world.now,
+        worker_arrivals=arrivals, worker_removed_ids=removed,
+    )
+    _assert_pools_identical(fresh, maintained)
+    assert builder.delta_stats.incremental_rounds >= 1
+
+
+def test_stale_bucket_within_slack_keeps_predicted_family_exact():
+    """Regression: a task moved within the slack keeps its stale CSR
+    bucket, so the <w_hat, t> gather must inflate by the slack or a
+    predicted worker reaching the task's *current* position (but not
+    its bucket) silently loses a valid pair.  Fine grid on purpose —
+    cell padding must not absorb the missing term."""
+    gamma = 64
+    qm = HashQualityModel((0.0, 1.0), seed=3)
+    index = SpatialIndex(GridIndex(gamma))
+    task = Task(id=1, location=Point(0.60, 0.5), deadline=5.0, arrival=0.0)
+    decoy = Task(id=2, location=Point(0.10, 0.9), deadline=5.0, arrival=0.0)
+    workers = [Worker(id=3, location=Point(0.05, 0.05), velocity=0.01, arrival=0.0)]
+    tasks = [task, decoy]
+    for t in tasks:
+        index.insert(t.id, t.location)
+    builder = DeltaPoolBuilder(
+        qm, _UNIT_COST, index, index_gamma=gamma, slack=0.1
+    )
+    builder.build(workers, tasks, [], [], 0.0)
+    # Move within slack: bucket (anchor) stays at 0.60.
+    moved = replace(task, location=Point(0.52, 0.5), box=Box.from_point(Point(0.52, 0.5)))
+    tasks[0] = moved
+    index.move(moved.id, moved.location)
+    rng = np.random.default_rng(0)
+    for velocity in (0.030, 0.035, 0.040):
+        predicted = [
+            replace(
+                make_predicted_workers(rng, 1, half_width=0.02, arrival=1.5)[0],
+                location=Point(0.40, 0.5),
+                velocity=velocity,
+                box=Box.from_center(Point(0.40, 0.5), 0.02, 0.02).clipped(),
+            )
+        ]
+        fresh = build_problem_sparse(
+            workers, tasks, predicted, [], qm, _UNIT_COST, 1.0,
+            task_index=index, index_gamma=gamma,
+        )
+        maintained = builder.build(workers, tasks, predicted, [], 1.0)
+        _assert_pools_identical(fresh, maintained)
+
+
+class TestFallbackTriggers:
+    """The repair path must yield to a full rebuild exactly when the
+    incremental invariants no longer hold — and stay exact."""
+
+    def _fixture(self, seed=1):
+        rng = np.random.default_rng(seed)
+        qm = HashQualityModel((0.0, 1.0), seed=3)
+        world = _World(rng, slack=0.0)
+        world.arrive_workers(10)
+        world.arrive_tasks(12)
+        builder = DeltaPoolBuilder(qm, _UNIT_COST, world.index, index_gamma=_GAMMA)
+        _check_round(world, builder, qm, False)
+        return world, builder, qm
+
+    def test_clock_regression_reprimes(self):
+        world, builder, qm = self._fixture()
+        world.now += 1.0
+        _check_round(world, builder, qm, False)
+        world.now -= 0.5
+        _check_round(world, builder, qm, False)
+        assert builder.delta_stats.primes == 2
+        assert builder.delta_stats.rounds == 3
+
+    def test_journal_overflow_reprimes(self):
+        rng = np.random.default_rng(2)
+        qm = HashQualityModel((0.0, 1.0), seed=3)
+        world = _World(rng, slack=0.0)
+        world.arrive_tasks(5)
+        world.arrive_workers(5)
+        index = world.index
+        builder = DeltaPoolBuilder(qm, _UNIT_COST, index, index_gamma=_GAMMA)
+        # Shrink the already-subscribed log so a burst overflows it.
+        builder._log._capacity = 8
+        _check_round(world, builder, qm, False)
+        world.now += 0.2
+        world.arrive_tasks(10)  # 10 inserts > capacity 8
+        _check_round(world, builder, qm, False)
+        assert builder.delta_stats.primes == 2
+
+    def test_churn_ratio_reprimes(self):
+        rng = np.random.default_rng(3)
+        qm = HashQualityModel((0.0, 1.0), seed=3)
+        world = _World(rng, slack=0.0)
+        world.arrive_workers(4)
+        world.arrive_tasks(4)
+        builder = DeltaPoolBuilder(
+            qm, _UNIT_COST, world.index, index_gamma=_GAMMA, rebuild_churn_ratio=0.25
+        )
+        _check_round(world, builder, qm, False)
+        world.now += 0.2
+        world.arrive_tasks(6)  # 6 / 8 cached >> 0.25
+        _check_round(world, builder, qm, False)
+        assert builder.delta_stats.primes == 2
+        # A quiet follow-up round repairs incrementally again.
+        world.now += 0.2
+        _check_round(world, builder, qm, False)
+        assert builder.delta_stats.incremental_rounds == 1
+
+    def test_list_out_of_sync_with_journal_reprimes(self):
+        world, builder, qm = self._fixture()
+        # Drop a task from the list but *not* from the index: the
+        # repaired cache cannot mirror the lists, so the builder must
+        # fall back to a prime built from the lists (and stay exact).
+        orphan = world.tasks.pop()
+        world.now += 0.1
+        predicted = ([], [])
+        fresh = build_problem_sparse(
+            world.workers, world.tasks, *predicted, qm, _UNIT_COST, world.now,
+            index_gamma=_GAMMA,
+        )
+        maintained = builder.build(
+            world.workers, world.tasks, *predicted, world.now
+        )
+        _assert_pools_identical(fresh, maintained)
+        assert builder.delta_stats.primes == 2
+        world.index.remove(orphan.id)
+
+    def test_invalidate_forces_prime(self):
+        world, builder, qm = self._fixture()
+        builder.invalidate()
+        world.now += 0.1
+        _check_round(world, builder, qm, False)
+        assert builder.delta_stats.primes == 2
+
+
+class TestConstructorValidation:
+    def test_rejects_negative_slack(self):
+        qm = HashQualityModel((0.0, 1.0), seed=3)
+        with pytest.raises(ValueError, match="slack"):
+            DeltaPoolBuilder(qm, 1.0, SpatialIndex(GridIndex(4)), slack=-0.1)
+
+    def test_rejects_bad_churn_ratio(self):
+        qm = HashQualityModel((0.0, 1.0), seed=3)
+        with pytest.raises(ValueError, match="rebuild_churn_ratio"):
+            DeltaPoolBuilder(
+                qm, 1.0, SpatialIndex(GridIndex(4)), rebuild_churn_ratio=0.0
+            )
+
+    def test_rejects_negative_unit_cost(self):
+        qm = HashQualityModel((0.0, 1.0), seed=3)
+        with pytest.raises(ValueError, match="unit cost"):
+            DeltaPoolBuilder(qm, -1.0, SpatialIndex(GridIndex(4)))
+
+    def test_rejects_predicted_entity_in_cache(self):
+        qm = HashQualityModel((0.0, 1.0), seed=3)
+        index = SpatialIndex(GridIndex(4))
+        builder = DeltaPoolBuilder(qm, 1.0, index)
+        rng = np.random.default_rng(0)
+        predicted = make_predicted_workers(rng, 1)
+        with pytest.raises(ValueError, match="predicted"):
+            builder.build(predicted, [], [], [], 0.0)

@@ -304,3 +304,68 @@ class TestStreamingScenariosEndToEnd:
         engine.advance_to(1.0)
         assert engine.rounds_run == 5
         assert engine.result().total_assigned == 0
+
+
+class TestDeltaBuilderEngineIntegration:
+    """The delta-maintained build path is the serial engine's default;
+    it must reproduce the full-rebuild engine exactly and repair (not
+    rebuild) the steady-state rounds."""
+
+    def _run(self, use_delta: bool, use_prediction: bool = True):
+        workload = SyntheticWorkload(
+            WorkloadParams(num_workers=160, num_tasks=160, num_instances=6),
+            seed=11,
+        )
+        config = StreamConfig(
+            round_interval=0.5,
+            budget=25.0,
+            use_prediction=use_prediction,
+            use_delta_builder=use_delta,
+        )
+        engine = StreamingEngine(
+            MQAGreedy(), workload.quality_model, config=config, seed=11,
+            end_time=float(workload.num_instances),
+        )
+        load_workload(engine, workload)
+        engine.advance_to(float(workload.num_instances))
+        return engine
+
+    @pytest.mark.parametrize("use_prediction", [True, False])
+    def test_delta_reproduces_full_rebuild(self, use_prediction):
+        delta = self._run(True, use_prediction)
+        full = self._run(False, use_prediction)
+        assert delta.result().assignments == full.result().assignments
+        assert [i.num_pairs for i in delta.result().instances] == [
+            i.num_pairs for i in full.result().instances
+        ]
+        assert delta.result().total_quality == full.result().total_quality
+
+    def test_delta_stats_exposed_and_incremental(self):
+        engine = self._run(True)
+        stats = engine.delta_stats
+        assert stats is not None
+        assert stats.rounds == engine.rounds_run
+        # At this small scale the arrival-heavy instance boundaries
+        # re-prime (churn ratio); the off-boundary rounds must repair.
+        assert stats.incremental_rounds >= stats.rounds // 2
+        assert stats.primes + stats.incremental_rounds == stats.rounds
+
+    def test_delta_disabled_has_no_stats(self):
+        engine = self._run(False)
+        assert engine.delta_stats is None
+
+    def test_phase_timers_recorded(self):
+        engine = self._run(True)
+        instances = engine.result().instances
+        assert all(i.build_seconds > 0.0 for i in instances)
+        assert all(i.assign_seconds >= 0.0 for i in instances)
+        # The phase split stays inside the measured round wall-clock.
+        assert all(
+            i.build_seconds + i.assign_seconds <= i.cpu_seconds for i in instances
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="delta_slack"):
+            StreamConfig(delta_slack=-0.1)
+        with pytest.raises(ValueError, match="delta_rebuild_ratio"):
+            StreamConfig(delta_rebuild_ratio=1.5)

@@ -33,6 +33,8 @@ from repro.streaming import (
     ShardingConfig,
     StreamConfig,
     build_problem_sharded,
+    prepared_engine,
+    prepared_sharded_engine,
     run_sharded_stream,
     run_stream,
 )
@@ -412,3 +414,48 @@ class TestShardedEngineApi:
         )
         assert engine.tiles.num_tiles == 6
         assert engine.sharding.backend == "serial"
+
+
+class TestTileSliceCache:
+    """The engine-owned slice cache must be invisible in results and
+    actually hit on churn-free rounds."""
+
+    def test_cache_hits_on_churn_free_rounds(self):
+        workload = CitywideMultiHotspotWorkload(
+            WorkloadParams(
+                num_workers=300, num_tasks=300, num_instances=4,
+                velocity_range=(0.04, 0.07), deadline_range=(1.5, 2.5),
+            ),
+            seed=9,
+        )
+        config = StreamConfig(round_interval=0.25, budget=0.0, use_prediction=False)
+        engine, _ = prepared_sharded_engine(
+            workload, MQAGreedy(), config=config,
+            sharding=ShardingConfig(num_shards=4, backend="serial"), seed=9,
+        )
+        with engine:
+            engine.advance_to(float(workload.num_instances))
+        # budget 0 -> no assignments -> 3 of every 4 rounds leave the
+        # task index untouched, so snapshot and slices must be reused.
+        assert engine.slice_cache.csr_hits > 0
+        assert engine.slice_cache.slice_hits > 0
+
+    def test_cached_rounds_reproduce_serial_engine(self):
+        params = WorkloadParams(
+            num_workers=260, num_tasks=260, num_instances=4,
+            velocity_range=(0.04, 0.07), deadline_range=(1.0, 2.0),
+        )
+        workload = CitywideMultiHotspotWorkload(params, seed=5)
+        config = StreamConfig(round_interval=0.25, budget=8.0, use_prediction=True)
+        serial_engine, _ = prepared_engine(
+            workload, MQAGreedy(), config=config, seed=5
+        )
+        serial_engine.advance_to(float(workload.num_instances))
+        workload = CitywideMultiHotspotWorkload(params, seed=5)
+        sharded_engine, _ = prepared_sharded_engine(
+            workload, MQAGreedy(), config=config,
+            sharding=ShardingConfig(num_shards=4, backend="serial"), seed=5,
+        )
+        with sharded_engine:
+            sharded_engine.advance_to(float(workload.num_instances))
+        assert_results_identical(serial_engine.result(), sharded_engine.result())
