@@ -115,6 +115,92 @@ def _check_delta_section(
     return errors
 
 
+def _check_warm_select_section(
+    baseline: dict, fresh: dict, tolerance: float
+) -> list[str]:
+    """Guards for the persistent-selection (warm-select) section.
+
+    The steady-state select speedup — median cold select phase over
+    median warm select phase, both from the same process on the same
+    scenario — is machine-independent, so it is checked against the
+    floor *recorded in the baseline* with no tolerance; the committed
+    speedup values additionally get the relative drop rule.
+    """
+    errors: list[str] = []
+    base_ws = baseline.get("warm_select")
+    fresh_ws = fresh.get("warm_select")
+    if base_ws is None:
+        return errors
+    if fresh_ws is None:
+        errors.append(
+            "streaming: the baseline has a 'warm_select' section but the "
+            "fresh results do not — the warm-select bench silently stopped "
+            "running"
+        )
+        return errors
+    floor = base_ws.get("select_speedup_floor")
+    speedup = fresh_ws.get("steady_state_select_speedup")
+    if speedup is None:
+        errors.append(
+            "streaming warm_select: fresh results miss "
+            "steady_state_select_speedup"
+        )
+        return errors
+    if floor is not None and speedup < floor:
+        errors.append(
+            f"streaming warm_select: steady_state_select_speedup {speedup} "
+            f"fell below the recorded floor {floor}"
+        )
+    if base_ws.get("steady_state_select_speedup") is not None:
+        _check_drop(
+            errors,
+            "streaming warm_select: steady_state_select_speedup",
+            speedup,
+            base_ws["steady_state_select_speedup"],
+            tolerance,
+        )
+    if (
+        base_ws.get("mean_select_speedup") is not None
+        and fresh_ws.get("mean_select_speedup") is not None
+    ):
+        _check_drop(
+            errors,
+            "streaming warm_select: mean_select_speedup",
+            fresh_ws["mean_select_speedup"],
+            base_ws["mean_select_speedup"],
+            tolerance,
+        )
+    return errors
+
+
+def _check_phases(
+    errors: list[str], leg: str, base_leg: dict, fresh_leg: dict
+) -> None:
+    """A phase timing that exists in the baseline must keep existing.
+
+    Phase means are machine-dependent, so values are not compared; the
+    guard is against a phase silently dropping out of the breakdown
+    (e.g. the select/finalize split regressing to a lumped figure).
+    """
+    base_phases = base_leg.get("phases")
+    if base_phases is None:
+        return
+    fresh_phases = fresh_leg.get("phases")
+    if fresh_phases is None:
+        errors.append(
+            f"streaming {leg}: the baseline records a phase breakdown "
+            "but the fresh results do not — phase timing silently "
+            "stopped being measured"
+        )
+        return
+    for key in base_phases:
+        if key not in fresh_phases:
+            errors.append(
+                f"streaming {leg}: phase {key!r} is in the committed "
+                "breakdown but missing from the fresh results"
+            )
+
+
 def check_streaming(
     baseline: dict, fresh: dict, tolerance: float
 ) -> list[str]:
@@ -139,13 +225,9 @@ def check_streaming(
                 base_leg["events_per_second"],
                 tolerance,
             )
-            if base_leg.get("phases") is not None and fresh_leg.get("phases") is None:
-                errors.append(
-                    f"streaming {leg}: the baseline records a phase breakdown "
-                    "but the fresh results do not — phase timing silently "
-                    "stopped being measured"
-                )
+            _check_phases(errors, leg, base_leg, fresh_leg)
     errors.extend(_check_delta_section(baseline, fresh, tolerance))
+    errors.extend(_check_warm_select_section(baseline, fresh, tolerance))
     base_sharded = baseline.get("sharded")
     fresh_sharded = fresh.get("sharded")
     if base_sharded is not None and fresh_sharded is None:

@@ -147,6 +147,20 @@ def _build_stream_parser() -> argparse.ArgumentParser:
         help="rebuild the candidate pool from scratch every round",
     )
     parser.add_argument(
+        "--warm-select",
+        dest="warm_select",
+        action="store_true",
+        default=True,
+        help="persist selection state across rounds and repair it from "
+        "churn (default)",
+    )
+    parser.add_argument(
+        "--no-warm-select",
+        dest="warm_select",
+        action="store_false",
+        help="re-derive the selection structures from scratch every round",
+    )
+    parser.add_argument(
         "--delta-slack",
         type=float,
         default=0.0,
@@ -241,6 +255,7 @@ def _run_stream_command(argv: list[str]) -> int:
         use_prediction=not args.no_prediction,
         use_sparse_builder=not args.dense,
         use_delta_builder=args.delta,
+        use_warm_select=args.warm_select,
         delta_slack=args.delta_slack,
     )
     if args.shards:
@@ -270,6 +285,8 @@ def _run_stream_command(argv: list[str]) -> int:
     )
     build_ms = 1000.0 * sum(i.build_seconds for i in result.instances)
     assign_ms = 1000.0 * sum(i.assign_seconds for i in result.instances)
+    select_ms = 1000.0 * sum(i.select_seconds for i in result.instances)
+    finalize_ms = 1000.0 * sum(i.finalize_seconds for i in result.instances)
     rounds_count = max(len(result.instances), 1)
     summary = {
         "scenario": args.scenario,
@@ -282,6 +299,9 @@ def _run_stream_command(argv: list[str]) -> int:
         ),
         "mean_build_ms": build_ms / rounds_count,
         "mean_assign_ms": assign_ms / rounds_count,
+        "mean_select_ms": select_ms / rounds_count,
+        "mean_finalize_ms": finalize_ms / rounds_count,
+        "warm_select_enabled": args.warm_select,
         "shards": args.shards,
         "backend": args.backend if args.shards else "none",
         "events_in": events_in,
@@ -311,8 +331,24 @@ def _run_stream_command(argv: list[str]) -> int:
         f"  throughput {summary['events_per_second']:.0f} events/s  "
         f"mean round latency {mean_latency_ms:.2f} ms "
         f"(build {summary['mean_build_ms']:.2f} ms, "
-        f"assign {summary['mean_assign_ms']:.2f} ms)"
+        f"select {summary['mean_select_ms']:.2f} ms, "
+        f"finalize {summary['mean_finalize_ms']:.2f} ms)"
     )
+    select_stats = getattr(engine, "select_stats", None)
+    if select_stats is not None:
+        summary["warm_select"] = {
+            "rounds": select_stats.rounds,
+            "primes": select_stats.primes,
+            "repaired": select_stats.repaired,
+            "declined": select_stats.declined,
+            "guard_fallbacks": select_stats.guard_fallbacks,
+            "churn_fallbacks": select_stats.churn_fallbacks,
+        }
+        print(
+            f"  warm selection: {select_stats.repaired} repaired rounds, "
+            f"{select_stats.primes} cold primes, "
+            f"{select_stats.churn_fallbacks} churn fallbacks"
+        )
     delta_stats = getattr(engine, "delta_stats", None)
     if delta_stats is not None:
         summary["delta"] = {

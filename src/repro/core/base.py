@@ -22,6 +22,7 @@ it is load-bearing for D&C and RANDOM.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -63,9 +64,41 @@ class AssignmentResult:
 
 
 class Assigner(ABC):
-    """A per-instance MQA assignment strategy."""
+    """A per-instance MQA assignment strategy.
+
+    Round lifecycle: a streaming engine running with warm selection
+    calls :meth:`begin_round` before :meth:`assign` each round, handing
+    over the round's :class:`~repro.model.delta.ChurnRecord` and — for
+    assigners that can use it — a persistent
+    :class:`~repro.core.triplet_select.SelectionState`.  Assigners
+    consume the context at most once per round (one-shot); engines that
+    never call ``begin_round`` (warm selection off, or batch harnesses)
+    get the identical cold behavior.
+    """
 
     name: str = "assigner"
+
+    #: Round context set by :meth:`begin_round`; consumed one-shot.
+    _round_selection_state = None
+    _round_churn = None
+    #: Wall-clock seconds the last ``_result_from_rows`` spent in
+    #: finalization; engines subtract it from the assign timer to
+    #: split ``select_seconds`` / ``finalize_seconds``.
+    last_finalize_seconds: float = 0.0
+
+    def begin_round(self, problem, churn=None, selection_state=None) -> None:
+        """Arm the assigner with one round's warm-start context."""
+        self._round_churn = churn
+        self._round_selection_state = selection_state
+        if selection_state is not None:
+            selection_state.begin_round(problem, churn)
+
+    def take_round_selection_state(self):
+        """Consume (and clear) the round's selection state, if any."""
+        state = self._round_selection_state
+        self._round_selection_state = None
+        self._round_churn = None
+        return state
 
     @abstractmethod
     def assign(
@@ -93,12 +126,15 @@ class Assigner(ABC):
         budget_current: float,
     ) -> AssignmentResult:
         """Shared tail: drop predicted pairs, enforce the hard budget."""
+        started = time.perf_counter()
         current_rows = finalize_selection(problem, selected_rows, budget_current)
-        return AssignmentResult(
+        result = AssignmentResult(
             pairs=problem.pairs(current_rows),
             rows=current_rows,
             considered_rows=list(selected_rows),
         )
+        self.last_finalize_seconds = time.perf_counter() - started
+        return result
 
 
 def finalize_selection(

@@ -40,6 +40,12 @@ from repro.model.instance import ProblemInstance
 from repro.model.pairs import PairPool
 
 
+#: Default row-count floor for the amortized engine; below it the
+#: rescan loop's smaller setup cost wins.  Exposed as the
+#: ``triplet_min_rows`` config knob.
+_TRIPLET_ENGINE_MIN_ROWS = 2048
+
+
 @dataclass(frozen=True)
 class GreedyConfig:
     """Tuning knobs of :class:`MQAGreedy`.
@@ -56,6 +62,13 @@ class GreedyConfig:
         selection_objective: ``"probability"`` (the paper's Eq. 10) or
             ``"efficiency"`` (expected quality per unit cost; a
             budget-aware alternative, see EXPERIMENTS.md).
+        triplet_min_rows: row-count floor at which ``greedy_select``
+            dispatches to the amortized triplet engine (and the
+            persistent :class:`~repro.core.triplet_select.
+            SelectionState` warm path) instead of the rescan loop.
+            Both sides produce identical selections, so this is purely
+            a performance crossover; lower it to force the engine on
+            small pools (tests), raise it to prefer the rescan loop.
     """
 
     delta: float = 0.5
@@ -63,6 +76,7 @@ class GreedyConfig:
     use_dominance_pruning: bool = True
     use_probability_pruning: bool = True
     selection_objective: str = "probability"
+    triplet_min_rows: int = _TRIPLET_ENGINE_MIN_ROWS
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.delta < 1.0:
@@ -73,6 +87,10 @@ class GreedyConfig:
             raise ValueError(
                 f"unknown selection objective {self.selection_objective!r}"
             )
+        if self.triplet_min_rows < 1:
+            raise ValueError(
+                f"triplet_min_rows must be >= 1, got {self.triplet_min_rows}"
+            )
 
 
 def greedy_select(
@@ -81,6 +99,7 @@ def greedy_select(
     budget_current: float,
     budget_max: float,
     config: GreedyConfig,
+    selection_state=None,
 ) -> list[int]:
     """Iterative best-pair selection restricted to ``rows``.
 
@@ -111,17 +130,26 @@ def greedy_select(
     if num_pairs == 0 or len(rows) == 0:
         return []
 
-    rows = np.unique(np.asarray(rows, dtype=np.int64))
-    if rows.size >= _TRIPLET_ENGINE_MIN_ROWS:
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size > 1 and not bool((rows[1:] > rows[:-1]).all()):
+        # Normalize only when needed: the streaming engines pass the
+        # full-pool arange every round, and np.unique's sort is the
+        # single largest shared cost of a steady-state selection.
+        rows = np.unique(rows)
+    if selection_state is not None:
+        # Persistent warm path: bit-identical to the cold dispatch
+        # below, or None when the state declines (subset row sets,
+        # pools under the engine floor, no z-threshold shortcut).
+        selected = selection_state.select(
+            pool, rows, budget_current, budget_max, config
+        )
+        if selected is not None:
+            return selected
+    if rows.size >= config.triplet_min_rows:
         selected = triplet_greedy_select(pool, rows, budget_current, budget_max, config)
         if selected is not None:
             return selected
     return _greedy_select_rescan(pool, rows, budget_current, budget_max, config)
-
-
-#: Row-count floor for the amortized engine; below it the rescan
-#: loop's smaller setup cost wins.
-_TRIPLET_ENGINE_MIN_ROWS = 2048
 
 
 def _greedy_select_rescan(
@@ -256,5 +284,6 @@ class MQAGreedy(Assigner):
             budget_current,
             budget_current + budget_future,
             self._config,
+            selection_state=self.take_round_selection_state(),
         )
         return self._result_from_rows(problem, selected, budget_current)

@@ -41,9 +41,33 @@ Per-iteration stages and why they are exact:
 
 The engine requires the z-threshold shortcut to be available for the
 configured ``delta``; callers fall back to the rescan loop otherwise.
+
+Persistent selection (the warm-start layer)
+-------------------------------------------
+
+The sorted orders and occupancy groups above are *structural*: they
+depend only on the row set's values, not on the budgets of a
+particular run, and :meth:`TripletSelection.run` never mutates them.
+:class:`SelectionOrders` captures exactly that cacheable bundle, and
+:class:`SelectionState` keeps it alive across streaming rounds.  Each
+round the state maps the new pool's rows onto the previous round's
+(via a trusted :class:`~repro.model.delta.ChurnRecord` origin hint
+from the delta builder, or by self-diffing pair identities), verifies
+that every surviving row's order-determining columns are unchanged
+(mismatches are demoted to fresh rows), and then *repairs* each sorted
+order: the survivors' sub-order is extracted in O(n), only the fresh
+rows are sorted (O(churn log churn)), and the two runs are merged with
+:func:`_merge_sorted_positions` — an exact stable merge whose
+cross-run ties are re-sorted on the full lexicographic key.  Any guard
+failure (non-monotone origin, inconsistent occupancy keys, churn past
+``repair_ratio``) falls back to a full cold build, so warm selections
+are bit-identical to cold ones by construction; the hypothesis suite
+in ``tests/test_selection_state.py`` enforces it end to end.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -53,8 +77,179 @@ from repro.model.pairs import PairPool
 from repro.uncertainty.vector import phi_vec
 
 #: Weight-order walk chunk: big enough that one chunk usually yields a
-#: full candidate cap, small enough that dead prefixes stay cheap.
-_WALK_CHUNK = 256
+#: full candidate cap (and that mostly-dead pools cross the dead
+#: regions in few python-loop iterations — the per-chunk array ops are
+#: cheap next to the loop overhead), small enough that the wasted
+#: dominance work past the cap stays bounded.
+_WALK_CHUNK = 4096
+
+#: Pair identity keys pack ``worker_id * 2**25 + task_id``.  The split
+#: is asymmetric because worker ids reach high synthetic ranges (the
+#: streaming engine re-materializes released workers at ids >= 2e10)
+#: while task ids stay dense: 38 bits of worker id x 25 bits of task
+#: id is collision-free in int64.  Out-of-range ids just disable the
+#: self-diff origin (the state cold-primes), never corrupt it.
+_ID_TASK_BITS = 25
+_ID_BASE = np.int64(1) << np.int64(_ID_TASK_BITS)
+_WORKER_ID_LIMIT = 1 << (63 - _ID_TASK_BITS)
+_TASK_ID_LIMIT = 1 << _ID_TASK_BITS
+
+
+def _group(keys: np.ndarray):
+    """Occupancy grouping: positions sharing a key, sorted by key.
+
+    Returns ``(uniq, starts, members)`` where ``members`` is every
+    position sorted by ``(key, position)`` and group ``i`` spans
+    ``members[starts[i]:starts[i + 1]]``.
+    """
+    order = np.argsort(keys, kind="stable").astype(np.int64)
+    sorted_keys = keys[order]
+    uniq, first = np.unique(sorted_keys, return_index=True)
+    starts = np.concatenate((first, [sorted_keys.size])).astype(np.int64)
+    return uniq, starts, order
+
+
+def _regroup(keys: np.ndarray, members: np.ndarray):
+    """Rebuild ``(uniq, starts, members)`` from pre-sorted members.
+
+    ``members`` must already be sorted by ``(keys[member], member)`` —
+    the repair path guarantees it — so the group boundaries reduce to
+    one run-length pass.  Matches :func:`_group` bit for bit.
+    """
+    member_keys = keys[members]
+    if member_keys.size == 0:
+        return member_keys[:0], np.zeros(1, dtype=np.int64), members
+    change = np.nonzero(member_keys[1:] != member_keys[:-1])[0] + 1
+    starts = np.concatenate(([0], change, [member_keys.size])).astype(np.int64)
+    return member_keys[starts[:-1]], starts, members
+
+
+def _merge_sorted_positions(
+    a: np.ndarray, b: np.ndarray, keys: tuple[np.ndarray, ...]
+) -> np.ndarray:
+    """Merge two position runs sorted by ``(*keys, position)``.
+
+    ``keys`` are full-length arrays indexed by position, most
+    significant first; the position itself is the implicit final
+    tiebreaker.  The merge is a stable O(n) two-run scatter on the
+    primary key; primary-key values present in *both* runs are the
+    only places where the secondary keys can disagree with the scatter
+    order, so those tie blocks are re-sorted exactly on the full
+    lexicographic tuple (O(t log t) over tied entries only).
+    """
+    if a.size == 0:
+        return b.astype(np.int64, copy=False)
+    if b.size == 0:
+        return a.astype(np.int64, copy=False)
+    primary = keys[0]
+    ka = primary[a]
+    kb = primary[b]
+    out = np.empty(a.size + b.size, dtype=np.int64)
+    # Binary-search the *small* run into the big one only; the big
+    # run's slots are the complement, filled in order (the stable-merge
+    # identity).  Searching big-into-small costs ~4x more here despite
+    # the shallower per-needle search, so this asymmetry dominates the
+    # steady-state repair bill.
+    idx_b = np.searchsorted(ka, kb, side="right") + np.arange(b.size)
+    keep = np.ones(out.size, dtype=bool)
+    keep[idx_b] = False
+    out[idx_b] = b
+    out[keep] = a
+    # Primary values shared by both runs (the only possible cross-run
+    # ties).  ``kb`` is sorted, so consecutive dedup suffices.
+    pos = np.searchsorted(ka, kb, side="left")
+    clipped = np.minimum(pos, ka.size - 1)
+    shared = kb[(pos < ka.size) & (ka[clipped] == kb)]
+    if shared.size == 0:
+        return out
+    shared = shared[np.concatenate(([True], shared[1:] != shared[:-1]))]
+    merged_keys = primary[out]
+    lo = np.searchsorted(merged_keys, shared, side="left")
+    hi = np.searchsorted(merged_keys, shared, side="right")
+    marks = np.zeros(out.size + 1, dtype=np.int64)
+    np.add.at(marks, lo, 1)
+    np.add.at(marks, hi, -1)
+    tied = np.cumsum(marks[:-1]) > 0
+    sub = out[tied]
+    order = np.lexsort((sub,) + tuple(k[sub] for k in reversed(keys)))
+    out[tied] = sub[order]
+    return out
+
+
+def _sorted_by_key_then_position(keys: np.ndarray, seq: np.ndarray) -> bool:
+    """Whether ``seq`` is sorted by ``(keys[seq], seq)`` (strictly)."""
+    if seq.size < 2:
+        return True
+    k = keys[seq]
+    return bool(
+        np.all((k[1:] > k[:-1]) | ((k[1:] == k[:-1]) & (seq[1:] > seq[:-1])))
+    )
+
+
+class SelectionOrders:
+    """The structural (cacheable) half of a :class:`TripletSelection`.
+
+    Sorted position orders and occupancy groups of one full-pool row
+    set.  Everything here is a pure function of the rows' values (and
+    the z-thresholds for the stochastic sweep keys); ``run()`` never
+    mutates these arrays, so the bundle can be reused across rounds
+    and repaired incrementally by :class:`SelectionState`.
+    """
+
+    __slots__ = (
+        "size",
+        "weight_positions",
+        "ub_order",
+        "w_keys",
+        "w_starts",
+        "w_members",
+        "t_keys",
+        "t_starts",
+        "t_members",
+        "by_cost",
+        "cur_sweep",
+        "fut_sweep",
+        "det_sweep",
+        "sto_fail_sweep",
+        "band_entry",
+    )
+
+
+def build_selection_orders(
+    pool: PairPool, rows: np.ndarray, thresholds: tuple[float, float]
+) -> SelectionOrders:
+    """Cold-build the structural orders for ``rows`` (unique, ascending)."""
+    orders = SelectionOrders()
+    orders.size = rows.size
+    cost = pool.cost_mean[rows]
+
+    orders.w_keys, orders.w_starts, orders.w_members = _group(pool.worker_idx[rows])
+    orders.t_keys, orders.t_starts, orders.t_members = _group(pool.task_idx[rows])
+
+    orders.weight_positions = np.lexsort((rows, cost, -pool.quality_mean[rows]))
+    orders.ub_order = np.argsort(pool.cost_ub[rows], kind="stable")
+
+    # The cost-ascending order is stored because the repair path
+    # derives the three filtered sweeps below from it with one merge
+    # and cheap mask filters instead of three merges.
+    is_current = pool.is_current[rows]
+    by_cost = np.argsort(cost, kind="stable")
+    orders.by_cost = by_cost.astype(np.int64, copy=False)
+    orders.cur_sweep = by_cost[is_current[by_cost]]
+    orders.fut_sweep = by_cost[~is_current[by_cost]]
+
+    variance = pool.cost_var[rows]
+    deterministic = variance <= _VARIANCE_FLOOR
+    orders.det_sweep = by_cost[deterministic[by_cost]]
+
+    z_lo, z_hi = thresholds
+    sto_positions = np.nonzero(~deterministic)[0]
+    std = np.sqrt(variance[sto_positions])
+    fail_key = cost[sto_positions] + z_lo * std
+    pass_key = cost[sto_positions] + z_hi * std
+    orders.sto_fail_sweep = sto_positions[np.argsort(fail_key, kind="stable")]
+    orders.band_entry = sto_positions[np.argsort(pass_key, kind="stable")]
+    return orders
 
 
 class TripletSelection:
@@ -68,6 +263,7 @@ class TripletSelection:
         budget_max: float,
         config,
         thresholds: tuple[float, float],
+        orders: SelectionOrders | None = None,
     ) -> None:
         self._pool = pool
         self._config = config
@@ -76,34 +272,58 @@ class TripletSelection:
         self._budget_future = max(budget_max - budget_current, 0.0)
 
         # Canonical positions: index into the ascending row array.
+        # When ``rows`` is the full pool (the streaming engines pass
+        # the arange every round), the per-row gathers below are
+        # identity copies — alias the pool arrays instead.  Every
+        # aliased array is read-only here; the mutated ones
+        # (``_live_lb``) are copied explicitly.
         self._rows = rows
         size = rows.size
-        self._cost = pool.cost_mean[rows]
-        self._cost_lb = pool.cost_lb[rows]
-        self._quality_ub = pool.quality_ub[rows]
+        full = size == len(pool)
+        self._cost = pool.cost_mean if full else pool.cost_mean[rows]
+        self._quality_ub = pool.quality_ub if full else pool.quality_ub[rows]
         self._dead = np.zeros(size, dtype=bool)
 
+        # Structural orders: cold-built here, or injected (warm start).
+        # Everything below derives the per-run state from them with
+        # the exact same float operations either way, so a warm run is
+        # bit-identical to a cold one by construction.
+        if orders is None:
+            orders = build_selection_orders(pool, rows, thresholds)
+        self.orders = orders
+
         # Occupancy groups: positions sharing a worker / a task.
-        self._w_keys, self._w_starts, self._w_members = self._group(
-            pool.worker_idx[rows]
+        self._w_keys, self._w_starts, self._w_members = (
+            orders.w_keys,
+            orders.w_starts,
+            orders.w_members,
         )
-        self._t_keys, self._t_starts, self._t_members = self._group(
-            pool.task_idx[rows]
+        self._t_keys, self._t_starts, self._t_members = (
+            orders.t_keys,
+            orders.t_starts,
+            orders.t_members,
         )
 
         # Weight order (the candidate-cap order) as positions.
-        self._weight_positions = np.lexsort(
-            (rows, self._cost, -pool.quality_mean[rows])
-        )
+        self._weight_positions = orders.weight_positions
         self._walk_start = 0
 
-        # Dominance scaffolding in cost-ub order.
-        cost_ub = pool.cost_ub[rows]
-        order = np.argsort(cost_ub, kind="stable")
+        # Dominance scaffolding in cost-ub order.  The cut (how many
+        # rows have a cost upper bound strictly below a row's cost
+        # lower bound) is filled in lazily, memoized per position: only
+        # candidate positions ever consult it, so a budget-tight round
+        # runs a few hundred cache-hot searches instead of a full-pool
+        # searchsorted, and a selection-heavy run still pays at most
+        # one search per row.
+        order = orders.ub_order
         self._rank_of_pos = np.empty(size, dtype=np.int64)
         self._rank_of_pos[order] = np.arange(size)
-        self._cut_of_pos = np.searchsorted(cost_ub[order], self._cost_lb, side="left")
-        self._live_lb = pool.quality_lb[rows][order].copy()
+        cost_ub = pool.cost_ub if full else pool.cost_ub[rows]
+        self._ub_sorted = cost_ub[order]
+        self._cost_lb = pool.cost_lb if full else pool.cost_lb[rows]
+        self._cut_of_pos = np.full(size, -1, dtype=np.int64)
+        quality_lb = pool.quality_lb if full else pool.quality_lb[rows]
+        self._live_lb = quality_lb[order]
         self._stale_pmax = np.maximum.accumulate(self._live_lb) if size else self._live_lb
         # The prefix max stays exact until a kill removes a value that
         # was attaining it somewhere (a "load-bearing" kill); only then
@@ -115,56 +335,45 @@ class TripletSelection:
         # searchsorted finds the new boundary and the crossed suffix is
         # killed in bulk — every row is killed at most once, so the
         # sweeps are amortized O(1) per iteration.
-        is_current = pool.is_current[rows]
-        by_cost = np.argsort(self._cost, kind="stable")
-        self._cur_sweep = by_cost[is_current[by_cost]]
-        self._cur_keys = self._cost[self._cur_sweep]
-        self._fut_sweep = by_cost[~is_current[by_cost]]
-        self._fut_keys = self._cost[self._fut_sweep]
+        self._cur_sweep = orders.cur_sweep
+        self._cur_keys = self._cost[orders.cur_sweep]
+        self._fut_sweep = orders.fut_sweep
+        self._fut_keys = self._cost[orders.fut_sweep]
         self._cur_end = self._cur_sweep.size
         self._fut_end = self._fut_sweep.size
 
         # Eq. 9 sweep orders.  Deterministic lanes fail when their cost
         # exceeds the remaining headroom; stochastic lanes carry
         # conservative pass/fail keys derived from the z-thresholds.
-        variance = pool.cost_var[rows]
+        variance = pool.cost_var if full else pool.cost_var[rows]
         deterministic = variance <= _VARIANCE_FLOOR
-        det_positions = np.nonzero(deterministic)[0]
-        det_order = np.argsort(self._cost[det_positions], kind="stable")
-        self._det_sweep = det_positions[det_order]
-        self._det_keys = self._cost[self._det_sweep]
+        self._det_sweep = orders.det_sweep
+        self._det_keys = self._cost[orders.det_sweep]
         self._det_end = self._det_sweep.size
 
         z_lo, z_hi = thresholds
-        sto_positions = np.nonzero(~deterministic)[0]
+        sto = ~deterministic
         self._std = np.zeros(size)
-        self._std[sto_positions] = np.sqrt(variance[sto_positions])
-        fail_key = self._cost[sto_positions] + z_lo * self._std[sto_positions]
-        pass_key = self._cost[sto_positions] + z_hi * self._std[sto_positions]
-        fail_order = np.argsort(fail_key, kind="stable")
-        self._sto_fail_sweep = sto_positions[fail_order]
-        self._sto_fail_keys = fail_key[fail_order]
+        self._std[sto] = np.sqrt(variance[sto])
+        self._sto_fail_sweep = orders.sto_fail_sweep
+        self._sto_fail_keys = (
+            self._cost[orders.sto_fail_sweep]
+            + z_lo * self._std[orders.sto_fail_sweep]
+        )
         self._sto_fail_end = self._sto_fail_sweep.size
         # Band entry: once the headroom drops to a row's pass key the
         # outcome is no longer certain; the row joins the exact-phi
         # band until it passes no more (permanently killed).
-        enter_order = np.argsort(pass_key, kind="stable")
-        self._band_entry = sto_positions[enter_order]
-        self._band_entry_keys = pass_key[enter_order]
+        self._band_entry = orders.band_entry
+        self._band_entry_keys = (
+            self._cost[orders.band_entry] + z_hi * self._std[orders.band_entry]
+        )
         self._band_start = self._band_entry.size
         self._band: np.ndarray = np.zeros(0, dtype=np.int64)
 
         self._spent_current = 0.0
         self._spent_future = 0.0
         self._spent_lower_bound = 0.0
-
-    @staticmethod
-    def _group(keys: np.ndarray):
-        order = np.argsort(keys, kind="stable").astype(np.int64)
-        sorted_keys = keys[order]
-        uniq, first = np.unique(sorted_keys, return_index=True)
-        starts = np.concatenate((first, [sorted_keys.size])).astype(np.int64)
-        return uniq, starts, order
 
     # -- kills ---------------------------------------------------------------
 
@@ -248,6 +457,12 @@ class TripletSelection:
     def _not_dominated(self, positions: np.ndarray) -> np.ndarray:
         """Mask of ``positions`` surviving Lemma 4.1 against the live set."""
         cuts = self._cut_of_pos[positions]
+        missing = cuts < 0
+        if missing.any():
+            mpos = positions[missing]
+            mcut = np.searchsorted(self._ub_sorted, self._cost_lb[mpos], side="left")
+            self._cut_of_pos[mpos] = mcut
+            cuts[missing] = mcut
         stale_best = np.where(
             cuts > 0, self._stale_pmax[np.maximum(cuts - 1, 0)], -np.inf
         )
@@ -360,3 +575,413 @@ def triplet_greedy_select(
     return TripletSelection(
         pool, rows, budget_current, budget_max, config, thresholds
     ).run()
+
+
+# ---------------------------------------------------------------------------
+# Persistent selection state (round-over-round warm start)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectionRepairStats:
+    """Telemetry of a :class:`SelectionState` (mirrors DeltaBuildStats).
+
+    Attributes:
+        rounds: selection rounds routed through the state.
+        primes: rounds solved with a cold structural build (first
+            round, guard failures, churn overflows).
+        repaired: rounds whose structural orders were repaired
+            incrementally from the previous round's.
+        declined: calls the state refused outright (pool below the
+            engine floor, subset row sets, no z-threshold shortcut) —
+            the caller falls back to the normal dispatch.
+        guard_fallbacks: repairs abandoned because a verification
+            guard failed (non-monotone origin, occupancy-key order
+            broken); the round cold-primed instead.
+        churn_fallbacks: repairs abandoned because the fresh-row share
+            of the new pool exceeded ``repair_ratio``, or the old
+            orders dwarfed the new pool (total fallback, like the
+            delta builder).
+        rows_survived: surviving rows across all repaired rounds.
+        rows_fresh: fresh (re-sorted) rows across all repaired rounds.
+    """
+
+    rounds: int = 0
+    primes: int = 0
+    repaired: int = 0
+    declined: int = 0
+    guard_fallbacks: int = 0
+    churn_fallbacks: int = 0
+    rows_survived: int = 0
+    rows_fresh: int = 0
+
+
+def _pair_identity_keys(pool: PairPool, problem) -> tuple[np.ndarray, np.ndarray] | None:
+    """``(positions, keys)`` identifying the current-current rows.
+
+    Keys pack the *entity* ids (stable across rounds, unlike pool
+    indices) of each current pair.  Returns ``None`` when ids do not
+    fit the packing — the caller then skips self-diff.
+    """
+    ncw = problem.num_current_workers
+    nct = problem.num_current_tasks
+    wid = np.fromiter(
+        (w.id for w in problem.workers[:ncw]), dtype=np.int64, count=ncw
+    )
+    tid = np.fromiter((t.id for t in problem.tasks[:nct]), dtype=np.int64, count=nct)
+    if wid.size and (wid.min() < 0 or wid.max() >= _WORKER_ID_LIMIT):
+        return None
+    if tid.size and (tid.min() < 0 or tid.max() >= _TASK_ID_LIMIT):
+        return None
+    positions = np.nonzero(pool.is_current)[0].astype(np.int64)
+    keys = wid[pool.worker_idx[positions]] * _ID_BASE + tid[pool.task_idx[positions]]
+    return positions, keys
+
+
+class SelectionState:
+    """Persistent, churn-repaired selection layer (see module docstring).
+
+    Owned by the streaming engine and handed to the assigner each
+    round via ``Assigner.begin_round``; :func:`repro.core.greedy.
+    greedy_select` routes full-pool selections through :meth:`select`.
+    The state repairs the previous round's :class:`SelectionOrders`
+    in O(churn) instead of re-sorting the pool, and falls back to a
+    cold build whenever any invariant cannot be proven — so its
+    selections are bit-identical to cold solves on every round.
+
+    Row origins come from one of two sources, mirroring the delta
+    builder's trusted-hint / self-diff split:
+
+    - **trusted**: a :class:`~repro.model.delta.ChurnRecord` whose
+      ``row_origin`` maps each new pool row to the previous round's
+      row (produced by ``DeltaPoolBuilder``);
+    - **self-diff**: current-current rows are matched by packed
+      ``(worker_id, task_id)`` identity against the previous round's,
+      which needs no builder cooperation (sharded and ``--no-delta``
+      engines use this mode).
+
+    Either way every matched row's order-determining columns are
+    verified against the cached copies and mismatches are demoted to
+    fresh rows, so correctness never rests on the hint being right.
+    """
+
+    def __init__(self, repair_ratio: float = 0.5) -> None:
+        if not 0.0 < repair_ratio <= 1.0:
+            raise ValueError(f"repair_ratio must be in (0, 1], got {repair_ratio}")
+        self._repair_ratio = repair_ratio
+        self.stats = SelectionRepairStats()
+        self._problem = None
+        self._churn = None
+        self._orders: SelectionOrders | None = None
+        self._cols: tuple[np.ndarray, ...] | None = None
+        self._n = 0
+        self._delta: float | None = None
+        self._key_rows: np.ndarray | None = None
+        self._key_vals: np.ndarray | None = None
+        # Trusted-origin carry: maps the most recently *observed*
+        # pool's rows to the remembered orders' rows.  Composed from
+        # each round's ChurnRecord even on declined rounds, so the
+        # trusted chain survives small-pool gaps between engaged
+        # rounds instead of forcing a cold prime after every gap.
+        self._carry: np.ndarray | None = None
+        self._last_n = 0
+
+    # -- round plumbing ------------------------------------------------------
+
+    def begin_round(self, problem, churn=None) -> None:
+        """Arm the state for one round's full-pool selection."""
+        self._problem = problem
+        self._churn = churn
+
+    def invalidate(self) -> None:
+        """Drop all cached structure; the next round cold-primes."""
+        self._orders = None
+        self._cols = None
+        self._n = 0
+        self._delta = None
+        self._key_rows = None
+        self._key_vals = None
+        self._carry = None
+        self._last_n = 0
+
+    # -- the warm entry point ------------------------------------------------
+
+    def select(
+        self,
+        pool: PairPool,
+        rows: np.ndarray,
+        budget_current: float,
+        budget_max: float,
+        config,
+    ) -> list[int] | None:
+        """Warm-started selection, or ``None`` to decline.
+
+        ``rows`` must be unique and ascending (``greedy_select``
+        normalizes).  Declines — returning ``None`` so the caller runs
+        its normal dispatch — when the call is not this round's
+        full-pool selection, the pool is below the engine floor, or
+        the z-threshold shortcut is unavailable.
+        """
+        problem, churn = self._problem, self._churn
+        self._problem = None
+        self._churn = None
+        thresholds = _phi_threshold(config.delta)
+        if problem is None or problem.pool is not pool or rows.size != len(pool):
+            self.stats.declined += 1
+            return None
+        # Full-pool observation: fold this round's churn into the
+        # trusted-origin carry even when the round is about to be
+        # declined, so a later engaged round can still repair across
+        # the gap.
+        self._observe(pool, churn)
+        if rows.size < config.triplet_min_rows or thresholds is None:
+            self.stats.declined += 1
+            return None
+        self.stats.rounds += 1
+        if self._delta is not None and self._delta != config.delta:
+            # The stochastic sweep keys are delta-specific.
+            self.invalidate()
+
+        orders = None
+        origin = self._derive_origin(pool, churn, problem)
+        if origin is not None:
+            orders = self._repair(pool, origin, thresholds)
+        if orders is None:
+            orders = build_selection_orders(pool, rows, thresholds)
+            self.stats.primes += 1
+        else:
+            self.stats.repaired += 1
+
+        selected = TripletSelection(
+            pool, rows, budget_current, budget_max, config, thresholds, orders=orders
+        ).run()
+        self._remember(pool, problem, churn, orders, config.delta)
+        return selected
+
+    # -- origin derivation ---------------------------------------------------
+
+    def _observe(self, pool: PairPool, churn) -> None:
+        """Compose this round's trusted churn into the origin carry.
+
+        After the call ``self._carry`` maps the *current* pool's rows
+        to the remembered orders' rows (or is ``None`` when the
+        trusted chain broke — a round without a usable hint).
+        """
+        if self._orders is None or self._carry is None:
+            return
+        if (
+            churn is not None
+            and churn.row_origin is not None
+            and churn.prev_pool_rows == self._last_n
+            and churn.row_origin.size == len(pool)
+        ):
+            origin = churn.row_origin
+            carry = np.full(len(pool), -1, dtype=np.int64)
+            known = (origin >= 0) & (origin < self._last_n)
+            carry[known] = self._carry[origin[known]]
+            self._carry = carry
+            self._last_n = len(pool)
+        else:
+            self._carry = None
+
+    def _derive_origin(self, pool: PairPool, churn, problem) -> np.ndarray | None:
+        """Map each new row to the remembered round's row (or -1)."""
+        if self._orders is None:
+            return None
+        if self._carry is not None and self._carry.size == len(pool):
+            return self._carry
+        return self._self_diff_origin(pool, problem)
+
+    def _self_diff_origin(self, pool: PairPool, problem) -> np.ndarray | None:
+        if self._key_vals is None:
+            return None
+        identity = _pair_identity_keys(pool, problem)
+        if identity is None:
+            return None
+        positions, keys = identity
+        origin = np.full(len(pool), -1, dtype=np.int64)
+        old_vals = self._key_vals
+        if old_vals.size:
+            idx = np.searchsorted(old_vals, keys)
+            clipped = np.minimum(idx, old_vals.size - 1)
+            found = (idx < old_vals.size) & (old_vals[clipped] == keys)
+            origin[positions[found]] = self._key_rows[clipped[found]]
+        return origin
+
+    # -- the repair ----------------------------------------------------------
+
+    def _repair(
+        self, pool: PairPool, origin: np.ndarray, thresholds: tuple[float, float]
+    ) -> SelectionOrders | None:
+        """Repair the cached orders onto the new pool, or ``None``.
+
+        Survivor sub-orders are exact because (a) the origin mapping
+        is verified strictly increasing, so surviving rows keep their
+        relative positions, and (b) every order-determining column is
+        verified unchanged at surviving rows (mismatches are demoted
+        to fresh).  Fresh rows are sorted cold and merged in.
+        """
+        old = self._orders
+        n_old = self._n
+        surv_new = np.nonzero(origin >= 0)[0].astype(np.int64)
+        surv_old = origin[surv_new]
+        if surv_old.size and (
+            surv_old[0] < 0
+            or surv_old[-1] >= n_old
+            or (np.diff(surv_old) <= 0).any()
+        ):
+            self.stats.guard_fallbacks += 1
+            return None
+
+        # Column verification: demote any matched row whose
+        # order-determining values changed (e.g. within-slack motion).
+        o_cost, o_var, o_ub, o_qual, o_cur = self._cols
+        same = (
+            (pool.cost_mean[surv_new] == o_cost[surv_old])
+            & (pool.cost_var[surv_new] == o_var[surv_old])
+            & (pool.cost_ub[surv_new] == o_ub[surv_old])
+            & (pool.quality_mean[surv_new] == o_qual[surv_old])
+            & (pool.is_current[surv_new] == o_cur[surv_old])
+        )
+        if not same.all():
+            surv_new = surv_new[same]
+            surv_old = surv_old[same]
+
+        # Fallback economics: fresh rows are the actual re-sort work
+        # (repairing a mostly-fresh pool approximates a cold build),
+        # while dead rows only cost linear scans of the old orders —
+        # mass-expiry rounds after a burst repair profitably even when
+        # most of the old pool died.  The second bound caps those
+        # scans when the old orders dwarf the new pool.
+        n_new = len(pool)
+        if (n_new - surv_new.size) > self._repair_ratio * n_new or n_old > 4 * n_new:
+            self.stats.churn_fallbacks += 1
+            return None
+
+        survivor = np.zeros(n_new, dtype=bool)
+        survivor[surv_new] = True
+        fresh = np.nonzero(~survivor)[0].astype(np.int64)
+        new_of_old = np.full(n_old, -1, dtype=np.int64)
+        new_of_old[surv_old] = surv_new
+
+        def surv_seq(old_order: np.ndarray) -> np.ndarray:
+            mapped = new_of_old[old_order]
+            return mapped[mapped >= 0]
+
+        cost = pool.cost_mean
+        neg_quality = -pool.quality_mean
+        cost_ub = pool.cost_ub
+        variance = pool.cost_var
+        z_lo, z_hi = thresholds
+        deterministic = variance <= _VARIANCE_FLOOR
+        std = np.zeros(n_new)
+        sto = ~deterministic
+        std[sto] = np.sqrt(variance[sto])
+        fail_key = cost + z_lo * std
+        pass_key = cost + z_hi * std
+
+        # Occupancy groups: pool indices are renumbered between rounds
+        # (compaction), so instead of comparing key values the repair
+        # verifies the surviving member runs are still sorted under
+        # the *new* keys — renumbering is monotone when the builder
+        # behaves, and the guard catches it when it does not.
+        worker_keys = pool.worker_idx
+        task_keys = pool.task_idx
+        w_surv = surv_seq(old.w_members)
+        t_surv = surv_seq(old.t_members)
+        if not _sorted_by_key_then_position(worker_keys, w_surv):
+            self.stats.guard_fallbacks += 1
+            return None
+        if not _sorted_by_key_then_position(task_keys, t_surv):
+            self.stats.guard_fallbacks += 1
+            return None
+
+        self.stats.rows_survived += int(surv_new.size)
+        self.stats.rows_fresh += int(fresh.size)
+
+        orders = SelectionOrders()
+        orders.size = n_new
+
+        w_fresh = fresh[np.argsort(worker_keys[fresh], kind="stable")]
+        members = _merge_sorted_positions(w_surv, w_fresh, (worker_keys,))
+        orders.w_keys, orders.w_starts, orders.w_members = _regroup(
+            worker_keys, members
+        )
+        t_fresh = fresh[np.argsort(task_keys[fresh], kind="stable")]
+        members = _merge_sorted_positions(t_surv, t_fresh, (task_keys,))
+        orders.t_keys, orders.t_starts, orders.t_members = _regroup(task_keys, members)
+
+        fresh_weight = fresh[
+            np.lexsort((fresh, cost[fresh], -pool.quality_mean[fresh]))
+        ]
+        orders.weight_positions = _merge_sorted_positions(
+            surv_seq(old.weight_positions), fresh_weight, (neg_quality, cost)
+        )
+        fresh_ub = fresh[np.argsort(cost_ub[fresh], kind="stable")]
+        orders.ub_order = _merge_sorted_positions(
+            surv_seq(old.ub_order), fresh_ub, (cost_ub,)
+        )
+
+        # One merge of the cost-ascending order, then mask filters:
+        # filtering a total order commutes with merging (both sides
+        # are the (cost, position)-sorted order of the filtered set),
+        # so this matches the cold build's three sweeps exactly.
+        fresh_by_cost = fresh[np.argsort(cost[fresh], kind="stable")]
+        by_cost = _merge_sorted_positions(
+            surv_seq(old.by_cost), fresh_by_cost, (cost,)
+        )
+        orders.by_cost = by_cost
+        is_current = pool.is_current
+        cur_mask = is_current[by_cost]
+        orders.cur_sweep = by_cost[cur_mask]
+        orders.fut_sweep = by_cost[~cur_mask]
+        orders.det_sweep = by_cost[deterministic[by_cost]]
+        fresh_sto = fresh[sto[fresh]]
+        orders.sto_fail_sweep = _merge_sorted_positions(
+            surv_seq(old.sto_fail_sweep),
+            fresh_sto[np.argsort(fail_key[fresh_sto], kind="stable")],
+            (fail_key,),
+        )
+        orders.band_entry = _merge_sorted_positions(
+            surv_seq(old.band_entry),
+            fresh_sto[np.argsort(pass_key[fresh_sto], kind="stable")],
+            (pass_key,),
+        )
+        return orders
+
+    # -- caching -------------------------------------------------------------
+
+    def _remember(
+        self, pool: PairPool, problem, churn, orders: SelectionOrders, delta: float
+    ) -> None:
+        self._orders = orders
+        self._n = len(pool)
+        self._delta = delta
+        # The carry restarts from the identity of the round just
+        # remembered; future rounds compose their churn onto it.
+        self._carry = np.arange(len(pool), dtype=np.int64)
+        self._last_n = len(pool)
+        self._cols = (
+            pool.cost_mean.copy(),
+            pool.cost_var.copy(),
+            pool.cost_ub.copy(),
+            pool.quality_mean.copy(),
+            pool.is_current.copy(),
+        )
+        trusted_next = churn is not None and churn.row_origin is not None
+        if trusted_next:
+            # Next round will carry a trusted origin hint; skip the
+            # (python-loop) id harvest.  If the hint goes missing the
+            # state simply cold-primes once and starts self-diffing.
+            self._key_rows = None
+            self._key_vals = None
+            return
+        identity = _pair_identity_keys(pool, problem)
+        if identity is None:
+            self._key_rows = None
+            self._key_vals = None
+            return
+        positions, keys = identity
+        order = np.argsort(keys, kind="stable")
+        self._key_vals = keys[order]
+        self._key_rows = positions[order]

@@ -89,6 +89,40 @@ _EMPTY_F = np.zeros(0)
 
 
 @dataclass
+class ChurnRecord:
+    """One round's churn, shared by the pool builder and the selector.
+
+    The streaming engine journals its own entity churn here (the
+    trusted hints that previously traveled as bare keyword arguments),
+    hands the record to :meth:`DeltaPoolBuilder.build`, and the builder
+    annotates it with the *row-level* consequence of that churn: for
+    every row of the emitted pool, the row it occupied in the previous
+    round's emission (or ``-1`` for rows with no verbatim predecessor —
+    new pairs, re-priced pairs, and the always-fresh predicted
+    families).  Downstream, :class:`~repro.core.triplet_select.
+    SelectionState` repairs its sorted orders from exactly this
+    mapping.
+
+    Attributes:
+        worker_arrivals: workers that joined since the previous build
+            (engine journal; ``None`` when the caller wants the
+            builder to self-diff).
+        worker_removed_ids: ids of workers removed since the previous
+            build (same trust contract as ``worker_arrivals``).
+        row_origin: per emitted pool row, the row index it had in the
+            previous emission, or ``-1``; non-negative entries are
+            strictly increasing (splices preserve canonical order).
+        prev_pool_rows: row count of the previous emission (what
+            ``row_origin`` indexes into), ``-1`` before the first.
+    """
+
+    worker_arrivals: Sequence[Worker] | None = None
+    worker_removed_ids: Sequence[int] | None = None
+    row_origin: np.ndarray | None = None
+    prev_pool_rows: int = -1
+
+
+@dataclass
 class DeltaBuildStats:
     """Observable counters of the incremental maintenance.
 
@@ -218,6 +252,11 @@ class DeltaPoolBuilder:
 
         self._primed = False
         self._last_now = -np.inf
+        #: Row count of the previous emission and the churn record of
+        #: the latest build — survives primes (origins just go all-
+        #: fresh across one), reset only with the builder itself.
+        self._last_emitted_rows = -1
+        self.last_churn: ChurnRecord | None = None
         self._reset_cache()
 
     # -- cache state --------------------------------------------------------
@@ -240,6 +279,10 @@ class DeltaPoolBuilder:
         self._w_csr = _CandidateCSR.empty(self._index.grid)
         self._p_w = self._p_t = _EMPTY_IDX
         self._p_dist = self._p_qual = _EMPTY_F
+        # Per cached pair: its row in the previous *emission*, or -1.
+        # Maintained through every splice so the emitted ChurnRecord
+        # can hand the selector a verbatim-survivor mapping.
+        self._p_origin = _EMPTY_IDX
 
     def invalidate(self) -> None:
         """Force a full rebuild on the next :meth:`build`."""
@@ -266,6 +309,7 @@ class DeltaPoolBuilder:
         if self._p_w.size == 0:
             self._p_w, self._p_t = rows, cols
             self._p_dist, self._p_qual = dist, qual
+            self._p_origin = np.full(rows.size, -1, dtype=np.int64)
             return
         base = self._pair_key_base()
         positions = np.searchsorted(
@@ -275,6 +319,7 @@ class DeltaPoolBuilder:
         self._p_t = np.insert(self._p_t, positions, cols)
         self._p_dist = np.insert(self._p_dist, positions, dist)
         self._p_qual = np.insert(self._p_qual, positions, qual)
+        self._p_origin = np.insert(self._p_origin, positions, -1)
 
     def _drop_worker_positions(self, remove: np.ndarray) -> None:
         """Remove worker rows; compaction preserves canonical order."""
@@ -286,6 +331,7 @@ class DeltaPoolBuilder:
         self._p_t = self._p_t[keep_pairs]
         self._p_dist = self._p_dist[keep_pairs]
         self._p_qual = self._p_qual[keep_pairs]
+        self._p_origin = self._p_origin[keep_pairs]
         keep = ~remove
         self._w_csr = self._w_csr.remove_columns(keep)
         self._w_ids = self._w_ids[keep]
@@ -302,6 +348,7 @@ class DeltaPoolBuilder:
         self._p_w = self._p_w[keep_pairs]
         self._p_dist = self._p_dist[keep_pairs]
         self._p_qual = self._p_qual[keep_pairs]
+        self._p_origin = self._p_origin[keep_pairs]
         keep = ~remove
         self._csr = self._csr.remove_columns(keep)
         self._t_id_set.difference_update(self._t_ids[remove].tolist())
@@ -316,6 +363,7 @@ class DeltaPoolBuilder:
         keep = ~np.isin(self._p_t, positions)
         self._p_w, self._p_t = self._p_w[keep], self._p_t[keep]
         self._p_dist, self._p_qual = self._p_dist[keep], self._p_qual[keep]
+        self._p_origin = self._p_origin[keep]
 
     def _drop_pairs_with_workers(self, positions: np.ndarray) -> None:
         if positions.size == 0 or self._p_w.size == 0:
@@ -323,6 +371,7 @@ class DeltaPoolBuilder:
         keep = ~np.isin(self._p_w, positions)
         self._p_w, self._p_t = self._p_w[keep], self._p_t[keep]
         self._p_dist, self._p_qual = self._p_dist[keep], self._p_qual[keep]
+        self._p_origin = self._p_origin[keep]
 
     # -- joins --------------------------------------------------------------
 
@@ -569,6 +618,8 @@ class DeltaPoolBuilder:
                         self._wx[self._p_w[touched]] - self._tx[self._p_t[touched]],
                         self._wy[self._p_w[touched]] - self._ty[self._p_t[touched]],
                     )
+                    # Re-priced pairs are no verbatim survivors.
+                    self._p_origin[touched] = -1
                     self.delta_stats.moved_within_slack += int(within.sum())
                 if beyond.any():
                     rejoin_w = np.flatnonzero(beyond).astype(np.int64)
@@ -611,6 +662,8 @@ class DeltaPoolBuilder:
                     self._wx[self._p_w[touched]] - self._tx[self._p_t[touched]],
                     self._wy[self._p_w[touched]] - self._ty[self._p_t[touched]],
                 )
+                # Re-priced pairs are no verbatim survivors.
+                self._p_origin[touched] = -1
                 self.delta_stats.moved_within_slack += int(within_pos.size)
             if beyond.any():
                 rejoin_t = positions[beyond].astype(np.int64)
@@ -734,6 +787,7 @@ class DeltaPoolBuilder:
         now: float,
         worker_arrivals: Sequence[Worker] | None = None,
         worker_removed_ids: Sequence[int] | None = None,
+        churn: ChurnRecord | None = None,
     ) -> ProblemInstance:
         """One round's problem, repaired from the cached pool.
 
@@ -747,7 +801,18 @@ class DeltaPoolBuilder:
         pass), and the caller vouches that the list discipline holds
         (removals preserve order, arrivals append at the tail).  Omit
         them to have the builder derive the diff itself.
+
+        ``churn`` carries the same hints as a :class:`ChurnRecord`
+        (explicit keyword arguments win when both are given); after the
+        build it is annotated with ``row_origin``/``prev_pool_rows``
+        and also exposed as :attr:`last_churn` — a record is annotated
+        there every round even when the caller passes none.
         """
+        if churn is not None:
+            if worker_arrivals is None:
+                worker_arrivals = churn.worker_arrivals
+            if worker_removed_ids is None:
+                worker_removed_ids = churn.worker_removed_ids
         validate_predicted_flags(predicted_workers, predicted_tasks)
         n, m = len(current_workers), len(current_tasks)
         k, l = len(predicted_workers), len(predicted_tasks)
@@ -776,7 +841,7 @@ class DeltaPoolBuilder:
 
         instance = self._emit(
             current_workers, current_tasks, predicted_workers, predicted_tasks,
-            now, n, m, k, l, local,
+            now, n, m, k, l, local, churn,
         )
         # Gauge the cache after emission: the slack-0 sweep purges the
         # pairs it just proved dead, and that post-purge size is what
@@ -800,6 +865,7 @@ class DeltaPoolBuilder:
         k: int,
         l: int,
         local: SparseBuildStats,
+        churn: ChurnRecord | None = None,
     ) -> ProblemInstance:
         unit_cost = self._unit_cost
         quality_model = self._quality_model
@@ -819,6 +885,11 @@ class DeltaPoolBuilder:
             cc_cols = self._p_t[valid]
             cc_dist = self._p_dist[valid]
             cc_quality = self._p_qual[valid]
+            # Origins of the emitted cc rows (previous-emission rows),
+            # gathered before the per-pair origins roll forward to
+            # *this* emission's row numbering below.
+            prev_origin = self._p_origin[valid]
+            emitted_rank = np.cumsum(valid, dtype=np.int64) - 1
             local.gathered += int(self._p_w.size)
             self.delta_stats.revalidated += int(self._p_w.size)
             if self._slack == 0.0:
@@ -831,9 +902,13 @@ class DeltaPoolBuilder:
                 # a within-slack move may resurrect an invalid pair.
                 self._p_w, self._p_t = cc_rows, cc_cols
                 self._p_dist, self._p_qual = cc_dist, cc_quality
+                self._p_origin = np.arange(cc_rows.size, dtype=np.int64)
+            else:
+                self._p_origin = np.where(valid, emitted_rank, -1)
         else:
             cc_rows = cc_cols = _EMPTY_IDX
             cc_dist = cc_quality = _EMPTY_F
+            prev_origin = _EMPTY_IDX
         local.candidates += int(cc_rows.size)
 
         if cc_rows.size:
@@ -1041,7 +1116,7 @@ class DeltaPoolBuilder:
                     worker_offset=n, task_offset=m,
                 )
 
-        return ProblemInstance(
+        instance = ProblemInstance(
             workers=list(current_workers) + list(predicted_workers),
             tasks=list(current_tasks) + list(predicted_tasks),
             num_current_workers=n,
@@ -1049,3 +1124,16 @@ class DeltaPoolBuilder:
             pool=PairPool.concatenate(pools),
             now=now,
         )
+        # Annotate the round's churn record: cc rows (emitted first)
+        # carry their previous-emission origin, predicted-family rows
+        # are fresh every round by construction.
+        total = len(instance.pool)
+        if churn is None:
+            churn = ChurnRecord()
+        churn.row_origin = np.concatenate(
+            (prev_origin, np.full(total - prev_origin.size, -1, dtype=np.int64))
+        )
+        churn.prev_pool_rows = self._last_emitted_rows
+        self._last_emitted_rows = total
+        self.last_churn = churn
+        return instance

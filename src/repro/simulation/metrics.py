@@ -57,6 +57,11 @@ class InstanceMetrics:
         build_seconds / assign_seconds: phase split of ``cpu_seconds``
             — candidate-pool construction vs. budgeted selection
             (``0.0`` for engines that do not break the phases out).
+        select_seconds / finalize_seconds: sub-split of
+            ``assign_seconds`` — the selection loop proper vs. the
+            shared finalization tail (materializing pairs, the hard
+            budget trim).  The warm-start layer accelerates only the
+            selection half, so it is measured on its own phase.
     """
 
     instance: int
@@ -73,6 +78,8 @@ class InstanceMetrics:
     task_prediction_error: float | None = None
     build_seconds: float = 0.0
     assign_seconds: float = 0.0
+    select_seconds: float = 0.0
+    finalize_seconds: float = 0.0
 
 
 @dataclass(frozen=True)

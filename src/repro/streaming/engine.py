@@ -27,10 +27,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.base import Assigner
+from repro.core.triplet_select import SelectionState
 from repro.geo.grid import GridIndex
 from repro.geo.point import euclidean_distance
 from repro.geo.spatial_index import SpatialIndex
-from repro.model.delta import DeltaPoolBuilder
+from repro.model.delta import ChurnRecord, DeltaPoolBuilder
 from repro.model.entities import Task, Worker
 from repro.model.instance import build_problem
 from repro.model.quality import QualityModel
@@ -90,6 +91,15 @@ class StreamConfig:
         delta_rebuild_ratio: churn fraction above which the delta
             builder re-primes instead of repairing (see
             ``DeltaPoolBuilder.rebuild_churn_ratio``).
+        use_warm_select: persist selection state across rounds
+            (:class:`~repro.core.triplet_select.SelectionState`) so the
+            assign phase repairs its sorted orders from the round's
+            churn instead of rebuilding them.  Selections are
+            bit-identical to cold solves; only the work per round
+            changes.  Works with every builder — the delta builder
+            supplies a trusted row-origin map through the shared
+            :class:`~repro.model.delta.ChurnRecord`, other builders
+            fall back to self-diffing pair identities.
     """
 
     round_interval: float = 1.0
@@ -108,6 +118,7 @@ class StreamConfig:
     use_delta_builder: bool = True
     delta_slack: float = 0.0
     delta_rebuild_ratio: float = 0.5
+    use_warm_select: bool = True
 
     def __post_init__(self) -> None:
         if self.round_interval <= 0.0:
@@ -135,6 +146,7 @@ class StreamConfig:
         use_sparse_builder: bool = True,
         index_gamma: int = 16,
         use_delta_builder: bool = True,
+        use_warm_select: bool = True,
     ) -> "StreamConfig":
         """Lift a batch :class:`EngineConfig` into streaming form."""
         if config.oracle_prediction:
@@ -157,6 +169,7 @@ class StreamConfig:
             use_sparse_builder=use_sparse_builder,
             index_gamma=index_gamma,
             use_delta_builder=use_delta_builder,
+            use_warm_select=use_warm_select,
         )
 
 
@@ -225,6 +238,18 @@ class StreamingEngine:
         self._journal_worker_churn = (
             self._config.use_sparse_builder and self._config.use_delta_builder
         )
+        # Persistent warm-start selection layer (None when disabled).
+        self._selection_state: SelectionState | None = (
+            self._make_selection_state() if self._config.use_warm_select else None
+        )
+
+    def _make_selection_state(self) -> SelectionState:
+        """Build the persistent selection state (subclass hook).
+
+        The sharded engine overrides this to key one state per spatial
+        tile; everything else about the round loop stays shared.
+        """
+        return SelectionState(repair_ratio=self._config.delta_rebuild_ratio)
 
     # -- state inspection ---------------------------------------------------
 
@@ -247,6 +272,14 @@ class StreamingEngine:
         if self._delta_builder is None:
             return None
         return self._delta_builder.delta_stats
+
+    @property
+    def select_stats(self):
+        """Counters of the persistent selection layer (``None`` when
+        warm selection is disabled)."""
+        if self._selection_state is None:
+            return None
+        return self._selection_state.stats
 
     @property
     def clock(self) -> float | None:
@@ -432,6 +465,7 @@ class StreamingEngine:
         now: float,
         predicted_workers: list[Worker],
         predicted_tasks: list[Task],
+        churn: ChurnRecord | None = None,
     ):
         """Assemble the round's candidate-pair problem.
 
@@ -440,6 +474,13 @@ class StreamingEngine:
         which fans the build out over spatial shards — override this
         and nothing else, so event handling, prediction RNG draws and
         selection stay byte-for-byte shared with the serial engine.
+
+        ``churn`` is the round's shared :class:`ChurnRecord`: the
+        engine stamps its worker-churn journal on it beforehand, and a
+        builder that can prove row provenance (the delta builder)
+        annotates ``row_origin`` in place so the selection layer can
+        repair from a trusted origin map.  Builders that cannot simply
+        leave it unannotated — warm selection then self-diffs.
         """
         config = self._config
         if config.use_sparse_builder and config.use_delta_builder:
@@ -465,6 +506,7 @@ class StreamingEngine:
                 now,
                 worker_arrivals=self._round_worker_arrivals,
                 worker_removed_ids=self._removed_worker_ids,
+                churn=churn,
             )
             self._removed_worker_ids = []
             return problem
@@ -566,17 +608,33 @@ class StreamingEngine:
         num_workers = len(self._available_workers)
         num_tasks = len(self._available_tasks)
 
+        # The round's shared churn record: engine-journaled worker
+        # churn in, builder-proved row provenance out (annotated in
+        # place by the delta builder inside _build_problem).
+        churn = ChurnRecord(
+            worker_arrivals=(
+                self._round_worker_arrivals if self._journal_worker_churn else None
+            ),
+            worker_removed_ids=(
+                self._removed_worker_ids if self._journal_worker_churn else None
+            ),
+        )
         build_started = _time.perf_counter()
-        problem = self._build_problem(now, predicted_workers, predicted_tasks)
+        problem = self._build_problem(now, predicted_workers, predicted_tasks, churn)
         build_seconds = _time.perf_counter() - build_started
         budget_future = (
             config.budget if predicted_workers or predicted_tasks else 0.0
         )
+        if self._selection_state is not None:
+            self._assigner.begin_round(problem, churn, self._selection_state)
+        self._assigner.last_finalize_seconds = 0.0
         assign_started = _time.perf_counter()
         result = self._assigner.assign(
             problem, config.budget, budget_future, self._rng
         )
         assign_seconds = _time.perf_counter() - assign_started
+        finalize_seconds = min(self._assigner.last_finalize_seconds, assign_seconds)
+        select_seconds = assign_seconds - finalize_seconds
         elapsed = _time.perf_counter() - started
 
         assigned_worker_ids = {p.worker.id for p in result.pairs}
@@ -639,5 +697,7 @@ class StreamingEngine:
                 task_prediction_error=task_error,
                 build_seconds=build_seconds,
                 assign_seconds=assign_seconds,
+                select_seconds=select_seconds,
+                finalize_seconds=finalize_seconds,
             )
         )

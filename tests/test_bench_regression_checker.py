@@ -204,6 +204,88 @@ class TestStreamingRules:
         )
         assert rc == 1
 
+    def _warm_select_payload(
+        self, speedup: float, mean_speedup: float = 1.6
+    ) -> dict:
+        payload = _streaming_payload(5000.0, 6.4)
+        payload["warm_select"] = {
+            "select_speedup_floor": 2.0,
+            "steady_state_select_speedup": speedup,
+            "mean_select_speedup": mean_speedup,
+            "cold": {"median_select_ms": 10.0},
+            "warm": {"median_select_ms": 10.0 / speedup},
+        }
+        return payload
+
+    def test_warm_select_healthy_passes(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", self._warm_select_payload(2.3))
+        _write(tmp_path / "fresh", "BENCH_streaming.json", self._warm_select_payload(2.2))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 0
+
+    def test_warm_select_below_recorded_floor_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", self._warm_select_payload(2.3))
+        _write(tmp_path / "fresh", "BENCH_streaming.json", self._warm_select_payload(1.8))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_warm_select_drop_over_tolerance_fails_even_above_floor(
+        self, checker, tmp_path
+    ):
+        # 4.0 -> 2.4 still clears the 2.0 floor but is a >30% collapse
+        # of the committed speedup — the drop rule must catch it.
+        _write(tmp_path / "base", "BENCH_streaming.json", self._warm_select_payload(4.0))
+        _write(tmp_path / "fresh", "BENCH_streaming.json", self._warm_select_payload(2.4))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_missing_fresh_warm_select_section_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", self._warm_select_payload(2.3))
+        _write(tmp_path / "fresh", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_warm_select_missing_speedup_figure_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", self._warm_select_payload(2.3))
+        broken = self._warm_select_payload(2.3)
+        del broken["warm_select"]["steady_state_select_speedup"]
+        _write(tmp_path / "fresh", "BENCH_streaming.json", broken)
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_missing_single_phase_key_fails(self, checker, tmp_path):
+        """A phase present in the committed breakdown must keep being
+        measured — a fresh breakdown lacking the select/finalize split
+        (but still present) fails."""
+        base = _streaming_payload(5000.0, 6.4)
+        base["with_prediction"]["phases"] = {
+            "mean_build_ms": 9.0, "mean_select_ms": 4.0, "mean_finalize_ms": 1.0,
+        }
+        fresh = _streaming_payload(5000.0, 6.4)
+        fresh["with_prediction"]["phases"] = {"mean_build_ms": 9.0}
+        _write(tmp_path / "base", "BENCH_streaming.json", base)
+        _write(tmp_path / "fresh", "BENCH_streaming.json", fresh)
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
     def test_missing_baseline_passes(self, checker, tmp_path):
         (tmp_path / "base").mkdir()
         _write(tmp_path / "fresh", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))

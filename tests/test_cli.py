@@ -70,6 +70,72 @@ class TestStreamCommand:
         assert "bursty / greedy / sparse" in out
         assert "delta maintenance:" not in out
 
+    def test_stream_warm_select_default_on(self, capsys):
+        assert main(
+            [
+                "stream",
+                "--scenario", "bursty",
+                "--workers", "60",
+                "--tasks", "60",
+                "--instances", "4",
+                "--round-interval", "0.5",
+                "--budget", "20",
+                "--seed", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "warm selection:" in out
+        assert "select" in out and "finalize" in out
+
+    def test_stream_no_warm_select(self, capsys):
+        assert main(
+            [
+                "stream",
+                "--scenario", "bursty",
+                "--workers", "60",
+                "--tasks", "60",
+                "--instances", "4",
+                "--round-interval", "0.5",
+                "--budget", "20",
+                "--seed", "3",
+                "--no-warm-select",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "warm selection:" not in out
+
+    def test_stream_warm_select_delta_matrix(self, capsys, tmp_path):
+        """All four delta x warm-select legs agree on assignment totals."""
+        import json
+
+        totals = {}
+        for delta in ("--delta", "--no-delta"):
+            for warm in ("--warm-select", "--no-warm-select"):
+                path = tmp_path / f"{delta[2:]}_{warm[2:]}.json"
+                assert main(
+                    [
+                        "stream",
+                        "--scenario", "bursty",
+                        "--workers", "50",
+                        "--tasks", "50",
+                        "--instances", "3",
+                        "--budget", "20",
+                        "--seed", "3",
+                        delta, warm,
+                        "--json", str(path),
+                    ]
+                ) == 0
+                summary = json.loads(path.read_text())
+                assert summary["warm_select_enabled"] == (warm == "--warm-select")
+                assert ("warm_select" in summary) == (warm == "--warm-select")
+                totals[(delta, warm)] = (
+                    summary["assignments"],
+                    summary["total_quality"],
+                    summary["total_cost"],
+                )
+        capsys.readouterr()
+        assert len(set(totals.values())) == 1, totals
+
     def test_stream_json_output(self, capsys, tmp_path):
         import json
 
@@ -89,6 +155,8 @@ class TestStreamCommand:
         assert summary["scenario"] == "hotspot"
         assert summary["rounds"] == 6  # 3 instances / 0.5 interval
         assert summary["candidate_pairs_examined"] >= 0
+        assert summary["mean_select_ms"] >= 0.0
+        assert summary["mean_finalize_ms"] >= 0.0
 
     def test_stream_sharded_citywide(self, capsys, tmp_path):
         import json

@@ -231,6 +231,38 @@ def test_delta_bit_identical_under_random_event_sequences(
     assert stats.primes + stats.incremental_rounds == stats.rounds
 
 
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    use_prediction=st.booleans(),
+)
+@settings(max_examples=8, deadline=None)
+def test_delta_adversarial_corpus(
+    adversarial_scenario, churn_world_cls, seed, use_prediction
+):
+    """The named worst-case churn scripts (slack-boundary oscillators,
+    mass-expiry cliffs, ... — the conftest corpus) cannot break
+    pool-maintenance bit-identity.  The same scripts are run against
+    the selection-state repair in ``test_selection_state``."""
+    rng = np.random.default_rng(seed)
+    qm = HashQualityModel((0.0, 1.0), seed=3)
+    world = churn_world_cls(rng, slack=0.03, index_gamma=_GAMMA)
+    # The scripts move workers, so static-query mode (which promises
+    # immutable workers) must be off.
+    builder = DeltaPoolBuilder(
+        qm,
+        _UNIT_COST,
+        world.index,
+        index_gamma=_GAMMA,
+        slack=0.03,
+        assume_static_queries=False,
+    )
+    for i in range(adversarial_scenario.num_rounds):
+        adversarial_scenario.drive(world, i)
+        _check_round(world, builder, qm, use_prediction)
+    stats = builder.delta_stats
+    assert stats.rounds == adversarial_scenario.num_rounds
+
+
 @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
 @settings(max_examples=15, deadline=None)
 def test_delta_trusted_hints_match_selfdiff(seed):
