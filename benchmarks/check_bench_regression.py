@@ -11,7 +11,10 @@ The job fails when:
 - a pruning ratio falls below the floor *recorded in the baseline*
   (``pair_ratio`` vs ``pair_ratio_floor`` for both streaming legs;
   ``speedup_at_500`` vs ``speedup_floor`` for the matching bench) —
-  these are machine-independent and carry no tolerance.
+  these are machine-independent and carry no tolerance, or
+- an observability ``health`` rate (delta incremental, warm-select
+  repair, Hungarian warm accept) falls below its recorded floor, or
+  the metrics-layer overhead ratio exceeds its recorded ceiling.
 
 A baseline file that does not exist passes with a note (first run); a
 *fresh* file that does not exist fails, because that means the bench
@@ -173,6 +176,66 @@ def _check_warm_select_section(
     return errors
 
 
+#: ``health`` rates checked against the floor *recorded in the
+#: baseline*: ``(fresh value key, baseline floor key)``.  The health
+#: runs are seeded and bit-identical across machines, so the rates
+#: carry no tolerance.
+_HEALTH_RATE_FLOORS = (
+    ("delta_incremental_rate", "delta_incremental_rate_floor"),
+    ("warm_select_repair_rate", "warm_select_repair_rate_floor"),
+    ("hungarian_warm_accept_rate", "hungarian_warm_accept_rate_floor"),
+)
+
+
+def _check_health_section(baseline: dict, fresh: dict) -> list[str]:
+    """Guards for the observability ``health`` section.
+
+    The cache-path service rates (delta incremental, warm-select
+    repair, Hungarian warm accept) must stay above the floors recorded
+    in the baseline — a prime/fallback storm that still produces
+    correct results would otherwise regress silently.  The metrics
+    layer's per-round overhead ratio must stay under the recorded
+    ceiling.
+    """
+    errors: list[str] = []
+    base_health = baseline.get("health")
+    fresh_health = fresh.get("health")
+    if base_health is None:
+        return errors
+    if fresh_health is None:
+        errors.append(
+            "streaming: the baseline has a 'health' section but the fresh "
+            "results do not — the observability health bench silently "
+            "stopped running"
+        )
+        return errors
+    for value_key, floor_key in _HEALTH_RATE_FLOORS:
+        floor = base_health.get(floor_key)
+        if floor is None:
+            continue
+        value = fresh_health.get(value_key)
+        if value is None:
+            errors.append(f"streaming health: fresh results miss {value_key}")
+        elif value < floor:
+            errors.append(
+                f"streaming health: {value_key} {value} fell below the "
+                f"recorded floor {floor}"
+            )
+    ceiling = base_health.get("metrics_overhead_ratio_ceil")
+    overhead = fresh_health.get("metrics_overhead_ratio")
+    if ceiling is not None:
+        if overhead is None:
+            errors.append(
+                "streaming health: fresh results miss metrics_overhead_ratio"
+            )
+        elif overhead > ceiling:
+            errors.append(
+                f"streaming health: metrics_overhead_ratio {overhead} exceeds "
+                f"the recorded ceiling {ceiling}"
+            )
+    return errors
+
+
 def _check_phases(
     errors: list[str], leg: str, base_leg: dict, fresh_leg: dict
 ) -> None:
@@ -228,6 +291,7 @@ def check_streaming(
             _check_phases(errors, leg, base_leg, fresh_leg)
     errors.extend(_check_delta_section(baseline, fresh, tolerance))
     errors.extend(_check_warm_select_section(baseline, fresh, tolerance))
+    errors.extend(_check_health_section(baseline, fresh))
     base_sharded = baseline.get("sharded")
     fresh_sharded = fresh.get("sharded")
     if base_sharded is not None and fresh_sharded is None:

@@ -43,6 +43,7 @@ from repro.model import (
     build_problem,
     build_problem_sparse,
 )
+from repro.obs import MetricsRegistry, TraceRecorder
 from repro.prediction import GridPredictor, make_predictor
 from repro.simulation import SimulationEngine, EngineConfig, SimulationResult
 from repro.streaming import (
@@ -87,6 +88,8 @@ __all__ = [
     "ProblemInstance",
     "build_problem",
     "build_problem_sparse",
+    "MetricsRegistry",
+    "TraceRecorder",
     "GridPredictor",
     "make_predictor",
     "SimulationEngine",

@@ -17,9 +17,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
+from repro.obs.metrics import monotonic
 from repro.experiments.figures import FIGURES, run_figure_by_id
 from repro.experiments.reporting import figure_to_json, format_figure, format_figure_csv
 
@@ -191,6 +191,22 @@ def _build_stream_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", type=Path, default=None, metavar="FILE", help="write summary JSON"
     )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the engine's metrics registry snapshot (counters, "
+        "gauges, phase histograms with p50/p95/p99) as JSON",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record per-round spans and write Chrome trace-event JSON "
+        "(load in chrome://tracing or https://ui.perfetto.dev)",
+    )
     return parser
 
 
@@ -257,6 +273,7 @@ def _run_stream_command(argv: list[str]) -> int:
         use_delta_builder=args.delta,
         use_warm_select=args.warm_select,
         delta_slack=args.delta_slack,
+        enable_tracing=args.trace_out is not None,
     )
     if args.shards:
         engine, events_in = prepared_sharded_engine(
@@ -270,23 +287,31 @@ def _run_stream_command(argv: list[str]) -> int:
         engine, events_in = prepared_engine(
             workload, assigner, config=config, seed=args.seed
         )
-    started = time.perf_counter()
+    started = monotonic()
     try:
         engine.advance_to(float(workload.num_instances))
     finally:
         if args.shards:
             engine.close()
-    wall = time.perf_counter() - started
+    wall = monotonic() - started
     result = engine.result()
 
-    round_latencies = [i.cpu_seconds for i in result.instances]
-    mean_latency_ms = (
-        1000.0 * sum(round_latencies) / len(round_latencies) if round_latencies else 0.0
-    )
-    build_ms = 1000.0 * sum(i.build_seconds for i in result.instances)
+    # Phase accounting reads from the engine's metrics registry (the
+    # same measurements that populate InstanceMetrics — one timing
+    # source); the per-instance sums only back it up when metrics are
+    # disabled.
+    from repro.obs.export import phase_percentiles
+
+    phases = phase_percentiles(engine.metrics_registry)
+
+    def _mean_ms(phase: str, fallback_field: str) -> float:
+        if phase in phases:
+            return phases[phase]["mean"]
+        total = sum(getattr(i, fallback_field) for i in result.instances)
+        return 1000.0 * total / max(len(result.instances), 1)
+
+    mean_latency_ms = _mean_ms("round", "cpu_seconds")
     assign_ms = 1000.0 * sum(i.assign_seconds for i in result.instances)
-    select_ms = 1000.0 * sum(i.select_seconds for i in result.instances)
-    finalize_ms = 1000.0 * sum(i.finalize_seconds for i in result.instances)
     rounds_count = max(len(result.instances), 1)
     summary = {
         "scenario": args.scenario,
@@ -297,10 +322,11 @@ def _run_stream_command(argv: list[str]) -> int:
             if args.dense
             else ("delta" if args.delta and not args.shards else "sparse")
         ),
-        "mean_build_ms": build_ms / rounds_count,
+        "mean_build_ms": _mean_ms("build", "build_seconds"),
         "mean_assign_ms": assign_ms / rounds_count,
-        "mean_select_ms": select_ms / rounds_count,
-        "mean_finalize_ms": finalize_ms / rounds_count,
+        "mean_select_ms": _mean_ms("select", "select_seconds"),
+        "mean_finalize_ms": _mean_ms("finalize", "finalize_seconds"),
+        "phase_latencies": phases,
         "warm_select_enabled": args.warm_select,
         "shards": args.shards,
         "backend": args.backend if args.shards else "none",
@@ -334,6 +360,26 @@ def _run_stream_command(argv: list[str]) -> int:
         f"select {summary['mean_select_ms']:.2f} ms, "
         f"finalize {summary['mean_finalize_ms']:.2f} ms)"
     )
+    if phases:
+        detail = "  ".join(
+            f"{name} {p['p50']:.2f}/{p['p95']:.2f}/{p['p99']:.2f}"
+            for name, p in (
+                (n, phases[n])
+                for n in ("round", "build", "price", "select", "finalize")
+                if n in phases
+            )
+        )
+        print(f"  phase latency p50/p95/p99 ms: {detail}")
+    tile_hists = engine.metrics_registry.find("stream_tile_build_seconds")
+    if tile_hists:
+        parts = [
+            f"{dict(h.labels).get('tile', '?')}: {1000.0 * h.mean:.2f}"
+            for h in tile_hists
+        ]
+        reconcile = engine.metrics_registry.find("stream_reconcile_seconds")
+        if reconcile and reconcile[0].count:
+            parts.append(f"reconcile: {1000.0 * reconcile[0].mean:.2f}")
+        print(f"  tile build mean ms: {'  '.join(parts)}")
     select_stats = getattr(engine, "select_stats", None)
     if select_stats is not None:
         summary["warm_select"] = {
@@ -378,6 +424,14 @@ def _run_stream_command(argv: list[str]) -> int:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         args.json.write_text(json.dumps(summary, indent=2), encoding="utf-8")
         print(f"wrote {args.json}")
+    if args.metrics_out is not None:
+        from repro.obs.export import write_metrics_json
+
+        write_metrics_json(args.metrics_out, engine.metrics_registry)
+        print(f"wrote {args.metrics_out}")
+    if args.trace_out is not None:
+        engine.trace_recorder.write(args.trace_out)
+        print(f"wrote {args.trace_out}")
     return 0
 
 

@@ -22,13 +22,13 @@ it is load-bearing for D&C and RANDOM.
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.model.instance import ProblemInstance
+from repro.obs.metrics import monotonic
 from repro.model.pairs import CandidatePair
 
 
@@ -126,14 +126,14 @@ class Assigner(ABC):
         budget_current: float,
     ) -> AssignmentResult:
         """Shared tail: drop predicted pairs, enforce the hard budget."""
-        started = time.perf_counter()
+        started = monotonic()
         current_rows = finalize_selection(problem, selected_rows, budget_current)
         result = AssignmentResult(
             pairs=problem.pairs(current_rows),
             rows=current_rows,
             considered_rows=list(selected_rows),
         )
-        self.last_finalize_seconds = time.perf_counter() - started
+        self.last_finalize_seconds = monotonic() - started
         return result
 
 

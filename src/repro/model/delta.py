@@ -54,7 +54,6 @@ back triggers are observable through :class:`DeltaBuildStats`.
 
 from __future__ import annotations
 
-import time as _time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -72,6 +71,7 @@ from repro.model.instance import (
 )
 from repro.model.pairs import PairPool
 from repro.model.quality import QualityModel
+from repro.obs.metrics import monotonic
 from repro.model.sparse import (
     _EMPTY_IDX,
     SparseBuildStats,
@@ -389,7 +389,7 @@ class DeltaPoolBuilder:
         local: SparseBuildStats,
     ) -> np.ndarray:
         """Quality of new cache pairs (global positions this round)."""
-        started = _time.perf_counter()
+        started = monotonic()
         if self._by_ids is not None:
             values = np.asarray(
                 self._by_ids(self._w_ids[rows], self._t_ids[cols]), dtype=float
@@ -398,7 +398,7 @@ class DeltaPoolBuilder:
             values = _pair_quality(
                 self._quality_model, current_workers, current_tasks, rows, cols
             )
-        local.price_seconds += _time.perf_counter() - started
+        local.price_seconds += monotonic() - started
         return values
 
     def _join_worker_rows(

@@ -36,7 +36,6 @@ sample statistics are produced by the shared
 from __future__ import annotations
 
 import math
-import time as _time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -55,6 +54,7 @@ from repro.model.instance import (
     validate_predicted_flags,
 )
 from repro.model.pairs import PairPool
+from repro.obs.metrics import monotonic
 from repro.model.quality import QualityModel
 from repro.uncertainty.vector import (
     _interval_gap_vec,
@@ -630,12 +630,12 @@ def _price_distance(
     (elementwise, value-deterministic) along with mean/variance/upper.
     Accumulates its wall-clock into ``stats.price_seconds`` when given.
     """
-    started = _time.perf_counter()
+    started = monotonic()
     w_iv = tuple(axis[rows] for axis in w_intervals)
     t_iv = tuple(axis[cols] for axis in t_intervals)
     priced = distance_stats_aligned(w_iv, t_iv)
     if stats is not None:
-        stats.price_seconds += _time.perf_counter() - started
+        stats.price_seconds += monotonic() - started
     return priced
 
 
@@ -878,11 +878,11 @@ def build_problem_sparse(
     else:
         cc_rows = cc_cols = _EMPTY_IDX
         cc_dist = np.zeros(0)
-    _price_started = _time.perf_counter()
+    _price_started = monotonic()
     cc_quality = _pair_quality(
         quality_model, current_workers, current_tasks, cc_rows, cc_cols
     )
-    local.price_seconds += _time.perf_counter() - _price_started
+    local.price_seconds += monotonic() - _price_started
     if cc_rows.size:
         cost_cc = unit_cost * cc_dist
         zeros = np.zeros_like(cc_dist)

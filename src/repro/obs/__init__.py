@@ -1,0 +1,60 @@
+"""Unified observability layer: metrics, tracing, and export.
+
+Three parts, one substrate:
+
+- :mod:`repro.obs.metrics` — a :class:`~repro.obs.metrics.
+  MetricsRegistry` of counters, gauges and fixed-bucket histograms
+  with a near-zero-cost disabled path, plus p50/p95/p99 extraction.
+  It also owns the repo's *only* sanctioned monotonic clock
+  (:func:`~repro.obs.metrics.monotonic`): every phase timer in the
+  engines flows through it, so phase accounting cannot silently fork
+  (a repo-wide lint test enforces this).
+- :mod:`repro.obs.trace` — per-round span tracing exportable as
+  Chrome trace-event JSON (open ``chrome://tracing`` or
+  https://ui.perfetto.dev and load the file).
+- :mod:`repro.obs.export` — JSON snapshot and Prometheus-style text
+  exposition of a registry.
+
+:mod:`repro.obs.instrument` glues the three to the streaming engines:
+:class:`~repro.obs.instrument.StreamObserver` owns one registry + one
+recorder per engine and translates measured round phases and cache
+stats into histograms, counters, spans and instant events.
+
+The hard contract, differentially tested: observability never touches
+data, ordering or RNG — results are bit-identical with metrics and
+tracing on, off, or absent.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    monotonic,
+)
+from repro.obs.trace import TraceRecorder, validate_chrome_trace
+from repro.obs.export import (
+    phase_percentiles,
+    registry_snapshot,
+    to_prometheus_text,
+    validate_metrics_snapshot,
+)
+from repro.obs.instrument import RoundTimer, StreamObserver
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "monotonic",
+    "TraceRecorder",
+    "validate_chrome_trace",
+    "phase_percentiles",
+    "registry_snapshot",
+    "to_prometheus_text",
+    "validate_metrics_snapshot",
+    "RoundTimer",
+    "StreamObserver",
+]

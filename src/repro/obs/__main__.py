@@ -1,0 +1,61 @@
+"""Validate exported observability artifacts.
+
+Usage::
+
+    python -m repro.obs [--metrics metrics.json] [--trace trace.json]
+
+Each given file is loaded and run through the matching structural
+validator (:func:`~repro.obs.export.validate_metrics_snapshot`,
+:func:`~repro.obs.trace.validate_chrome_trace`).  Exit status 0 when
+every file validates, 1 otherwise, with problems printed one per
+line.  The CI smoke job runs this over the files the stream CLI
+wrote.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.export import validate_metrics_snapshot
+from repro.obs.trace import validate_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="validate metrics-snapshot and Chrome-trace JSON files",
+    )
+    parser.add_argument("--metrics", type=Path, help="metrics snapshot JSON")
+    parser.add_argument("--trace", type=Path, help="Chrome trace-event JSON")
+    args = parser.parse_args(argv)
+    if args.metrics is None and args.trace is None:
+        parser.error("nothing to validate: pass --metrics and/or --trace")
+
+    failures = 0
+    for path, validator, kind in (
+        (args.metrics, validate_metrics_snapshot, "metrics"),
+        (args.trace, validate_chrome_trace, "trace"),
+    ):
+        if path is None:
+            continue
+        try:
+            obj = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable {kind} file: {exc}")
+            failures += 1
+            continue
+        errors = validator(obj)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(f"{path}: {error}")
+        else:
+            print(f"{path}: {kind} OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

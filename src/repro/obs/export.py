@@ -1,0 +1,212 @@
+"""Registry export: JSON snapshot and Prometheus-style exposition.
+
+Two consumers, one source of truth (the registry):
+
+- :func:`registry_snapshot` — a JSON-ready dict of every instrument,
+  histograms carrying count/sum/mean/min/max plus p50/p95/p99 and
+  their cumulative buckets.  :func:`phase_percentiles` is the SLO view
+  of the same data: ``{phase: {p50, p95, p99, mean, count}}`` for the
+  ``stream_*_seconds`` phase histograms, in milliseconds.
+- :func:`to_prometheus_text` — the text exposition format (counters,
+  gauges, and ``_bucket``/``_sum``/``_count`` histogram series with
+  ``le`` labels), scrape-ready for a pull-based collector.
+
+:func:`validate_metrics_snapshot` is the schema check shared by the
+unit tests and ``python -m repro.obs`` (the CI smoke job runs it over
+the files the stream CLI wrote).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "registry_snapshot",
+    "phase_percentiles",
+    "to_prometheus_text",
+    "write_metrics_json",
+    "validate_metrics_snapshot",
+]
+
+#: Phase histogram names (registered by StreamObserver) and the short
+#: phase labels the SLO view reports them under.
+PHASE_HISTOGRAMS = {
+    "stream_round_seconds": "round",
+    "stream_build_seconds": "build",
+    "stream_price_seconds": "price",
+    "stream_select_seconds": "select",
+    "stream_finalize_seconds": "finalize",
+}
+
+QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def _labels_dict(instrument) -> dict[str, str]:
+    return dict(instrument.labels)
+
+
+def _histogram_record(h: Histogram) -> dict:
+    record = {
+        "count": h.count,
+        "sum": round(h.sum, 9),
+        "mean": round(h.mean, 9),
+        "min": round(h.min, 9) if h.count else None,
+        "max": round(h.max, 9) if h.count else None,
+        "buckets": [
+            [bound, sum(h.counts[: i + 1])] for i, bound in enumerate(h.bounds)
+        ]
+        + [["+Inf", h.count]],
+    }
+    for label, q in QUANTILES:
+        record[label] = round(h.percentile(q), 9)
+    return record
+
+
+def registry_snapshot(registry: MetricsRegistry) -> dict:
+    """Every instrument as a JSON-ready dict (empty when disabled)."""
+    counters: list[dict] = []
+    gauges: list[dict] = []
+    histograms: list[dict] = []
+    for instrument in registry.instruments():
+        base = {"name": instrument.name}
+        if instrument.labels:
+            base["labels"] = _labels_dict(instrument)
+        if isinstance(instrument, Counter):
+            counters.append({**base, "value": instrument.value})
+        elif isinstance(instrument, Gauge):
+            gauges.append({**base, "value": instrument.value})
+        elif isinstance(instrument, Histogram):
+            histograms.append({**base, **_histogram_record(instrument)})
+    return {
+        "schema": "repro.obs.metrics/v1",
+        "enabled": registry.enabled,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def phase_percentiles(registry: MetricsRegistry) -> dict[str, dict[str, float]]:
+    """p50/p95/p99/mean per phase, in milliseconds (the SLO view).
+
+    Only phases that have observations appear; an empty dict means the
+    registry is disabled or no round has run.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for name, phase in PHASE_HISTOGRAMS.items():
+        for h in registry.find(name):
+            if h.labels or h.count == 0:
+                continue  # labeled variants (per-tile) are not SLO phases
+            out[phase] = {
+                label: round(1000.0 * h.percentile(q), 6) for label, q in QUANTILES
+            }
+            out[phase]["mean"] = round(1000.0 * h.mean, 6)
+            out[phase]["count"] = h.count
+    return out
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+
+
+def _prom_labels(labels, extra: list[tuple[str, str]] | None = None) -> str:
+    items = list(labels) + (extra or [])
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of the registry (scrape-ready)."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for instrument in registry.instruments():
+        name = _prom_name(instrument.name)
+        if isinstance(instrument, Counter):
+            _type_line(name, "counter")
+            lines.append(f"{name}{_prom_labels(instrument.labels)} {instrument.value:g}")
+        elif isinstance(instrument, Gauge):
+            _type_line(name, "gauge")
+            lines.append(f"{name}{_prom_labels(instrument.labels)} {instrument.value:g}")
+        elif isinstance(instrument, Histogram):
+            _type_line(name, "histogram")
+            cumulative = 0
+            for bound, count in zip(instrument.bounds, instrument.counts):
+                cumulative += count
+                le = _prom_labels(instrument.labels, [("le", f"{bound:g}")])
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            le = _prom_labels(instrument.labels, [("le", "+Inf")])
+            lines.append(f"{name}_bucket{le} {instrument.count}")
+            suffix = _prom_labels(instrument.labels)
+            lines.append(f"{name}_sum{suffix} {instrument.sum:.9g}")
+            lines.append(f"{name}_count{suffix} {instrument.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_json(
+    path: str | Path, registry: MetricsRegistry, extra: dict | None = None
+) -> Path:
+    """Write the snapshot (plus optional caller fields) to ``path``."""
+    payload = registry_snapshot(registry)
+    if extra:
+        payload.update(extra)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return path
+
+
+def validate_metrics_snapshot(obj: dict) -> list[str]:
+    """Structural validation of a metrics snapshot (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return ["metrics snapshot is not a JSON object"]
+    if obj.get("schema") != "repro.obs.metrics/v1":
+        errors.append(f"unknown schema {obj.get('schema')!r}")
+    for section, value_required in (
+        ("counters", True),
+        ("gauges", True),
+        ("histograms", False),
+    ):
+        items = obj.get(section)
+        if not isinstance(items, list):
+            errors.append(f"missing {section!r} list")
+            continue
+        for item in items:
+            label = f"{section[:-1]} {item.get('name', '?')!r}"
+            if not isinstance(item.get("name"), str) or not item["name"]:
+                errors.append(f"{label}: missing name")
+            if value_required:
+                v = item.get("value")
+                if not isinstance(v, (int, float)) or not math.isfinite(v):
+                    errors.append(f"{label}: value {v!r} is not a finite number")
+            else:
+                if not isinstance(item.get("count"), int) or item["count"] < 0:
+                    errors.append(f"{label}: count must be a non-negative int")
+                for q_label, _ in QUANTILES:
+                    q = item.get(q_label)
+                    if not isinstance(q, (int, float)) or not math.isfinite(q) or q < 0:
+                        errors.append(
+                            f"{label}: {q_label} {q!r} is not a non-negative number"
+                        )
+                buckets = item.get("buckets")
+                if not isinstance(buckets, list) or not buckets:
+                    errors.append(f"{label}: missing buckets")
+                else:
+                    counts = [b[1] for b in buckets if isinstance(b, list)]
+                    if counts != sorted(counts):
+                        errors.append(f"{label}: bucket counts not cumulative")
+                    if counts and counts[-1] != item.get("count"):
+                        errors.append(f"{label}: +Inf bucket != total count")
+    return errors

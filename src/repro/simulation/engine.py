@@ -21,7 +21,6 @@ at ``p`` are scored against the actual new arrivals of ``p + 1``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,6 +30,7 @@ from repro.geo.grid import GridIndex
 from repro.geo.point import euclidean_distance
 from repro.model.entities import Task, Worker
 from repro.model.instance import build_problem
+from repro.obs.metrics import monotonic
 from repro.prediction.accuracy import average_relative_error
 from repro.prediction.grid_predictor import GridPredictor
 from repro.prediction.predictors import CountPredictor
@@ -139,7 +139,7 @@ class SimulationEngine:
         assignment_log: list[AssignmentRecord] = []
         for instance in range(num_instances):
             now = float(instance)
-            started = time.perf_counter()
+            started = monotonic()
 
             # (1) release workers whose travel finished before `now`.
             still_busy: list[tuple[float, Worker, Task]] = []
@@ -226,7 +226,7 @@ class SimulationEngine:
             )
             budget_future = config.budget if predicted_workers or predicted_tasks else 0.0
             result = self._assigner.assign(problem, config.budget, budget_future, rng)
-            elapsed = time.perf_counter() - started
+            elapsed = monotonic() - started
 
             # (5) book the outcome and advance the pools.
             assigned_worker_ids = {p.worker.id for p in result.pairs}

@@ -21,7 +21,6 @@ batch loop; the differential suite in
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,6 +35,9 @@ from repro.model.entities import Task, Worker
 from repro.model.instance import build_problem
 from repro.model.quality import QualityModel
 from repro.model.sparse import SparseBuildStats, build_problem_sparse
+from repro.obs.instrument import StreamObserver
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.prediction.accuracy import average_relative_error
 from repro.prediction.grid_predictor import GridPredictor
 from repro.prediction.predictors import CountPredictor
@@ -100,6 +102,15 @@ class StreamConfig:
             supplies a trusted row-origin map through the shared
             :class:`~repro.model.delta.ChurnRecord`, other builders
             fall back to self-diffing pair identities.
+        enable_metrics: record per-round phase histograms, counters
+            and gauges into the engine's :class:`~repro.obs.metrics.
+            MetricsRegistry`.  Observability never touches data,
+            ordering or RNG — results are bit-identical either way
+            (differentially tested); off hands out null instruments.
+        enable_tracing: record per-round spans and cache instants into
+            the engine's :class:`~repro.obs.trace.TraceRecorder`,
+            exportable as Chrome trace-event JSON.  Same bit-identical
+            contract; off by default because traces grow with rounds.
     """
 
     round_interval: float = 1.0
@@ -119,6 +130,8 @@ class StreamConfig:
     delta_slack: float = 0.0
     delta_rebuild_ratio: float = 0.5
     use_warm_select: bool = True
+    enable_metrics: bool = True
+    enable_tracing: bool = False
 
     def __post_init__(self) -> None:
         if self.round_interval <= 0.0:
@@ -242,6 +255,14 @@ class StreamingEngine:
         self._selection_state: SelectionState | None = (
             self._make_selection_state() if self._config.use_warm_select else None
         )
+        # Observability hub: the round loop always times its phases
+        # through the observer's RoundTimer (one clock, one set of
+        # measurements feeding both InstanceMetrics and the registry);
+        # recording is gated by the config flags.
+        self._observer = StreamObserver(
+            MetricsRegistry(self._config.enable_metrics),
+            TraceRecorder(self._config.enable_tracing),
+        )
 
     def _make_selection_state(self) -> SelectionState:
         """Build the persistent selection state (subclass hook).
@@ -280,6 +301,24 @@ class StreamingEngine:
         if self._selection_state is None:
             return None
         return self._selection_state.stats
+
+    @property
+    def observer(self) -> StreamObserver:
+        """The engine's observability hub (always present; recording
+        is gated by ``enable_metrics``/``enable_tracing``)."""
+        return self._observer
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The engine's metrics registry (null instruments when
+        ``enable_metrics`` is off)."""
+        return self._observer.metrics
+
+    @property
+    def trace_recorder(self) -> TraceRecorder:
+        """The engine's trace recorder (drops events when
+        ``enable_tracing`` is off)."""
+        return self._observer.trace
 
     @property
     def clock(self) -> float | None:
@@ -541,7 +580,7 @@ class StreamingEngine:
 
     def _run_round(self, now: float, round_index: int) -> None:
         config = self._config
-        started = _time.perf_counter()
+        timer = self._observer.begin_round(round_index, now)
 
         self._apply_due_events(now)
         self._flush_releases(now)
@@ -619,23 +658,27 @@ class StreamingEngine:
                 self._removed_worker_ids if self._journal_worker_churn else None
             ),
         )
-        build_started = _time.perf_counter()
+        timer.phase_start("build")
         problem = self._build_problem(now, predicted_workers, predicted_tasks, churn)
-        build_seconds = _time.perf_counter() - build_started
+        build_seconds = timer.phase_end("build")
         budget_future = (
             config.budget if predicted_workers or predicted_tasks else 0.0
         )
         if self._selection_state is not None:
             self._assigner.begin_round(problem, churn, self._selection_state)
         self._assigner.last_finalize_seconds = 0.0
-        assign_started = _time.perf_counter()
+        timer.phase_start("assign")
         result = self._assigner.assign(
             problem, config.budget, budget_future, self._rng
         )
-        assign_seconds = _time.perf_counter() - assign_started
+        assign_seconds = timer.phase_end("assign")
         finalize_seconds = min(self._assigner.last_finalize_seconds, assign_seconds)
         select_seconds = assign_seconds - finalize_seconds
-        elapsed = _time.perf_counter() - started
+        timer.record("select", select_seconds, start=timer.start_of("assign"))
+        timer.record(
+            "finalize", finalize_seconds, start=timer.start_of("assign") + select_seconds
+        )
+        elapsed = timer.finish()
 
         assigned_worker_ids = {p.worker.id for p in result.pairs}
         assigned_task_ids = {p.task.id for p in result.pairs}
@@ -700,4 +743,20 @@ class StreamingEngine:
                 select_seconds=select_seconds,
                 finalize_seconds=finalize_seconds,
             )
+        )
+        delta_stats = self.delta_stats
+        self._observer.end_round(
+            timer,
+            events_processed=self.events_processed,
+            num_workers=num_workers,
+            num_tasks=num_tasks,
+            num_pairs=problem.num_pairs,
+            assigned=result.num_assigned,
+            build_stats=self.build_stats,
+            delta_stats=delta_stats,
+            select_stats=self.select_stats,
+            warm_stats=getattr(self._assigner, "warm_stats", None),
+            cached_pairs=(
+                delta_stats.pairs_cached if delta_stats is not None else None
+            ),
         )

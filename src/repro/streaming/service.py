@@ -13,12 +13,13 @@ predicted candidate pairs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.base import Assigner
 from repro.geo.point import Point
 from repro.model.entities import Task, Worker
 from repro.model.quality import QualityModel
+from repro.obs.export import phase_percentiles, registry_snapshot, to_prometheus_text
 from repro.prediction.predictors import CountPredictor
 from repro.simulation.metrics import AssignmentRecord, SimulationResult
 from repro.streaming.engine import StreamConfig, StreamingEngine
@@ -39,6 +40,11 @@ class StreamSnapshot:
             touched (the output-sensitive work measure).
         dense_pairs_equivalent: pairs the dense builder would have
             materialized for the same rounds.
+        phase_latencies: per-phase latency percentiles from the
+            engine's metrics registry — ``{phase: {p50, p95, p99,
+            mean, count}}`` in milliseconds for the round/build/price/
+            select/finalize phases.  Empty when ``enable_metrics`` is
+            off or no round has run.
     """
 
     clock: float | None
@@ -51,6 +57,7 @@ class StreamSnapshot:
     total_cost: float
     candidate_pairs_examined: int
     dense_pairs_equivalent: int
+    phase_latencies: dict[str, dict[str, float]] = field(default_factory=dict)
 
 
 class StreamingService:
@@ -113,7 +120,19 @@ class StreamingService:
             total_cost=engine.total_cost,
             candidate_pairs_examined=engine.build_stats.candidates,
             dense_pairs_equivalent=engine.build_stats.dense_equivalent,
+            phase_latencies=phase_percentiles(engine.metrics_registry),
         )
+
+    def metrics_json(self) -> dict:
+        """The engine's full metrics registry as a JSON-ready dict
+        (``repro.obs.metrics/v1`` schema; empty instrument lists when
+        ``enable_metrics`` is off)."""
+        return registry_snapshot(self._engine.metrics_registry)
+
+    def metrics_prometheus(self) -> str:
+        """The engine's metrics registry in the Prometheus text
+        exposition format (scrape-ready)."""
+        return to_prometheus_text(self._engine.metrics_registry)
 
     def result(self) -> SimulationResult:
         """Full per-round metrics (the batch-compatible view)."""

@@ -286,6 +286,76 @@ class TestStreamingRules:
         )
         assert rc == 1
 
+    def _health_payload(
+        self,
+        delta_rate: float = 0.95,
+        repair_rate: float = 0.68,
+        accept_rate: float = 1.0,
+        overhead: float = 1.005,
+    ) -> dict:
+        payload = _streaming_payload(5000.0, 6.4)
+        payload["health"] = {
+            "delta_incremental_rate": delta_rate,
+            "delta_incremental_rate_floor": 0.85,
+            "warm_select_repair_rate": repair_rate,
+            "warm_select_repair_rate_floor": 0.5,
+            "hungarian_warm_accept_rate": accept_rate,
+            "hungarian_warm_accept_rate_floor": 0.5,
+            "metrics_overhead_ratio": overhead,
+            "metrics_overhead_ratio_ceil": 1.03,
+        }
+        return payload
+
+    def test_health_healthy_passes(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", self._health_payload())
+        _write(tmp_path / "fresh", "BENCH_streaming.json", self._health_payload(0.93))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"delta_rate": 0.7},     # prime/fallback storm in the delta cache
+            {"repair_rate": 0.3},    # warm selection regressed to cold primes
+            {"accept_rate": 0.2},    # Hungarian warm starts mostly rejected
+            {"overhead": 1.08},      # metrics layer got expensive
+        ],
+        ids=["delta-rate", "repair-rate", "accept-rate", "overhead"],
+    )
+    def test_health_regression_fails(self, checker, tmp_path, kwargs):
+        _write(tmp_path / "base", "BENCH_streaming.json", self._health_payload())
+        _write(
+            tmp_path / "fresh", "BENCH_streaming.json", self._health_payload(**kwargs)
+        )
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_missing_fresh_health_section_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", self._health_payload())
+        _write(tmp_path / "fresh", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
+    def test_health_missing_rate_figure_fails(self, checker, tmp_path):
+        _write(tmp_path / "base", "BENCH_streaming.json", self._health_payload())
+        broken = self._health_payload()
+        del broken["health"]["warm_select_repair_rate"]
+        _write(tmp_path / "fresh", "BENCH_streaming.json", broken)
+        rc = checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+        assert rc == 1
+
     def test_missing_baseline_passes(self, checker, tmp_path):
         (tmp_path / "base").mkdir()
         _write(tmp_path / "fresh", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
@@ -354,6 +424,21 @@ class TestAgainstCommittedBaselines:
             shutil.copy(REPO_ROOT / name, base / name)
         corrupted = json.loads((base / "BENCH_streaming.json").read_text())
         corrupted["no_prediction"]["events_per_second"] *= 10.0
+        (base / "BENCH_streaming.json").write_text(json.dumps(corrupted))
+        rc = checker.main(["--baseline", str(base), "--fresh", str(REPO_ROOT)])
+        assert rc == 1
+
+    def test_corrupted_health_baseline_fails(self, checker, tmp_path):
+        """Raising the recorded health floor above the repo's own fresh
+        rate must trip the gate — the proof the health checks bite on
+        the real committed file, not just synthetic payloads."""
+        base = tmp_path / "base"
+        base.mkdir()
+        for name in checker.BENCH_FILES:
+            shutil.copy(REPO_ROOT / name, base / name)
+        corrupted = json.loads((base / "BENCH_streaming.json").read_text())
+        assert "health" in corrupted, "committed baseline lost its health section"
+        corrupted["health"]["delta_incremental_rate_floor"] = 0.999
         (base / "BENCH_streaming.json").write_text(json.dumps(corrupted))
         rc = checker.main(["--baseline", str(base), "--fresh", str(REPO_ROOT)])
         assert rc == 1

@@ -158,6 +158,51 @@ class TestStreamCommand:
         assert summary["mean_select_ms"] >= 0.0
         assert summary["mean_finalize_ms"] >= 0.0
 
+    def test_stream_metrics_and_trace_out(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import validate_metrics_snapshot
+        from repro.obs.trace import validate_chrome_trace
+
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        summary_path = tmp_path / "stream.json"
+        assert main(
+            [
+                "stream",
+                "--scenario", "bursty",
+                "--workers", "60",
+                "--tasks", "60",
+                "--instances", "4",
+                "--round-interval", "0.5",
+                "--budget", "20",
+                "--seed", "3",
+                "--metrics-out", str(metrics_path),
+                "--trace-out", str(trace_path),
+                "--json", str(summary_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phase latency p50/p95/p99 ms:" in out
+        assert f"wrote {metrics_path}" in out
+        assert f"wrote {trace_path}" in out
+
+        metrics = json.loads(metrics_path.read_text())
+        assert validate_metrics_snapshot(metrics) == []
+        histogram_names = {h["name"] for h in metrics["histograms"]}
+        assert "stream_round_seconds" in histogram_names
+
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert {"round", "build", "select"} <= names
+
+        summary = json.loads(summary_path.read_text())
+        latencies = summary["phase_latencies"]
+        assert {"round", "build", "select", "finalize"} <= set(latencies)
+        for stats in latencies.values():
+            assert stats["p50"] <= stats["p95"] <= stats["p99"]
+
     def test_stream_sharded_citywide(self, capsys, tmp_path):
         import json
 
@@ -177,6 +222,7 @@ class TestStreamCommand:
         ) == 0
         out = capsys.readouterr().out
         assert "citywide / greedy / sparse / 4 shards (serial)" in out
+        assert "tile build mean ms:" in out
         summary = json.loads(path.read_text())
         assert summary["shards"] == 4
         assert summary["backend"] == "serial"

@@ -1,0 +1,67 @@
+"""Repo-wide clock lint: one sanctioned timing source.
+
+Phase accounting everywhere must flow through
+:func:`repro.obs.metrics.monotonic` so the observability layer sees
+every measurement (and the select/finalize/price views can never fork
+from the registry's histograms).  This test greps the source tree for
+raw ``time.perf_counter`` reads and fails on any outside the obs
+package itself.
+
+Allowlisted:
+
+- ``src/repro/obs/`` — the clock's home (it wraps perf_counter);
+- ``benchmarks/`` — the bench harness intentionally times *around*
+  the system under test with an independent clock, so a bug in the
+  obs layer cannot hide itself from the overhead measurements.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Assembled so this file never matches its own pattern.
+FORBIDDEN = "perf_" + "counter"
+
+ALLOWED_PREFIXES = (
+    REPO / "src" / "repro" / "obs",
+    REPO / "benchmarks",
+)
+
+
+def _python_sources() -> list[Path]:
+    files = []
+    for root in ("src", "tests", "benchmarks", "examples"):
+        base = REPO / root
+        if base.is_dir():
+            files.extend(sorted(base.rglob("*.py")))
+    assert files, "lint found no Python sources — repo layout changed?"
+    return files
+
+
+def test_perf_counter_only_in_obs_and_benchmarks():
+    offenders = []
+    for path in _python_sources():
+        if path == Path(__file__).resolve():
+            continue
+        if any(path.is_relative_to(prefix) for prefix in ALLOWED_PREFIXES):
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if FORBIDDEN in line:
+                offenders.append(f"{path.relative_to(REPO)}:{lineno}: {line.strip()}")
+    assert not offenders, (
+        "raw time.%s found outside repro.obs; use "
+        "repro.obs.metrics.monotonic() instead:\n" % FORBIDDEN
+        + "\n".join(offenders)
+    )
+
+
+def test_sanctioned_clock_exists_and_ticks():
+    from repro.obs.metrics import monotonic
+
+    a = monotonic()
+    b = monotonic()
+    assert b >= a

@@ -1,0 +1,181 @@
+"""Unit tests of the metrics registry, export and exposition formats."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.export import (
+    phase_percentiles,
+    registry_snapshot,
+    to_prometheus_text,
+    validate_metrics_snapshot,
+    write_metrics_json,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    latency_buckets,
+)
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        c = Counter("events")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("pool")
+        g.set(4)
+        g.set(2)
+        assert g.value == 2.0
+
+    def test_histogram_counts_and_moments(self):
+        h = Histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 10.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.counts == [1, 1, 1, 1]  # last is the +inf overflow
+        assert h.sum == pytest.approx(15.0)
+        assert h.mean == pytest.approx(3.75)
+        assert h.min == 0.5 and h.max == 10.0
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_percentiles_interpolated_and_clamped(self):
+        h = Histogram("lat", bounds=tuple(float(b) for b in range(1, 101)))
+        for v in range(1, 101):
+            h.observe(v - 0.5)
+        # Uniform over (0, 100): quantiles land within one bucket width.
+        assert h.percentile(0.50) == pytest.approx(50.0, abs=1.0)
+        assert h.percentile(0.95) == pytest.approx(95.0, abs=1.0)
+        assert h.percentile(0.99) == pytest.approx(99.0, abs=1.0)
+        # Clamped to the observed extremes, never the bucket edges.
+        assert h.percentile(0.0) >= h.min
+        assert h.percentile(1.0) <= h.max
+
+    def test_percentile_empty_and_invalid(self):
+        h = Histogram("lat")
+        assert h.percentile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_single_observation_every_quantile(self):
+        h = Histogram("lat")
+        h.observe(0.0123)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.percentile(q) == pytest.approx(0.0123)
+
+    def test_latency_buckets_geometric(self):
+        bounds = latency_buckets(1e-3, 1.0, per_decade=3)
+        assert bounds[0] == pytest.approx(1e-3)
+        assert bounds[-1] >= 1.0
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(10 ** (1 / 3), rel=1e-6) for r in ratios[:-1])
+        assert DEFAULT_LATENCY_BUCKETS[0] == pytest.approx(1e-4)
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 60.0
+
+
+class TestRegistry:
+    def test_instruments_created_once(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.counter("a", {"x": "1"}) is not r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+
+    def test_disabled_registry_is_null(self):
+        r = MetricsRegistry(enabled=False)
+        c = r.counter("a")
+        c.inc(5)
+        h = r.histogram("lat")
+        h.observe(1.0)
+        assert c.value == 0.0
+        assert h.percentile(0.5) == 0.0
+        assert r.instruments() == []
+        assert c is NULL_REGISTRY.counter("anything")  # shared null
+
+    def test_find_by_name(self):
+        r = MetricsRegistry()
+        r.histogram("lat", {"tile": "0"}).observe(1.0)
+        r.histogram("lat", {"tile": "1"}).observe(2.0)
+        r.counter("other")
+        assert [h.labels for h in r.find("lat")] == [
+            (("tile", "0"),),
+            (("tile", "1"),),
+        ]
+
+
+class TestExport:
+    def _populated(self) -> MetricsRegistry:
+        r = MetricsRegistry()
+        r.counter("stream_rounds_total").inc(3)
+        r.gauge("stream_available_workers").set(7)
+        for name in ("stream_round_seconds", "stream_build_seconds"):
+            h = r.histogram(name)
+            for v in (0.001, 0.002, 0.004):
+                h.observe(v)
+        return r
+
+    def test_snapshot_schema_and_validation(self):
+        snap = registry_snapshot(self._populated())
+        assert snap["schema"] == "repro.obs.metrics/v1"
+        assert validate_metrics_snapshot(snap) == []
+        [c] = snap["counters"]
+        assert (c["name"], c["value"]) == ("stream_rounds_total", 3.0)
+        h = snap["histograms"][0]
+        assert h["count"] == 3
+        assert h["buckets"][-1] == ["+Inf", 3]
+
+    def test_snapshot_roundtrips_through_json(self, tmp_path):
+        path = write_metrics_json(tmp_path / "m.json", self._populated())
+        loaded = json.loads(path.read_text())
+        assert validate_metrics_snapshot(loaded) == []
+
+    def test_validation_rejects_corruption(self):
+        snap = registry_snapshot(self._populated())
+        snap["histograms"][0]["buckets"][0][1] = 10**9  # not cumulative
+        assert validate_metrics_snapshot(snap)
+        assert validate_metrics_snapshot({"schema": "nope"})
+        bad = registry_snapshot(self._populated())
+        bad["counters"][0]["value"] = math.nan
+        assert validate_metrics_snapshot(bad)
+
+    def test_phase_percentiles_names_and_units(self):
+        p = phase_percentiles(self._populated())
+        assert set(p) == {"round", "build"}
+        for stats in p.values():
+            assert set(stats) == {"p50", "p95", "p99", "mean", "count"}
+            assert 1.0 <= stats["p50"] <= 4.0  # milliseconds, not seconds
+            assert stats["p50"] <= stats["p95"] <= stats["p99"]
+        assert phase_percentiles(MetricsRegistry(enabled=False)) == {}
+
+    def test_prometheus_exposition(self):
+        text = to_prometheus_text(self._populated())
+        assert "# TYPE stream_rounds_total counter" in text
+        assert "stream_rounds_total 3" in text
+        assert "# TYPE stream_available_workers gauge" in text
+        assert "# TYPE stream_round_seconds histogram" in text
+        assert 'stream_round_seconds_bucket{le="+Inf"} 3' in text
+        assert "stream_round_seconds_count 3" in text
+        # bucket series are cumulative
+        lines = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("stream_round_seconds_bucket")
+        ]
+        assert lines == sorted(lines)
