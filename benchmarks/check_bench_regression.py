@@ -14,7 +14,12 @@ The job fails when:
   these are machine-independent and carry no tolerance, or
 - an observability ``health`` rate (delta incremental, warm-select
   repair, Hungarian warm accept) falls below its recorded floor, or
-  the metrics-layer overhead ratio exceeds its recorded ceiling.
+  the metrics-layer overhead ratio exceeds its recorded ceiling, or
+- a sharded variant's ``ipc_bytes_per_round`` exceeds the ceiling
+  recorded in the baseline (round messages regressing from churn
+  deltas back to full pools), or — on a scaling-asserted fresh run
+  with at least 4 cores — the K=4 process backend falls below the
+  recorded ``scaling_floor``.
 
 A baseline file that does not exist passes with a note (first run); a
 *fresh* file that does not exist fails, because that means the bench
@@ -292,40 +297,107 @@ def check_streaming(
     errors.extend(_check_delta_section(baseline, fresh, tolerance))
     errors.extend(_check_warm_select_section(baseline, fresh, tolerance))
     errors.extend(_check_health_section(baseline, fresh))
+    errors.extend(_check_sharded_section(baseline, fresh, tolerance))
+    return errors
+
+
+#: Cores a machine needs before the absolute parallel-scaling floor is
+#: armed — below this, process-backend speedup is scheduler noise.
+_SCALING_MIN_CORES = 4
+
+
+def _check_sharded_section(
+    baseline: dict, fresh: dict, tolerance: float
+) -> list[str]:
+    """Guards for the sharded-scaling section.
+
+    Three machine-independence tiers: the serial round throughput gets
+    the relative drop rule; the per-variant ``ipc_bytes_per_round`` is
+    deterministic for a seeded scenario and is checked against the
+    ceiling *recorded in the baseline* with no tolerance (round
+    messages regressing from churn deltas back to full pools is a
+    many-orders-of-magnitude jump); and the absolute K=4 process
+    scaling floor is armed only when the fresh run itself asserted
+    scaling (``scaling_asserted`` on a machine with at least
+    ``_SCALING_MIN_CORES`` cores) — a laptop run records its numbers
+    without being held to a parallelism bar it cannot reach.
+    """
+    errors: list[str] = []
     base_sharded = baseline.get("sharded")
     fresh_sharded = fresh.get("sharded")
-    if base_sharded is not None and fresh_sharded is None:
+    if base_sharded is None:
+        return errors
+    if fresh_sharded is None:
         errors.append(
             "streaming: the baseline has a 'sharded' section but the fresh "
             "results do not — the scaling bench silently stopped running"
         )
-    if base_sharded is not None and fresh_sharded is not None:
-        _check_drop(
-            errors,
-            "streaming sharded serial: rounds_per_second",
-            fresh_sharded["serial"]["rounds_per_second"],
-            base_sharded["serial"]["rounds_per_second"],
-            tolerance,
-        )
-        # The parallel speedup trajectory is only comparable between
-        # machines with the same core budget.
-        if (
-            base_sharded.get("scaling_asserted")
-            and fresh_sharded.get("scaling_asserted")
-            and fresh_sharded.get("cpu_count") == base_sharded.get("cpu_count")
-        ):
-            for label, base_variant in base_sharded.get("variants", {}).items():
-                fresh_variant = fresh_sharded.get("variants", {}).get(label)
-                if fresh_variant is None:
-                    errors.append(f"streaming sharded: fresh results miss {label!r}")
-                    continue
-                _check_drop(
-                    errors,
-                    f"streaming sharded {label}: speedup_vs_serial",
-                    fresh_variant["speedup_vs_serial"],
-                    base_variant["speedup_vs_serial"],
-                    tolerance,
-                )
+        return errors
+    _check_drop(
+        errors,
+        "streaming sharded serial: rounds_per_second",
+        fresh_sharded["serial"]["rounds_per_second"],
+        base_sharded["serial"]["rounds_per_second"],
+        tolerance,
+    )
+    ipc_ceil = base_sharded.get("ipc_bytes_per_round_ceil")
+    for label, base_variant in base_sharded.get("variants", {}).items():
+        fresh_variant = fresh_sharded.get("variants", {}).get(label)
+        if fresh_variant is None:
+            continue  # missing variants are caught by the speedup walk
+        if ipc_ceil is None or base_variant.get("ipc_bytes_per_round") is None:
+            continue
+        ipc = fresh_variant.get("ipc_bytes_per_round")
+        if ipc is None:
+            errors.append(
+                f"streaming sharded {label}: fresh results miss "
+                "ipc_bytes_per_round — the IPC accounting silently "
+                "stopped being measured"
+            )
+        elif ipc > ipc_ceil:
+            errors.append(
+                f"streaming sharded {label}: ipc_bytes_per_round {ipc} "
+                f"exceeds the recorded ceiling {ipc_ceil} — round "
+                "messages regressed toward full pools"
+            )
+    floor = base_sharded.get("scaling_floor")
+    if (
+        floor is not None
+        and fresh_sharded.get("scaling_asserted")
+        and fresh_sharded.get("cpu_count", 0) >= _SCALING_MIN_CORES
+    ):
+        k4 = fresh_sharded.get("variants", {}).get("K4_process")
+        speedup = None if k4 is None else k4.get("speedup_vs_serial")
+        if speedup is None:
+            errors.append(
+                "streaming sharded: fresh results assert scaling but miss "
+                "the K4_process speedup_vs_serial figure"
+            )
+        elif speedup < floor:
+            errors.append(
+                f"streaming sharded K4_process: speedup_vs_serial {speedup} "
+                f"fell below the recorded scaling floor {floor} on a "
+                f"{fresh_sharded['cpu_count']}-core scaling-asserted run"
+            )
+    # The relative speedup trajectory is only comparable between
+    # machines with the same core budget.
+    if (
+        base_sharded.get("scaling_asserted")
+        and fresh_sharded.get("scaling_asserted")
+        and fresh_sharded.get("cpu_count") == base_sharded.get("cpu_count")
+    ):
+        for label, base_variant in base_sharded.get("variants", {}).items():
+            fresh_variant = fresh_sharded.get("variants", {}).get(label)
+            if fresh_variant is None:
+                errors.append(f"streaming sharded: fresh results miss {label!r}")
+                continue
+            _check_drop(
+                errors,
+                f"streaming sharded {label}: speedup_vs_serial",
+                fresh_variant["speedup_vs_serial"],
+                base_variant["speedup_vs_serial"],
+                tolerance,
+            )
     return errors
 
 

@@ -262,6 +262,14 @@ def test_stream_throughput(benchmark):
 SCALING_FLOOR = 1.8
 _SCALING_MIN_CORES = 4
 
+#: Mean pipe bytes per round the process backend may spend once the
+#: fused pipeline is steady (churn deltas + array descriptors only —
+#: the pools themselves travel through shared memory).  Recorded in
+#: the sharded section so the regression gate can hold the line: a
+#: change that regresses the round messages back to full pickled
+#: pools blows through this by orders of magnitude.
+IPC_BYTES_PER_ROUND_CEIL = 4_000_000
+
 #: The citywide scenario is built to be spatially decomposable: four
 #: dense far-apart pockets, small reachability radii, a budget low
 #: enough that candidate generation/pricing — the sharded phase —
@@ -310,6 +318,7 @@ def _run_citywide(params: WorkloadParams, sharding: ShardingConfig | None) -> di
     started = time.perf_counter()
     try:
         engine.advance_to(float(workload.num_instances))
+        ipc_total = int(getattr(engine, "ipc_bytes_total", 0))
     finally:
         if sharding is not None:
             engine.close()
@@ -324,6 +333,7 @@ def _run_citywide(params: WorkloadParams, sharding: ShardingConfig | None) -> di
         "rounds_per_second": 1.0 / mean_latency,
         "assignments": result.total_assigned,
         "total_quality": result.total_quality,
+        "ipc_bytes_per_round": ipc_total // max(1, len(latencies)),
     }
 
 
@@ -386,10 +396,18 @@ def test_sharded_citywide_scaling():
             "mean_round_latency_ms": round(run["mean_round_latency_ms"], 3),
             "rounds_per_second": round(run["rounds_per_second"], 3),
             "speedup_vs_serial": round(speedup, 3),
+            "ipc_bytes_per_round": run["ipc_bytes_per_round"],
         }
+        if backend == "process":
+            assert run["ipc_bytes_per_round"] <= IPC_BYTES_PER_ROUND_CEIL, (
+                f"{label}: {run['ipc_bytes_per_round']} pipe bytes/round — "
+                "round messages regressed toward full pools (ceiling "
+                f"{IPC_BYTES_PER_ROUND_CEIL})"
+            )
         print(
             f"{label}: mean round {run['mean_round_latency_ms']:.1f} ms "
-            f"({speedup:.2f}x serial)"
+            f"({speedup:.2f}x serial, "
+            f"{run['ipc_bytes_per_round']} ipc B/round)"
         )
 
     scaling_asserted = cpus >= _SCALING_MIN_CORES
@@ -410,6 +428,7 @@ def test_sharded_citywide_scaling():
                 mean_round_latency_ms=round(retry["mean_round_latency_ms"], 3),
                 rounds_per_second=round(retry["rounds_per_second"], 3),
                 speedup_vs_serial=round(speedup, 3),
+                ipc_bytes_per_round=retry["ipc_bytes_per_round"],
             )
     merge_bench_json(
         "streaming",
@@ -435,6 +454,7 @@ def test_sharded_citywide_scaling():
             "cpu_count": cpus,
             "scaling_floor": SCALING_FLOOR,
             "scaling_asserted": scaling_asserted,
+            "ipc_bytes_per_round_ceil": IPC_BYTES_PER_ROUND_CEIL,
             "serial": {
                 "mean_round_latency_ms": round(serial["mean_round_latency_ms"], 3),
                 "rounds_per_second": round(serial["rounds_per_second"], 3),

@@ -264,6 +264,16 @@ def _run_stream_command(argv: list[str]) -> int:
     if args.delta_slack < 0.0:
         print("--delta-slack must be >= 0", file=sys.stderr)
         return 2
+    if args.shards and args.delta and args.delta_slack > 0.0:
+        # An unsupported combination must fail loudly, not silently
+        # fall back: per-tile delta pools have no motion slack.
+        print(
+            "--delta-slack needs the unsharded engine: per-tile delta "
+            "pools do not support motion slack (drop --shards, or add "
+            "--no-delta / --delta-slack 0)",
+            file=sys.stderr,
+        )
+        return 2
     config = StreamConfig(
         round_interval=args.round_interval,
         budget=args.budget,
@@ -318,9 +328,7 @@ def _run_stream_command(argv: list[str]) -> int:
         "algorithm": args.algorithm,
         "round_interval": args.round_interval,
         "builder": (
-            "dense"
-            if args.dense
-            else ("delta" if args.delta and not args.shards else "sparse")
+            "dense" if args.dense else ("delta" if args.delta else "sparse")
         ),
         "mean_build_ms": _mean_ms("build", "build_seconds"),
         "mean_assign_ms": assign_ms / rounds_count,

@@ -654,11 +654,17 @@ class SelectionState:
 
     - **trusted**: a :class:`~repro.model.delta.ChurnRecord` whose
       ``row_origin`` maps each new pool row to the previous round's
-      row (produced by ``DeltaPoolBuilder``);
+      row.  ``DeltaPoolBuilder`` emits it directly; the fused round
+      pipeline (``repro.streaming.pipeline``, the serial *and*
+      sharded engines' default build path) composes it from the
+      per-tile builders' emission-local origins — each tile's entity
+      lists are monotone subsequences of the global ones, so the
+      merged pool's rank order embeds every tile's, and the composed
+      map is exactly what a whole-pool builder would have produced;
     - **self-diff**: current-current rows are matched by packed
       ``(worker_id, task_id)`` identity against the previous round's,
-      which needs no builder cooperation (sharded and ``--no-delta``
-      engines use this mode).
+      which needs no builder cooperation (the ``--no-delta`` fresh
+      path uses this mode).
 
     Either way every matched row's order-determining columns are
     verified against the cached copies and mismatches are demoted to

@@ -59,6 +59,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.geo.grid import GridIndex
 from repro.geo.spatial_index import SpatialIndex
 from repro.model.entities import Task, Worker
 from repro.model.instance import (
@@ -120,6 +121,114 @@ class ChurnRecord:
     worker_removed_ids: Sequence[int] | None = None
     row_origin: np.ndarray | None = None
     prev_pool_rows: int = -1
+
+
+@dataclass
+class PredictedWorkerColumns:
+    """Packed per-round predicted-worker columns (no entity objects).
+
+    The partition-emission path (:meth:`DeltaPoolBuilder.
+    emit_partition`) consumes predicted entities as plain arrays so a
+    process-backend shard worker can run the predicted families from a
+    shared-memory view without ever unpickling ``Worker`` objects.
+    Built once per round by :func:`predicted_worker_columns`.
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    vel: np.ndarray
+    arr: np.ndarray
+    intervals: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    reach: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.xs.size)
+
+    def take(self, rows: np.ndarray) -> "PredictedWorkerColumns":
+        """The aligned subset at ``rows`` (a tile's owned entities)."""
+        return PredictedWorkerColumns(
+            xs=self.xs[rows],
+            ys=self.ys[rows],
+            vel=self.vel[rows],
+            arr=self.arr[rows],
+            intervals=tuple(a[rows] for a in self.intervals),
+            reach=self.reach[rows],
+        )
+
+
+@dataclass
+class PredictedTaskColumns:
+    """Packed per-round predicted-task columns (no entity objects)."""
+
+    xs: np.ndarray
+    ys: np.ndarray
+    deadline: np.ndarray
+    arr: np.ndarray
+    intervals: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    reach: np.ndarray
+    deadline_max: float
+    max_reach: float
+
+    @property
+    def size(self) -> int:
+        return int(self.xs.size)
+
+
+def predicted_worker_columns(predicted_workers) -> PredictedWorkerColumns | None:
+    """Pack one round's predicted workers into plain arrays."""
+    if not predicted_workers:
+        return None
+    intervals = _box_intervals(predicted_workers)
+    xs, ys, vel, arr = _worker_columns(predicted_workers)
+    return PredictedWorkerColumns(
+        xs=xs, ys=ys, vel=vel, arr=arr,
+        intervals=intervals, reach=_reach(intervals, xs, ys),
+    )
+
+
+def predicted_task_columns(predicted_tasks) -> PredictedTaskColumns | None:
+    """Pack one round's predicted tasks into plain arrays."""
+    if not predicted_tasks:
+        return None
+    xs, ys, deadline, arr = _task_columns(predicted_tasks)
+    intervals = _box_intervals(predicted_tasks)
+    reach = _reach(intervals, xs, ys)
+    return PredictedTaskColumns(
+        xs=xs, ys=ys, deadline=deadline, arr=arr,
+        intervals=intervals, reach=reach,
+        deadline_max=float(deadline.max()),
+        max_reach=float(reach.max()),
+    )
+
+
+@dataclass
+class PartitionEmission:
+    """One partition's half of a fused round build.
+
+    The raw material :func:`repro.streaming.pipeline` assembles into a
+    global :class:`ProblemInstance`: the partition's revalidated
+    current×current triplets (local row/column indices into the
+    partition's own worker/task lists) plus the index pairs of the
+    always-fresh predicted families, with pricing and Section III-B
+    coupling deferred to the global reconcile pass — the same division
+    of labor as the sharded builder's phase 1 / phase 2 split, which is
+    what makes the merged output bit-identical to the serial builders.
+    ``prev_origin`` maps each cc row to the rank it held in this
+    partition's previous emission (or ``-1``), letting the parent
+    compose a trusted global row-origin map for warm selection.
+    """
+
+    cc_rows: np.ndarray = None
+    cc_cols: np.ndarray = None
+    cc_dist: np.ndarray = None
+    cc_quality: np.ndarray = None
+    prev_origin: np.ndarray = None
+    pw_ct: tuple = (None, None)
+    cw_pt: tuple = (None, None)
+    pw_pt: tuple = (None, None)
+    incremental: bool = False
+    build_seconds: float = 0.0
 
 
 @dataclass
@@ -194,6 +303,12 @@ class DeltaPoolBuilder:
             mutation journal and grid resolution are consumed; the
             entity lists passed to :meth:`build` stay authoritative,
             and any disagreement between the two triggers a re-prime.
+            ``None`` runs the builder in **external-journal mode**
+            (``index_gamma`` then required): nothing is subscribed and
+            the caller feeds each round's pre-split mutation ops to
+            :meth:`repair`/:meth:`build` itself — the mode the fused
+            per-tile round pipelines drive, where one parent-side
+            splitter fans a single index journal out to many builders.
         slack: motion slack in unit-square distance.  ``0.0`` (the
             engine default — its entities never move) keeps joins
             exact; a positive slack lets entities drift up to it from
@@ -212,7 +327,7 @@ class DeltaPoolBuilder:
         self,
         quality_model: QualityModel,
         unit_cost: float,
-        task_index: SpatialIndex,
+        task_index: SpatialIndex | None,
         *,
         discount_by_existence: bool = True,
         reservation_filter: bool = True,
@@ -232,15 +347,18 @@ class DeltaPoolBuilder:
             raise ValueError(
                 f"rebuild_churn_ratio must be in (0, 1], got {rebuild_churn_ratio}"
             )
+        if task_index is None and not index_gamma:
+            raise ValueError("external-journal mode (task_index=None) needs index_gamma")
         self._quality_model = quality_model
         self._unit_cost = float(unit_cost)
         self._index = task_index
-        self._log = task_index.subscribe()
+        self._log = task_index.subscribe() if task_index is not None else None
         self._discount = discount_by_existence
         self._reservation = reservation_filter
         self._future_future = include_future_future_pairs
         self._exact_predicted = exact_predicted_quality
         self._gamma = index_gamma or task_index.grid.gamma
+        self._empty_grid = task_index.grid if task_index is not None else GridIndex(self._gamma)
         self._slack = float(slack)
         self._churn_ratio = float(rebuild_churn_ratio)
         self._static_queries = assume_static_queries
@@ -272,11 +390,11 @@ class DeltaPoolBuilder:
         self._t_id_set: set[int] = set()
         self._tx = self._ty = self._tdl = self._tarr = _EMPTY_F
         self._t_ax = self._t_ay = _EMPTY_F
-        self._csr = _CandidateCSR.empty(self._index.grid)
+        self._csr = _CandidateCSR.empty(self._empty_grid)
         # Worker-side CSR: lets the <w, t_hat> family run *transposed*
         # (few predicted-task queries against the cached worker
         # buckets) instead of re-bucketing every worker each round.
-        self._w_csr = _CandidateCSR.empty(self._index.grid)
+        self._w_csr = _CandidateCSR.empty(self._empty_grid)
         self._p_w = self._p_t = _EMPTY_IDX
         self._p_dist = self._p_qual = _EMPTY_F
         # Per cached pair: its row in the previous *emission*, or -1.
@@ -778,6 +896,50 @@ class DeltaPoolBuilder:
 
     # -- the round ----------------------------------------------------------
 
+    def repair(
+        self,
+        current_workers: Sequence[Worker],
+        current_tasks: Sequence[Task],
+        now: float,
+        worker_arrivals: Sequence[Worker] | None = None,
+        worker_removed_ids: Sequence[int] | None = None,
+        ops=None,
+        local: SparseBuildStats | None = None,
+    ) -> bool:
+        """Bring the cache up to date with one round's churn.
+
+        Drains the subscribed journal (or consumes the caller-split
+        ``ops`` batch in external-journal mode; ``None`` there means
+        "cannot trust the feed" and forces a re-prime, the analogue of
+        a journal overflow), applies the deltas, and falls back to a
+        full prime whenever the incremental path cannot be trusted.
+        Returns ``True`` when the round was served incrementally.
+        """
+        if local is None:
+            local = SparseBuildStats()
+        if self._log is not None:
+            ops, overflowed = self._log.drain()
+        else:
+            overflowed = ops is None
+            if ops is None:
+                ops = []
+        incremental = (
+            self._primed
+            and not overflowed
+            and now >= self._last_now
+            and self._apply_deltas(
+                ops, worker_arrivals, worker_removed_ids,
+                current_workers, current_tasks, now, local,
+            )
+        )
+        if not incremental:
+            self._prime(current_workers, current_tasks, now, local)
+        else:
+            self.delta_stats.incremental_rounds += 1
+        self.delta_stats.rounds += 1
+        self._last_now = now
+        return incremental
+
     def build(
         self,
         current_workers: Sequence[Worker],
@@ -788,6 +950,7 @@ class DeltaPoolBuilder:
         worker_arrivals: Sequence[Worker] | None = None,
         worker_removed_ids: Sequence[int] | None = None,
         churn: ChurnRecord | None = None,
+        ops=None,
     ) -> ProblemInstance:
         """One round's problem, repaired from the cached pool.
 
@@ -821,23 +984,13 @@ class DeltaPoolBuilder:
         if self._future_future:
             local.dense_equivalent += k * l
 
-        ops, overflowed = self._log.drain()
-
-        incremental = (
-            self._primed
-            and not overflowed
-            and now >= self._last_now
-            and self._apply_deltas(
-                ops, worker_arrivals, worker_removed_ids,
-                current_workers, current_tasks, now, local,
-            )
+        self.repair(
+            current_workers, current_tasks, now,
+            worker_arrivals=worker_arrivals,
+            worker_removed_ids=worker_removed_ids,
+            ops=ops,
+            local=local,
         )
-        if not incremental:
-            self._prime(current_workers, current_tasks, now, local)
-        else:
-            self.delta_stats.incremental_rounds += 1
-        self.delta_stats.rounds += 1
-        self._last_now = now
 
         instance = self._emit(
             current_workers, current_tasks, predicted_workers, predicted_tasks,
@@ -853,26 +1006,15 @@ class DeltaPoolBuilder:
 
     # -- emission (mirrors build_problem_sparse family for family) ----------
 
-    def _emit(
-        self,
-        current_workers: Sequence[Worker],
-        current_tasks: Sequence[Task],
-        predicted_workers: Sequence[Worker],
-        predicted_tasks: Sequence[Task],
-        now: float,
-        n: int,
-        m: int,
-        k: int,
-        l: int,
-        local: SparseBuildStats,
-        churn: ChurnRecord | None = None,
-    ) -> ProblemInstance:
-        unit_cost = self._unit_cost
-        quality_model = self._quality_model
-        pools: list[PairPool] = []
-        prior = quality_model.prior()
+    def _sweep_current(self, now: float, local: SparseBuildStats):
+        """One exact revalidation sweep over the cached cc pairs.
 
-        # ---- current x current: one exact revalidation sweep --------------
+        Returns ``(rows, cols, dist, quality, prev_origin)`` — the
+        valid current×current triplets in canonical order plus each
+        emitted row's rank in the previous emission — and rolls the
+        per-pair origins forward to this emission's ranks (purging the
+        proven-dead pairs when joins are exact).
+        """
         if self._p_w.size:
             departure = np.maximum(
                 now, np.maximum(self._warr[self._p_w], self._tarr[self._p_t])
@@ -910,6 +1052,151 @@ class DeltaPoolBuilder:
             cc_dist = cc_quality = _EMPTY_F
             prev_origin = _EMPTY_IDX
         local.candidates += int(cc_rows.size)
+        return cc_rows, cc_cols, cc_dist, cc_quality, prev_origin
+
+    def _join_current_predicted_tasks(
+        self,
+        ptx: np.ndarray,
+        pty: np.ndarray,
+        pt_deadline: np.ndarray,
+        pt_arr: np.ndarray,
+        pt_intervals,
+        pt_reach: np.ndarray,
+        now: float,
+        local: SparseBuildStats,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``<w, t_hat>`` family against the cached worker CSR.
+
+        Transposed join: the few predicted tasks query the cached
+        worker buckets, so the per-round cost scales with the
+        prediction volume instead of the standing worker pool.  The
+        gather stays a superset (the radius covers the fastest worker
+        over each task's horizon plus the kernel reach and the motion
+        slack), and the exact validity predicate runs the same float
+        arithmetic as ``_uncertain_pairs_batched`` on the same
+        operands, so the surviving pairs — and their canonical
+        ``(row, col)`` order — are identical to the query-by-worker
+        orientation.  Pricing is deferred, as everywhere.
+        """
+        pt_hb = np.maximum(0.0, pt_deadline - np.maximum(now, pt_arr))
+        vel_max = float(self._wvel.max())
+        radius = vel_max * pt_hb + pt_reach + 3.0 * self._slack
+        t_rows, w_cols = self._w_csr.join(ptx, pty, radius, local)
+        if t_rows.size == 0:
+            return _EMPTY_IDX, _EMPTY_IDX
+        local.gathered += int(t_rows.size)
+        departure = np.maximum(
+            now, np.maximum(self._warr[w_cols], pt_arr[t_rows])
+        )
+        horizon = pt_deadline[t_rows] - departure
+        wx_g = self._wx[w_cols]
+        wy_g = self._wy[w_cols]
+        d_lb = np.hypot(
+            _interval_gap_vec(
+                wx_g, wx_g, pt_intervals[0][t_rows], pt_intervals[1][t_rows]
+            ),
+            _interval_gap_vec(
+                wy_g, wy_g, pt_intervals[2][t_rows], pt_intervals[3][t_rows]
+            ),
+        )
+        valid = (horizon > 0.0) & (d_lb <= horizon * self._wvel[w_cols])
+        rows, cols = w_cols[valid], t_rows[valid]
+        local.candidates += int(rows.size)
+        if rows.size == 0:
+            return _EMPTY_IDX, _EMPTY_IDX
+        order = np.lexsort((cols, rows))
+        return rows[order], cols[order]
+
+    def emit_partition(
+        self,
+        now: float,
+        predicted_workers: PredictedWorkerColumns | None = None,
+        predicted_tasks: PredictedTaskColumns | None = None,
+        local: SparseBuildStats | None = None,
+    ) -> PartitionEmission:
+        """This partition's families, raw, for a global reconcile pass.
+
+        The fused round pipeline's emission half: the revalidated
+        current×current triplets (cached distances and qualities,
+        local indices) plus the index pairs of the predicted families
+        joined against the cached CSRs — no Section III-B statistics,
+        no coupling, no pricing.  Those are genuinely global and run
+        once in the parent's reconcile pass over the merged triplets,
+        exactly like ``build_problem_sharded`` phase 2, which is what
+        keeps the assembled pool bit-identical to the serial builders.
+
+        Call :meth:`repair` first; predicted entities arrive as packed
+        columns (:func:`predicted_worker_columns`/
+        :func:`predicted_task_columns`) so shard workers can source
+        them from shared memory without object serialization.
+        """
+        started = monotonic()
+        if local is None:
+            local = SparseBuildStats()
+        out = PartitionEmission()
+        out.cc_rows, out.cc_cols, out.cc_dist, out.cc_quality, out.prev_origin = (
+            self._sweep_current(now, local)
+        )
+        pw = predicted_workers
+        pt = predicted_tasks
+        out.pw_ct = (_EMPTY_IDX, _EMPTY_IDX)
+        out.cw_pt = (_EMPTY_IDX, _EMPTY_IDX)
+        out.pw_pt = (_EMPTY_IDX, _EMPTY_IDX)
+        if pw is not None and pw.size and self._t_ids.size:
+            t_intervals = (self._tx, self._tx, self._ty, self._ty)
+            rows, cols, _ = _uncertain_pairs_batched(
+                self._csr, pw.xs, pw.ys, pw.vel, pw.arr, pw.intervals, pw.reach,
+                t_intervals, self._tdl, self._tarr, float(self._tdl.max()),
+                3.0 * self._slack,
+                now, local,
+            )
+            out.pw_ct = (rows, cols)
+        if pt is not None and pt.size and self._w_ids.size:
+            out.cw_pt = self._join_current_predicted_tasks(
+                pt.xs, pt.ys, pt.deadline, pt.arr, pt.intervals, pt.reach,
+                now, local,
+            )
+        if (
+            pw is not None and pw.size
+            and pt is not None and pt.size
+            and self._future_future
+        ):
+            pt_csr = _CandidateCSR.from_coordinates(pt.xs, pt.ys, self._gamma)
+            rows, cols, _ = _uncertain_pairs_batched(
+                pt_csr, pw.xs, pw.ys, pw.vel, pw.arr, pw.intervals, pw.reach,
+                pt.intervals, pt.deadline, pt.arr, pt.deadline_max, pt.max_reach,
+                now, local,
+            )
+            out.pw_pt = (rows, cols)
+        self.delta_stats.pairs_cached = int(self._p_w.size)
+        if self._stats is not None:
+            self._stats.merge(local)
+        out.build_seconds = monotonic() - started
+        return out
+
+    def _emit(
+        self,
+        current_workers: Sequence[Worker],
+        current_tasks: Sequence[Task],
+        predicted_workers: Sequence[Worker],
+        predicted_tasks: Sequence[Task],
+        now: float,
+        n: int,
+        m: int,
+        k: int,
+        l: int,
+        local: SparseBuildStats,
+        churn: ChurnRecord | None = None,
+    ) -> ProblemInstance:
+        unit_cost = self._unit_cost
+        quality_model = self._quality_model
+        pools: list[PairPool] = []
+        prior = quality_model.prior()
+
+        # ---- current x current: one exact revalidation sweep --------------
+        cc_rows, cc_cols, cc_dist, cc_quality, prev_origin = self._sweep_current(
+            now, local
+        )
 
         if cc_rows.size:
             cost_cc = unit_cost * cc_dist
@@ -1020,43 +1307,9 @@ class DeltaPoolBuilder:
             pt_csr = _CandidateCSR.from_coordinates(ptx, pty, self._gamma)
         if n and l:
             cw_intervals = (self._wx, self._wx, self._wy, self._wy)
-            # Transposed join: the few predicted tasks query the cached
-            # worker CSR, so the per-round cost scales with the
-            # prediction volume instead of the standing worker pool.
-            # The gather stays a superset (the radius covers the
-            # fastest worker over each task's horizon plus the kernel
-            # reach and the motion slack), and the exact validity
-            # predicate below runs the same float arithmetic as
-            # _uncertain_pairs_batched on the same operands, so the
-            # surviving pairs — and their canonical (row, col) order —
-            # are identical to the query-by-worker orientation.
-            pt_hb = np.maximum(0.0, pt_deadline - np.maximum(now, pt_arr))
-            vel_max = float(self._wvel.max())
-            radius = vel_max * pt_hb + pt_reach + 3.0 * self._slack
-            t_rows, w_cols = self._w_csr.join(ptx, pty, radius, local)
-            if t_rows.size:
-                local.gathered += int(t_rows.size)
-                departure = np.maximum(
-                    now, np.maximum(self._warr[w_cols], pt_arr[t_rows])
-                )
-                horizon = pt_deadline[t_rows] - departure
-                wx_g = self._wx[w_cols]
-                wy_g = self._wy[w_cols]
-                d_lb = np.hypot(
-                    _interval_gap_vec(
-                        wx_g, wx_g, pt_intervals[0][t_rows], pt_intervals[1][t_rows]
-                    ),
-                    _interval_gap_vec(
-                        wy_g, wy_g, pt_intervals[2][t_rows], pt_intervals[3][t_rows]
-                    ),
-                )
-                valid = (horizon > 0.0) & (d_lb <= horizon * self._wvel[w_cols])
-                rows, cols = w_cols[valid], t_rows[valid]
-                local.candidates += int(rows.size)
-                order = np.lexsort((cols, rows))
-                rows, cols = rows[order], cols[order]
-            else:
-                rows = cols = _EMPTY_IDX
+            rows, cols = self._join_current_predicted_tasks(
+                ptx, pty, pt_deadline, pt_arr, pt_intervals, pt_reach, now, local
+            )
             d_stats = None
             if rows.size:
                 existence = exist_worker[rows]

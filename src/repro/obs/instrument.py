@@ -180,6 +180,40 @@ class StreamObserver:
                         args={"tile": tile},
                     )
 
+    def record_tile_pool_events(self, events: list[tuple[int, str]]) -> None:
+        """Book per-tile delta-pool lifecycle events on the shard tracks.
+
+        Entries are ``(tile, kind)`` with kind one of ``"repair"`` (the
+        tile's pool was served incrementally), ``"prime"`` (full
+        rebuild), or ``"border_rejoin"`` (an entity crossed into the
+        tile's margin zone, forcing a drop-and-rejoin).  Each books a
+        tile-labelled counter (``tile_delta_repairs_total`` /
+        ``tile_delta_primes_total`` / ``tile_border_rejoins_total``)
+        and an instant on the tile's trace track — the same ``tid``
+        convention as :meth:`record_tile_phases`, so the instants land
+        on the existing shard rows.
+        """
+        if not events or not self.enabled:
+            return
+        counters = {
+            "repair": "tile_delta_repairs_total",
+            "prime": "tile_delta_primes_total",
+            "border_rejoin": "tile_border_rejoins_total",
+        }
+        for tile, kind in events:
+            counter = counters.get(kind)
+            if counter is None:
+                continue
+            if self.metrics.enabled:
+                self.metrics.counter(counter, labels={"tile": str(tile)}).inc()
+            if self.trace.enabled:
+                self.trace.add_instant(
+                    f"tile{tile}.{kind}",
+                    cat="shard",
+                    tid=tile + 1,
+                    args={"tile": tile},
+                )
+
     # -- round close-out ----------------------------------------------------
 
     def _diff(self, kind: str, stats) -> list[tuple[str, float]]:

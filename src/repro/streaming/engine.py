@@ -239,7 +239,12 @@ class StreamingEngine:
         self.build_stats = SparseBuildStats()
         # Created lazily on the first delta-path build so subclasses
         # that override _build_problem never pay the subscription.
+        # The delta path runs through the fused round pipeline as its
+        # K=1 case (one tile, inline runner); the standalone
+        # DeltaPoolBuilder attribute remains for API compatibility but
+        # the engine no longer populates it.
         self._delta_builder: DeltaPoolBuilder | None = None
+        self._fused_builder = None
         # Engine-side churn journal handed to the delta builder as
         # trusted hints: this round's worker arrivals (append order)
         # and the ids assigned away since the previous build.  Only
@@ -289,7 +294,13 @@ class StreamingEngine:
     @property
     def delta_stats(self):
         """Counters of the incremental pool maintenance (``None``
-        before the first delta-path round, or when disabled)."""
+        before the first delta-path round, or when disabled).
+
+        On the fused pipeline this is the per-tile aggregate —
+        ``rounds`` counts tile-rounds, so the incremental rate reads
+        as a per-tile average for any K."""
+        if self._fused_builder is not None:
+            return self._fused_builder.delta_stats
         if self._delta_builder is None:
             return None
         return self._delta_builder.delta_stats
@@ -523,10 +534,18 @@ class StreamingEngine:
         """
         config = self._config
         if config.use_sparse_builder and config.use_delta_builder:
-            if self._delta_builder is None:
-                self._delta_builder = DeltaPoolBuilder(
+            # The serial engine is literally the K=1 case of the fused
+            # sharded pipeline: one tile whose zone is the whole grid,
+            # run inline — same persistent delta pool, same reconcile
+            # pass, same origin-annotated churn for warm selection.
+            if self._fused_builder is None:
+                from repro.geo.tiles import TileGrid
+                from repro.streaming.pipeline import FusedRoundBuilder
+
+                self._fused_builder = FusedRoundBuilder(
                     self._quality_model,
                     config.unit_cost,
+                    TileGrid(1, 1),
                     self._task_index,
                     discount_by_existence=config.discount_by_existence,
                     reservation_filter=config.reservation_filter,
@@ -534,17 +553,14 @@ class StreamingEngine:
                     index_gamma=config.index_gamma,
                     slack=config.delta_slack,
                     rebuild_churn_ratio=config.delta_rebuild_ratio,
-                    assume_static_queries=True,
                     stats=self.build_stats,
                 )
-            problem = self._delta_builder.build(
+            problem = self._fused_builder.build_round(
                 self._available_workers,
                 self._available_tasks,
                 predicted_workers,
                 predicted_tasks,
                 now,
-                worker_arrivals=self._round_worker_arrivals,
-                worker_removed_ids=self._removed_worker_ids,
                 churn=churn,
             )
             self._removed_worker_ids = []

@@ -1,0 +1,1098 @@
+"""One incremental round pipeline: per-tile persistent build state.
+
+This module fuses the repo's two incremental layers — the
+:class:`~repro.model.delta.DeltaPoolBuilder` candidate cache (PR 5)
+and warm :class:`~repro.core.triplet_select.SelectionState` repair
+(PR 6) — into the sharded build path (PR 4), so the serial engine is
+literally the K=1 case of the sharded engine instead of a parallel
+implementation:
+
+- :class:`TilePipeline` owns one tile's persistent round state: the
+  tile's entity lists, a :class:`DeltaPoolBuilder` in external-journal
+  mode over the tile's slice of the task-index journal, and the churn
+  bookkeeping that keeps both consistent across rounds.
+- :class:`TileChurnSplitter` fans the engine's single spatial-index
+  mutation journal out to per-tile op streams at *cell* granularity.
+  Entities crossing a tile border (more precisely: a tile's grow-only
+  margin zone, :class:`~repro.geo.tiles.TileZones`) drop-and-rejoin
+  exactly like slack crossings in the serial delta builder — losing
+  tiles see a synthetic remove, gaining tiles re-prime, and the
+  crossing is surfaced as a ``border_rejoin`` observability event.
+- :class:`FusedRoundBuilder` orchestrates a round: it repairs a
+  parent-side mirror of the global entity columns in O(churn), splits
+  the journal, drives every tile pipeline through a
+  :class:`TileRunner` backend (inline for serial/thread, shared-memory
+  worker pool for process — see :mod:`repro.streaming.shm`), maps the
+  tile-local emissions into global coordinates, and hands the merged
+  triplets to the sharded builder's phase-2 reconcile pass
+  (:func:`repro.streaming.sharding._reconcile`).  The emitted pool is
+  therefore bit-identical to both the serial delta builder and the
+  fresh builders — the same proof obligation PRs 4–6 carried.
+
+Warm selection composes through the same machinery: each tile's
+emission carries the per-row rank it held in the tile's *previous*
+emission, the parent composes those through the previous round's
+merged positions into a trusted global ``row_origin`` map, and
+annotates the round's :class:`~repro.model.delta.ChurnRecord` exactly
+like the serial delta builder does — so ``SelectionState`` repairs
+from verbatim survivors instead of self-diffing pair identities.
+
+Correctness hinges on one structural invariant, preserved everywhere:
+**tile entity lists are monotone subsequences of the engine's global
+lists** (removals keep order, arrivals append at the tail, zone
+membership never reorders).  Local→global index maps are then
+monotone, tile-local canonical (row, col) order maps into global
+canonical order, and per-tile ``prev_origin`` ranks compose into a
+strictly increasing global origin map — the precondition the
+selection layer's trusted repair path checks for.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field, replace
+from concurrent.futures import Executor
+
+import numpy as np
+
+from repro.geo.box import Box
+from repro.geo.point import Point
+from repro.geo.spatial_index import SpatialIndex
+from repro.geo.tiles import TileGrid, TileZones
+from repro.model.delta import (
+    ChurnRecord,
+    DeltaBuildStats,
+    DeltaPoolBuilder,
+    PartitionEmission,
+    PredictedTaskColumns,
+    PredictedWorkerColumns,
+    predicted_task_columns,
+    predicted_worker_columns,
+)
+from repro.model.entities import Task, Worker
+from repro.model.instance import ProblemInstance, validate_predicted_flags
+from repro.model.quality import QualityModel
+from repro.model.sparse import (
+    _EMPTY_IDX,
+    _RADIUS_SLACK,
+    SparseBuildStats,
+    _task_columns,
+    _worker_columns,
+)
+from repro.obs.metrics import monotonic
+from repro.streaming.sharding import _ReconcileContext, _reconcile, _ShardResult
+
+__all__ = [
+    "FusedRoundBuilder",
+    "InlineTileRunner",
+    "PipelineSpec",
+    "TileChurnSplitter",
+    "TilePipeline",
+    "TileRoundMessage",
+    "TileRoundOutcome",
+]
+
+_EMPTY_F = np.zeros(0)
+
+
+# ---------------------------------------------------------------------------
+# Round messages (parent -> tile) and outcomes (tile -> parent)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TileRoundMessage:
+    """One round's instructions for one tile pipeline.
+
+    Either ``refresh`` carries the tile's wholesale entity lists (the
+    pipeline replaces its state and primes), or the message is a pure
+    churn delta: the tile's slice of the index journal plus the
+    engine-journaled worker churn, with entity *objects* only for the
+    arrivals.  This is the entire per-round payload a process-backend
+    worker receives — its size is O(tile churn), not O(tile state),
+    which is what shrinks the round IPC from full pools to deltas.
+
+    ``expect_*`` / ``*_id_bounds`` are the parent's view of the tile's
+    post-churn population (derived from its global mirror and the
+    zones); the pipeline cross-checks them so the local→global index
+    maps the parent builds are provably aligned with the tile lists.
+    """
+
+    tile: int
+    ops: list = field(default_factory=list)
+    refresh: tuple[list[Worker], list[Task]] | None = None
+    task_arrivals: dict[int, Task] = field(default_factory=dict)
+    worker_arrivals: list[Worker] = field(default_factory=list)
+    worker_removed_ids: list[int] = field(default_factory=list)
+    pw_rows: np.ndarray = field(default_factory=lambda: _EMPTY_IDX)
+    expect_workers: int = -1
+    expect_tasks: int = -1
+    worker_id_bounds: tuple[int, int] = (-1, -1)
+    task_id_bounds: tuple[int, int] = (-1, -1)
+
+
+@dataclass
+class TileRoundOutcome:
+    """One tile's emission plus the stats snapshots the parent books."""
+
+    tile: int
+    emission: PartitionEmission
+    delta_stats: DeltaBuildStats
+    sparse_stats: SparseBuildStats
+    incremental: bool
+
+
+# ---------------------------------------------------------------------------
+# TilePipeline: one tile's persistent round state
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Everything needed to construct one tile's pipeline.
+
+    A plain picklable bundle so runner backends can build pipelines
+    wherever they live — in the parent for the inline backends, inside
+    pre-forked workers for the shared-memory process backend.
+    """
+
+    quality_model: QualityModel
+    unit_cost: float
+    index_gamma: int
+    slack: float = 0.0
+    rebuild_churn_ratio: float = 0.5
+    discount_by_existence: bool = True
+    reservation_filter: bool = True
+    include_future_future_pairs: bool = True
+    exact_predicted_quality: bool = False
+
+    def make(self, tile: int) -> "TilePipeline":
+        return TilePipeline(tile, self)
+
+
+class TilePipeline:
+    """One tile's persistent build state across rounds.
+
+    Owns the tile's entity lists and a :class:`DeltaPoolBuilder` in
+    external-journal mode; :meth:`run_round` applies one round's churn
+    message, repairs the pool, and emits the tile's partition.  The
+    list discipline mirrors the engine's own: removals filter in
+    place (order preserved), arrivals append at the tail — which keeps
+    the tile lists monotone subsequences of the global lists, the
+    invariant the parent's local→global index maps rely on.
+    """
+
+    def __init__(self, tile: int, spec: PipelineSpec) -> None:
+        self.tile = tile
+        self.workers: list[Worker] = []
+        self.tasks: list[Task] = []
+        self._task_ids: set[int] = set()
+        self.builder = DeltaPoolBuilder(
+            spec.quality_model,
+            spec.unit_cost,
+            None,
+            discount_by_existence=spec.discount_by_existence,
+            reservation_filter=spec.reservation_filter,
+            include_future_future_pairs=spec.include_future_future_pairs,
+            exact_predicted_quality=spec.exact_predicted_quality,
+            index_gamma=spec.index_gamma,
+            slack=spec.slack,
+            rebuild_churn_ratio=spec.rebuild_churn_ratio,
+            assume_static_queries=True,
+        )
+
+    def run_round(
+        self,
+        message: TileRoundMessage,
+        now: float,
+        predicted_workers: PredictedWorkerColumns | None,
+        predicted_tasks: PredictedTaskColumns | None,
+    ) -> TileRoundOutcome | None:
+        """Apply one round's message; ``None`` asks the parent for a
+        refresh (the churn delta could not be applied trustworthily)."""
+        started = monotonic()
+        local = SparseBuildStats()
+        if message.refresh is not None:
+            workers, tasks = message.refresh
+            self.workers = list(workers)
+            self.tasks = list(tasks)
+            self._task_ids = {t.id for t in self.tasks}
+            ops = None  # untrusted feed -> the builder re-primes
+            arrivals = removed = None
+        else:
+            if not self._apply_churn(message):
+                return None
+            ops = message.ops
+            arrivals = message.worker_arrivals
+            removed = message.worker_removed_ids
+        if not self._consistent(message):
+            return None
+        incremental = self.builder.repair(
+            self.workers,
+            self.tasks,
+            now,
+            worker_arrivals=arrivals,
+            worker_removed_ids=removed,
+            ops=ops,
+            local=local,
+        )
+        pw = None
+        if predicted_workers is not None and message.pw_rows.size:
+            pw = predicted_workers.take(message.pw_rows)
+        emission = self.builder.emit_partition(now, pw, predicted_tasks, local=local)
+        emission.incremental = incremental
+        emission.build_seconds = monotonic() - started
+        return TileRoundOutcome(
+            tile=self.tile,
+            emission=emission,
+            delta_stats=replace(self.builder.delta_stats),
+            sparse_stats=local,
+            incremental=incremental,
+        )
+
+    def _apply_churn(self, message: TileRoundMessage) -> bool:
+        """Net the tile's routed ops into list edits (same semantics as
+        the delta builder's journal replay); False = cannot trust."""
+        removed: set[int] = set()
+        new_keys: list[int] = []
+        new_seen: set[int] = set()
+        moved: dict[int, tuple[float, float]] = {}
+        for op in message.ops:
+            kind, key = op[0], op[1]
+            if kind == "insert":
+                if key in new_seen or (key in self._task_ids and key not in removed):
+                    return False
+                new_keys.append(key)
+                new_seen.add(key)
+            elif kind == "remove":
+                if key in new_seen:
+                    new_keys.remove(key)
+                    new_seen.discard(key)
+                elif key in self._task_ids and key not in removed:
+                    removed.add(key)
+                else:
+                    return False
+            elif kind == "move":
+                if key in new_seen:
+                    continue  # the arrival object carries final coords
+                if key not in self._task_ids:
+                    return False
+                # Journal coords are authoritative (the serial delta
+                # cache's semantics): the stored object must follow,
+                # or a later re-prime rebuilds from stale positions.
+                moved[key] = (op[2], op[3])
+            else:
+                return False
+        arriving: list[Task] = []
+        for key in new_keys:
+            obj = message.task_arrivals.get(key)
+            if obj is None:
+                return False
+            arriving.append(obj)
+        if message.worker_removed_ids:
+            gone = set(message.worker_removed_ids)
+            before = len(self.workers)
+            self.workers = [w for w in self.workers if w.id not in gone]
+            if before - len(self.workers) != len(gone):
+                return False
+        if message.worker_arrivals:
+            self.workers.extend(message.worker_arrivals)
+        if removed:
+            self.tasks = [t for t in self.tasks if t.id not in removed]
+            self._task_ids -= removed
+        if moved:
+            for position, task in enumerate(self.tasks):
+                coords = moved.get(task.id)
+                if coords is not None:
+                    point = Point(*coords)
+                    self.tasks[position] = replace(
+                        task, location=point, box=Box.from_point(point)
+                    )
+        if arriving:
+            self.tasks.extend(arriving)
+            self._task_ids.update(t.id for t in arriving)
+        return True
+
+    def _consistent(self, message: TileRoundMessage) -> bool:
+        """Cross-check the post-churn lists against the parent's view."""
+        if message.expect_workers >= 0:
+            if len(self.workers) != message.expect_workers:
+                return False
+            if self.workers and (
+                (self.workers[0].id, self.workers[-1].id)
+                != message.worker_id_bounds
+            ):
+                return False
+        if message.expect_tasks >= 0:
+            if len(self.tasks) != message.expect_tasks:
+                return False
+            if self.tasks and (
+                (self.tasks[0].id, self.tasks[-1].id) != message.task_id_bounds
+            ):
+                return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# TileChurnSplitter: one journal -> per-tile op streams
+# ---------------------------------------------------------------------------
+
+
+class TileChurnSplitter:
+    """Route a spatial-index journal to per-tile op streams.
+
+    Routing is by grid cell against the grow-only
+    :class:`~repro.geo.tiles.TileZones` membership: an insert fans out
+    to every tile whose zone contains the entity's cell, a remove to
+    the tiles of its *last known* cell, and a move decomposes per
+    tile — zone-keeping tiles see the move, zone-losing tiles a
+    synthetic remove (the incremental drop half of the border
+    crossing), and zone-*gaining* tiles are flagged for a re-prime
+    (the rejoin half: a gained entity would splice into the middle of
+    the tile's task list, which the append-only list discipline
+    forbids).  Each gaining crossing is counted as a border rejoin.
+    """
+
+    def __init__(self, zones: TileZones) -> None:
+        self._zones = zones
+        self._grid = zones.grid
+        self._cell_of: dict[int, int] = {}
+        self.border_rejoins_total = 0
+
+    def reset(self, keys: np.ndarray, cells: np.ndarray) -> None:
+        """Rebuild the key→cell map after a full parent refresh."""
+        self._cell_of = dict(zip(keys.tolist(), cells.tolist()))
+
+    def split(
+        self, ops: list
+    ) -> tuple[dict[int, list], set[int], list[int]] | None:
+        """One round's ops → (ops per tile, tiles to refresh, rejoin
+        tiles — one entry per border crossing).  ``None`` means the
+        feed contradicts the known population: refresh everything."""
+        per_tile: dict[int, list] = {}
+        refresh: set[int] = set()
+        rejoin_tiles: list[int] = []
+        for op in ops:
+            kind, key, x, y = op
+            if kind == "insert":
+                if key in self._cell_of:
+                    return None
+                cell = int(self._grid.cell_of(Point(x, y)))
+                self._cell_of[key] = cell
+                for tile in self._zones.tiles_of_cell(cell).tolist():
+                    per_tile.setdefault(tile, []).append(op)
+            elif kind == "remove":
+                cell = self._cell_of.pop(key, None)
+                if cell is None:
+                    return None
+                for tile in self._zones.tiles_of_cell(cell).tolist():
+                    per_tile.setdefault(tile, []).append(op)
+            elif kind == "move":
+                old = self._cell_of.get(key)
+                if old is None:
+                    return None
+                cell = int(self._grid.cell_of(Point(x, y)))
+                self._cell_of[key] = cell
+                if cell == old:
+                    for tile in self._zones.tiles_of_cell(cell).tolist():
+                        per_tile.setdefault(tile, []).append(op)
+                    continue
+                both = self._zones.tiles_of_cells(np.array([old, cell]))
+                old_mask, new_mask = both[:, 0], both[:, 1]
+                for tile in np.flatnonzero(old_mask & new_mask).tolist():
+                    per_tile.setdefault(tile, []).append(op)
+                for tile in np.flatnonzero(old_mask & ~new_mask).tolist():
+                    per_tile.setdefault(tile, []).append(("remove", key, x, y))
+                gained = np.flatnonzero(new_mask & ~old_mask)
+                if gained.size:
+                    refresh.update(gained.tolist())
+                    rejoin_tiles.extend(gained.tolist())
+        self.border_rejoins_total += len(rejoin_tiles)
+        return per_tile, refresh, rejoin_tiles
+
+
+def _net_task_ops(
+    ops: list, known: set[int]
+) -> tuple[set[int], dict[int, tuple[float, float]], dict[int, tuple[float, float]]] | None:
+    """Net one round's raw ops against the known population.
+
+    Returns ``(removed keys, net-new key → final coords, moved key →
+    final coords)`` with the delta builder's replay semantics (insert
+    of a known key is a contradiction, remove nets a same-round
+    insert away, a move of a net-new key just updates its coords), or
+    ``None`` when the feed contradicts ``known``.
+    """
+    removed: set[int] = set()
+    new: dict[int, tuple[float, float]] = {}
+    moved: dict[int, tuple[float, float]] = {}
+    for kind, key, x, y in ops:
+        if kind == "insert":
+            if key in new or (key in known and key not in removed):
+                return None
+            new[key] = (x, y)
+            moved.pop(key, None)
+        elif kind == "remove":
+            if key in new:
+                del new[key]
+            elif key in known and key not in removed:
+                removed.add(key)
+                moved.pop(key, None)
+            else:
+                return None
+        elif kind == "move":
+            if key in new:
+                new[key] = (x, y)
+            elif key in known and key not in removed:
+                moved[key] = (x, y)
+            else:
+                return None
+        else:
+            return None
+    return removed, new, moved
+
+
+# ---------------------------------------------------------------------------
+# Tile runners: where the pipelines live
+# ---------------------------------------------------------------------------
+
+
+class InlineTileRunner:
+    """Runs tile pipelines in the parent process.
+
+    ``executor=None`` runs the tiles sequentially (the serial
+    backend — and the K=1 serial engine); a thread pool runs them
+    concurrently (the numpy kernels release the GIL).  The process
+    backend lives in :mod:`repro.streaming.shm` behind the same
+    interface, with the pipelines held by pre-forked workers.
+    """
+
+    #: Inline rounds exchange no bytes — the arrays are shared already.
+    ipc_bytes_total = 0
+
+    def __init__(
+        self, num_tiles: int, spec: PipelineSpec, executor: Executor | None = None
+    ) -> None:
+        self._pipelines = [spec.make(tile) for tile in range(num_tiles)]
+        self._executor = executor
+
+    def run(
+        self,
+        messages: list[TileRoundMessage],
+        now: float,
+        predicted_workers: PredictedWorkerColumns | None,
+        predicted_tasks: PredictedTaskColumns | None,
+    ) -> list[TileRoundOutcome | None]:
+        def _one(message: TileRoundMessage) -> TileRoundOutcome | None:
+            return self._pipelines[message.tile].run_round(
+                message, now, predicted_workers, predicted_tasks
+            )
+
+        if self._executor is None or len(messages) <= 1:
+            return [_one(message) for message in messages]
+        return list(self._executor.map(_one, messages))
+
+    def delta_stats_by_tile(self) -> list[DeltaBuildStats]:
+        return [pipe.builder.delta_stats for pipe in self._pipelines]
+
+    def close(self) -> None:  # symmetric with the shm runner
+        pass
+
+
+# ---------------------------------------------------------------------------
+# FusedRoundBuilder: the parent-side orchestrator
+# ---------------------------------------------------------------------------
+
+
+class FusedRoundBuilder:
+    """Round builder with persistent per-tile state, fused end to end.
+
+    Same contract (and bit-identical output) as
+    :func:`~repro.streaming.sharding.build_problem_sharded` and the
+    serial :class:`~repro.model.delta.DeltaPoolBuilder` on the same
+    arguments — but steady-state cost O(churn + valid pairs) per
+    round, across every backend.  Construct once per stream with the
+    engine's maintained task index (the builder subscribes to its
+    journal) and call :meth:`build_round` each round.
+
+    ``runner_factory`` injects a backend (the shared-memory process
+    runner); by default tiles run inline, optionally fanned over
+    ``executor`` (also reused for the reconcile pass's parallel
+    pricing).
+    """
+
+    def __init__(
+        self,
+        quality_model: QualityModel,
+        unit_cost: float,
+        tiles: TileGrid,
+        task_index: SpatialIndex,
+        *,
+        executor: Executor | None = None,
+        runner_factory: Callable[[PipelineSpec, int], object] | None = None,
+        discount_by_existence: bool = True,
+        reservation_filter: bool = True,
+        include_future_future_pairs: bool = True,
+        exact_predicted_quality: bool = False,
+        index_gamma: int | None = None,
+        slack: float = 0.0,
+        rebuild_churn_ratio: float = 0.5,
+        margin_floor: float = 0.0,
+        stats: SparseBuildStats | None = None,
+    ) -> None:
+        if slack > 0.0 and tiles.num_tiles > 1:
+            raise ValueError(
+                "per-tile delta pools do not support motion slack: a "
+                "slack-drifting anchor has no single owning tile (run "
+                "one tile, or slack=0)"
+            )
+        self._quality_model = quality_model
+        self._unit_cost = float(unit_cost)
+        self._tiles = tiles
+        self._grid = task_index.grid
+        self._log = task_index.subscribe()
+        self._discount = discount_by_existence
+        self._reservation = reservation_filter
+        self._future_future = include_future_future_pairs
+        self._exact_predicted = exact_predicted_quality
+        self._margin_floor = float(margin_floor)
+        self._stats = stats
+        self._executor = executor
+        self._zones = TileZones(tiles, self._grid)
+        self._splitter = TileChurnSplitter(self._zones)
+        spec = PipelineSpec(
+            quality_model=quality_model,
+            unit_cost=unit_cost,
+            index_gamma=index_gamma or task_index.grid.gamma,
+            slack=float(slack),
+            rebuild_churn_ratio=rebuild_churn_ratio,
+            discount_by_existence=discount_by_existence,
+            reservation_filter=reservation_filter,
+            include_future_future_pairs=include_future_future_pairs,
+            exact_predicted_quality=exact_predicted_quality,
+        )
+        if runner_factory is not None:
+            self._runner = runner_factory(spec, tiles.num_tiles)
+        else:
+            self._runner = InlineTileRunner(tiles.num_tiles, spec, executor)
+
+        # Parent-side mirror of the global entity columns, repaired in
+        # O(churn) per round and verified against the engine's lists.
+        self._trusted = False
+        self._last_now = -np.inf
+        self._w_ids = _EMPTY_IDX
+        self._wx = self._wy = self._wvel = self._warr = _EMPTY_F
+        self._w_owner = _EMPTY_IDX
+        self._t_ids = _EMPTY_IDX
+        self._tx = self._ty = self._tdl = self._tarr = _EMPTY_F
+        self._t_cells = _EMPTY_IDX
+        self._t_key_set: set[int] = set()
+        # Previous round's merged-pool row of each tile's cc rows (in
+        # tile emission order) — the origin-composition tables.
+        self._prev_pos: list[np.ndarray] = [_EMPTY_IDX] * tiles.num_tiles
+        self._last_total = -1
+        self.last_churn: ChurnRecord | None = None
+        #: Bytes exchanged with the runner backend last round (0 for
+        #: the inline backends — their arrays are shared).
+        self.ipc_bytes_last_round = 0
+
+    @property
+    def tiles(self) -> TileGrid:
+        return self._tiles
+
+    @property
+    def zones(self) -> TileZones:
+        return self._zones
+
+    @property
+    def ipc_bytes_total(self) -> int:
+        """Cumulative bytes exchanged with the runner backend (0 for
+        the inline backends, whose arrays are shared in-process)."""
+        return int(getattr(self._runner, "ipc_bytes_total", 0))
+
+    @property
+    def delta_stats(self) -> DeltaBuildStats:
+        """Aggregate of the per-tile builders' counters.
+
+        ``rounds`` counts tile-rounds (K tiles × rounds), so the
+        derived incremental rate is the *per-tile average* — the
+        health floor the acceptance criteria gate on.
+        """
+        aggregate = DeltaBuildStats()
+        for tile_stats in self._runner.delta_stats_by_tile():
+            aggregate.rounds += tile_stats.rounds
+            aggregate.primes += tile_stats.primes
+            aggregate.incremental_rounds += tile_stats.incremental_rounds
+            aggregate.rows_joined += tile_stats.rows_joined
+            aggregate.cols_joined += tile_stats.cols_joined
+            aggregate.pairs_cached += tile_stats.pairs_cached
+            aggregate.revalidated += tile_stats.revalidated
+            aggregate.moved_within_slack += tile_stats.moved_within_slack
+            aggregate.rejoined_for_motion += tile_stats.rejoined_for_motion
+        return aggregate
+
+    def close(self) -> None:
+        """Release the runner backend (workers, shared memory)."""
+        self._runner.close()
+
+    # -- the round ----------------------------------------------------------
+
+    def build_round(
+        self,
+        current_workers: Sequence[Worker],
+        current_tasks: Sequence[Task],
+        predicted_workers: Sequence[Worker],
+        predicted_tasks: Sequence[Task],
+        now: float,
+        churn: ChurnRecord | None = None,
+        tile_phases: list[tuple[int, float]] | None = None,
+        pool_events: list[tuple[int, str]] | None = None,
+    ) -> ProblemInstance:
+        """One round's problem, repaired per tile from persistent state.
+
+        ``churn`` plays the same double role as in
+        :meth:`DeltaPoolBuilder.build`: it carries the engine's
+        trusted worker-churn hints in, and is annotated with the
+        round's ``row_origin``/``prev_pool_rows`` on the way out (a
+        record is annotated on :attr:`last_churn` even when the caller
+        passes none).  ``tile_phases`` and ``pool_events`` receive
+        per-tile timings and pool lifecycle events for the observer,
+        appended in place like the sharded builder's ``tile_phases``.
+        """
+        validate_predicted_flags(predicted_workers, predicted_tasks)
+        n, m = len(current_workers), len(current_tasks)
+        k, l = len(predicted_workers), len(predicted_tasks)
+        # The runner counts pipe bytes cumulatively so a mid-round
+        # retry (refresh re-send) still lands in this round's total.
+        ipc_before = int(getattr(self._runner, "ipc_bytes_total", 0))
+        local = SparseBuildStats()
+        local.dense_equivalent = n * m + k * m + n * l
+        if self._future_future:
+            local.dense_equivalent += k * l
+        num_tiles = self._tiles.num_tiles
+
+        ops, overflowed = self._log.drain()
+        full_refresh = not self._trusted or overflowed or now < self._last_now
+
+        # ---- split the journal + repair the parent mirror -----------------
+        per_tile_ops: dict[int, list] = {}
+        refresh_tiles: set[int] = set()
+        rejoin_tiles: list[int] = []
+        w_arrivals_by_tile: dict[int, list[Worker]] = {}
+        w_removed_by_tile: dict[int, list[int]] = {}
+        new_task_objs: dict[int, Task] = {}
+        if not full_refresh:
+            split_out = self._splitter.split(ops)
+            net = _net_task_ops(ops, self._t_key_set)
+            if split_out is None or net is None:
+                full_refresh = True
+            else:
+                per_tile_ops, move_refresh, rejoin_tiles = split_out
+                refresh_tiles |= move_refresh
+        if not full_refresh:
+            worker_hints = (
+                (churn.worker_arrivals, churn.worker_removed_ids)
+                if churn is not None
+                else (None, None)
+            )
+            full_refresh = not self._repair_workers(
+                current_workers, *worker_hints,
+                arrivals_by_tile=w_arrivals_by_tile,
+                removed_by_tile=w_removed_by_tile,
+            )
+        if not full_refresh:
+            full_refresh = not self._repair_tasks(current_tasks, net, new_task_objs)
+        if not full_refresh:
+            full_refresh = not self._verify_mirror(current_workers, current_tasks)
+        if full_refresh:
+            self._refresh_mirror(current_workers, current_tasks)
+            self._splitter.reset(self._t_ids, self._t_cells)
+            per_tile_ops = {}
+            rejoin_tiles = []
+            w_arrivals_by_tile = {}
+            w_removed_by_tile = {}
+            new_task_objs = {}
+
+        # ---- margins + zone growth (growth forces a tile re-prime) --------
+        pw_cols = predicted_worker_columns(predicted_workers)
+        pt_cols = predicted_task_columns(predicted_tasks)
+        build_pt_blocks = bool(l and (n or (k and self._future_future)))
+        margin_ct = self._margin_ct(n, m, k, now, pw_cols)
+        refresh_tiles.update(self._zones.ensure(margin_ct))
+        if full_refresh:
+            refresh_tiles = set(range(num_tiles))
+
+        # ---- local→global index maps (and the tile member lists) ----------
+        if m:
+            t_pos = [
+                np.flatnonzero(self._zones.member_mask(tile, self._t_cells))
+                for tile in range(num_tiles)
+            ]
+        else:
+            t_pos = [_EMPTY_IDX] * num_tiles
+        if n:
+            w_pos = [
+                np.flatnonzero(self._w_owner == tile) for tile in range(num_tiles)
+            ]
+        else:
+            w_pos = [_EMPTY_IDX] * num_tiles
+        if pw_cols is not None:
+            pw_owner = self._tiles.tile_of_coordinates(pw_cols.xs, pw_cols.ys)
+            pw_pos = [
+                np.flatnonzero(pw_owner == tile) for tile in range(num_tiles)
+            ]
+        else:
+            pw_pos = [_EMPTY_IDX] * num_tiles
+
+        def _refresh_message(tile: int) -> TileRoundMessage:
+            message = self._expectations(tile, w_pos[tile], t_pos[tile])
+            message.pw_rows = pw_pos[tile]
+            message.refresh = (
+                [current_workers[i] for i in w_pos[tile].tolist()],
+                [current_tasks[i] for i in t_pos[tile].tolist()],
+            )
+            return message
+
+        messages = []
+        for tile in range(num_tiles):
+            if tile in refresh_tiles:
+                messages.append(_refresh_message(tile))
+                continue
+            message = self._expectations(tile, w_pos[tile], t_pos[tile])
+            message.pw_rows = pw_pos[tile]
+            message.ops = per_tile_ops.get(tile, [])
+            message.task_arrivals = new_task_objs
+            message.worker_arrivals = w_arrivals_by_tile.get(tile, [])
+            message.worker_removed_ids = w_removed_by_tile.get(tile, [])
+            messages.append(message)
+
+        # ---- run the tiles (retrying distrusted ones with a refresh) ------
+        outcomes = self._runner.run(messages, now, pw_cols, pt_cols)
+        retry = [
+            _refresh_message(message.tile)
+            for message, outcome in zip(messages, outcomes)
+            if outcome is None
+        ]
+        if retry:
+            refresh_tiles.update(message.tile for message in retry)
+            for redo in self._runner.run(retry, now, pw_cols, pt_cols):
+                if redo is None:
+                    raise RuntimeError(
+                        "tile pipeline rejected its own refresh payload"
+                    )
+                outcomes[redo.tile] = redo  # messages[i].tile == i
+        outcomes = {outcome.tile: outcome for outcome in outcomes}
+
+        # ---- map tile emissions into global coordinates -------------------
+        results: list[_ShardResult] = []
+        cc_parts: list[tuple] = []
+        phase_entries: list[tuple[int, float]] = []
+        for tile in range(num_tiles):
+            outcome = outcomes[tile]
+            emission = outcome.emission
+            local.candidates += outcome.sparse_stats.candidates
+            local.gathered += outcome.sparse_stats.gathered
+            local.queries += outcome.sparse_stats.queries
+            local.price_seconds += outcome.sparse_stats.price_seconds
+            phase_entries.append((tile, emission.build_seconds))
+            if pool_events is not None:
+                pool_events.append(
+                    (tile, "repair" if outcome.incremental else "prime")
+                )
+            wmap, tmap, pmap = w_pos[tile], t_pos[tile], pw_pos[tile]
+            result = _ShardResult(build_seconds=emission.build_seconds)
+            if emission.cc_rows is not None and emission.cc_rows.size:
+                rows_g = wmap[emission.cc_rows]
+                cols_g = tmap[emission.cc_cols]
+                origin_g = self._compose_origin(tile, emission.prev_origin)
+                tag = np.full(rows_g.size, tile, dtype=np.int64)
+                cc_parts.append(
+                    (rows_g, cols_g, emission.cc_dist, emission.cc_quality,
+                     origin_g, tag)
+                )
+            pw_rows, pw_ct_cols = emission.pw_ct
+            if pw_rows is not None and pw_rows.size:
+                result.pw_ct = (pmap[pw_rows], tmap[pw_ct_cols])
+            cw_rows, cw_cols = emission.cw_pt
+            if cw_rows is not None and cw_rows.size:
+                result.cw_pt = (wmap[cw_rows], cw_cols)
+            ff_rows, ff_cols = emission.pw_pt
+            if ff_rows is not None and ff_rows.size:
+                result.pw_pt = (pmap[ff_rows], ff_cols)
+            results.append(result)
+        if pool_events is not None:
+            pool_events.extend((tile, "border_rejoin") for tile in rejoin_tiles)
+
+        # ---- phase 2: the global reconcile pass ---------------------------
+        reconcile_started = monotonic()
+        ctx = _ReconcileContext(
+            current_workers=current_workers,
+            current_tasks=current_tasks,
+            predicted_workers=predicted_workers,
+            predicted_tasks=predicted_tasks,
+            quality_model=self._quality_model,
+            unit_cost=self._unit_cost,
+            now=now,
+            discount_by_existence=self._discount,
+            reservation_filter=self._reservation,
+            include_future_future_pairs=self._future_future,
+            exact_predicted_quality=self._exact_predicted,
+            t_intervals=(self._tx, self._tx, self._ty, self._ty) if m else None,
+            pw_intervals=pw_cols.intervals if pw_cols is not None else None,
+            cw_intervals=(self._wx, self._wx, self._wy, self._wy)
+            if (n and l)
+            else None,
+            pt_intervals=pt_cols.intervals
+            if (pt_cols is not None and build_pt_blocks)
+            else None,
+        )
+        instance, extras = _reconcile(
+            results, cc_parts, True, ctx, self._executor, num_tiles, local
+        )
+        if extras:
+            origin_merged, tag_merged = extras
+        else:
+            origin_merged, tag_merged = _EMPTY_IDX, _EMPTY_IDX
+        for tile in range(num_tiles):
+            self._prev_pos[tile] = np.flatnonzero(tag_merged == tile)
+
+        # ---- warm-selection origin annotation -----------------------------
+        total = len(instance.pool)
+        if churn is None:
+            churn = ChurnRecord()
+        churn.row_origin = np.concatenate(
+            [
+                origin_merged,
+                np.full(total - origin_merged.size, -1, dtype=np.int64),
+            ]
+        )
+        churn.prev_pool_rows = self._last_total
+        self.last_churn = churn
+        self._last_total = total
+
+        if tile_phases is not None:
+            tile_phases.extend(phase_entries)
+            tile_phases.append((-1, monotonic() - reconcile_started))
+        self.ipc_bytes_last_round = int(
+            getattr(self._runner, "ipc_bytes_total", 0) - ipc_before
+        )
+        if self._stats is not None:
+            self._stats.merge(local)
+        self._trusted = True
+        self._last_now = now
+        return instance
+
+    # -- parent mirror maintenance ------------------------------------------
+
+    def _repair_workers(
+        self,
+        current_workers: Sequence[Worker],
+        arrivals: Sequence[Worker] | None,
+        removed_ids: Sequence[int] | None,
+        arrivals_by_tile: dict[int, list[Worker]],
+        removed_by_tile: dict[int, list[int]],
+    ) -> bool:
+        """O(churn) repair of the worker columns; False = distrust.
+
+        With engine hints the caller vouches for the list discipline;
+        without them the diff is derived here (O(n), still cheap) and
+        the discipline is *checked* instead.
+        """
+        if arrivals is None or removed_ids is None:
+            current_ids = np.fromiter(
+                (w.id for w in current_workers),
+                dtype=np.int64,
+                count=len(current_workers),
+            )
+            keep = np.isin(self._w_ids, current_ids, assume_unique=True)
+            new_mask = ~np.isin(current_ids, self._w_ids, assume_unique=True)
+            if not np.array_equal(current_ids[~new_mask], self._w_ids[keep]):
+                return False
+            removed_ids = self._w_ids[~keep].tolist()
+            arrivals = [current_workers[i] for i in np.flatnonzero(new_mask)]
+        if removed_ids:
+            gone = np.fromiter(removed_ids, dtype=np.int64, count=len(removed_ids))
+            drop = np.isin(self._w_ids, gone)
+            if int(drop.sum()) != len(removed_ids):
+                return False
+            for tile, wid in zip(
+                self._w_owner[drop].tolist(), self._w_ids[drop].tolist()
+            ):
+                removed_by_tile.setdefault(tile, []).append(wid)
+            keep = ~drop
+            self._w_ids = self._w_ids[keep]
+            self._wx, self._wy = self._wx[keep], self._wy[keep]
+            self._wvel, self._warr = self._wvel[keep], self._warr[keep]
+            self._w_owner = self._w_owner[keep]
+        if arrivals:
+            ax, ay, avel, aarr = _worker_columns(arrivals)
+            aids = np.fromiter(
+                (w.id for w in arrivals), dtype=np.int64, count=len(arrivals)
+            )
+            owner = self._tiles.tile_of_coordinates(ax, ay)
+            for worker, tile in zip(arrivals, owner.tolist()):
+                arrivals_by_tile.setdefault(tile, []).append(worker)
+            self._w_ids = np.concatenate([self._w_ids, aids])
+            self._wx = np.concatenate([self._wx, ax])
+            self._wy = np.concatenate([self._wy, ay])
+            self._wvel = np.concatenate([self._wvel, avel])
+            self._warr = np.concatenate([self._warr, aarr])
+            self._w_owner = np.concatenate([self._w_owner, owner])
+        return True
+
+    def _repair_tasks(
+        self,
+        current_tasks: Sequence[Task],
+        net: tuple,
+        new_task_objs: dict[int, Task],
+    ) -> bool:
+        """O(churn) repair of the task columns from the netted journal.
+
+        Journal coordinates are authoritative for cells and anchors
+        (the same semantics as the serial delta builder's cache), so a
+        mover's cell tracks the index even when its entity object is
+        stale; deadlines and arrivals come from the tail objects,
+        whose ids are verified against the net-new keys.
+        """
+        removed, new, moved = net
+        if removed:
+            gone = np.fromiter(removed, dtype=np.int64, count=len(removed))
+            drop = np.isin(self._t_ids, gone)
+            if int(drop.sum()) != len(removed):
+                return False
+            keep = ~drop
+            self._t_ids = self._t_ids[keep]
+            self._tx, self._ty = self._tx[keep], self._ty[keep]
+            self._tdl, self._tarr = self._tdl[keep], self._tarr[keep]
+            self._t_cells = self._t_cells[keep]
+            self._t_key_set -= removed
+        for key, (x, y) in moved.items():
+            at = np.flatnonzero(self._t_ids == key)
+            if at.size != 1:
+                return False
+            self._tx[at[0]] = x
+            self._ty[at[0]] = y
+            self._t_cells[at[0]] = int(self._grid.cell_of(Point(x, y)))
+        if new:
+            tail = list(current_tasks[len(current_tasks) - len(new):])
+            if [t.id for t in tail] != list(new.keys()):
+                return False
+            new_task_objs.update((t.id, t) for t in tail)
+            _, _, deadline, arr = _task_columns(tail)
+            nx = np.fromiter((xy[0] for xy in new.values()), dtype=float, count=len(new))
+            ny = np.fromiter((xy[1] for xy in new.values()), dtype=float, count=len(new))
+            nids = np.fromiter(new.keys(), dtype=np.int64, count=len(new))
+            self._t_ids = np.concatenate([self._t_ids, nids])
+            self._tx = np.concatenate([self._tx, nx])
+            self._ty = np.concatenate([self._ty, ny])
+            self._tdl = np.concatenate([self._tdl, deadline])
+            self._tarr = np.concatenate([self._tarr, arr])
+            self._t_cells = np.concatenate(
+                [self._t_cells, self._grid.cells_of_coordinates(nx, ny)]
+            )
+            self._t_key_set |= set(new.keys())
+        return True
+
+    def _verify_mirror(
+        self, current_workers: Sequence[Worker], current_tasks: Sequence[Task]
+    ) -> bool:
+        """Spot-check the repaired mirror against the engine lists."""
+        if self._w_ids.size != len(current_workers):
+            return False
+        if self._t_ids.size != len(current_tasks):
+            return False
+        if current_workers and (
+            self._w_ids[0] != current_workers[0].id
+            or self._w_ids[-1] != current_workers[-1].id
+        ):
+            return False
+        if current_tasks and (
+            self._t_ids[0] != current_tasks[0].id
+            or self._t_ids[-1] != current_tasks[-1].id
+        ):
+            return False
+        return True
+
+    def _refresh_mirror(
+        self, current_workers: Sequence[Worker], current_tasks: Sequence[Task]
+    ) -> None:
+        """Rebuild the mirror wholesale from the entity objects."""
+        n, m = len(current_workers), len(current_tasks)
+        if n:
+            self._wx, self._wy, self._wvel, self._warr = _worker_columns(
+                current_workers
+            )
+            self._w_ids = np.fromiter(
+                (w.id for w in current_workers), dtype=np.int64, count=n
+            )
+            self._w_owner = self._tiles.tile_of_coordinates(self._wx, self._wy)
+        else:
+            self._w_ids = self._w_owner = _EMPTY_IDX
+            self._wx = self._wy = self._wvel = self._warr = _EMPTY_F
+        if m:
+            self._tx, self._ty, self._tdl, self._tarr = _task_columns(current_tasks)
+            self._t_ids = np.fromiter(
+                (t.id for t in current_tasks), dtype=np.int64, count=m
+            )
+            self._t_cells = self._grid.cells_of_coordinates(self._tx, self._ty)
+        else:
+            self._t_ids = self._t_cells = _EMPTY_IDX
+            self._tx = self._ty = self._tdl = self._tarr = _EMPTY_F
+        self._t_key_set = set(self._t_ids.tolist())
+
+    # -- round helpers ------------------------------------------------------
+
+    def _margin_ct(
+        self, n: int, m: int, k: int, now: float,
+        pw_cols: PredictedWorkerColumns | None,
+    ) -> float:
+        """One reachable radius for the current-task side, the same
+        formula as ``build_problem_sharded`` (current entities are
+        degenerate here, so the task-reach term is exactly zero)."""
+        radii: list[float] = []
+        if m:
+            deadline_max = float(self._tdl.max())
+            if n:
+                horizon = np.maximum(0.0, deadline_max - np.maximum(now, self._warr))
+                radii.append(float((self._wvel * horizon).max()))
+            if k:
+                horizon = np.maximum(
+                    0.0, deadline_max - np.maximum(now, pw_cols.arr)
+                )
+                radii.append(float((pw_cols.vel * horizon + pw_cols.reach).max()))
+        radius = max(radii, default=0.0)
+        return radius * (1.0 + _RADIUS_SLACK) + _RADIUS_SLACK + self._margin_floor
+
+    def _expectations(
+        self, tile: int, wmap: np.ndarray, tmap: np.ndarray
+    ) -> TileRoundMessage:
+        message = TileRoundMessage(tile=tile)
+        message.expect_workers = int(wmap.size)
+        message.expect_tasks = int(tmap.size)
+        if wmap.size:
+            message.worker_id_bounds = (
+                int(self._w_ids[wmap[0]]), int(self._w_ids[wmap[-1]]),
+            )
+        if tmap.size:
+            message.task_id_bounds = (
+                int(self._t_ids[tmap[0]]), int(self._t_ids[tmap[-1]]),
+            )
+        return message
+
+    def _compose_origin(self, tile: int, prev_origin: np.ndarray) -> np.ndarray:
+        """Tile emission ranks → previous *merged-pool* rows.
+
+        ``prev_origin[i]`` is the rank row ``i`` held in this tile's
+        previous emission; ``_prev_pos[tile]`` maps those ranks to the
+        rows the previous reconcile placed them at.  Survivor relative
+        order is invariant under compaction + tail appends on both
+        levels, so the composed map stays strictly increasing over its
+        non-negative entries — the monotonicity the selection state's
+        trusted repair path verifies.
+        """
+        table = self._prev_pos[tile]
+        if prev_origin.size == 0:
+            return _EMPTY_IDX
+        if table.size == 0:
+            return np.full(prev_origin.size, -1, dtype=np.int64)
+        valid = (prev_origin >= 0) & (prev_origin < table.size)
+        return np.where(valid, table[np.where(valid, prev_origin, 0)], -1)

@@ -1,0 +1,483 @@
+"""Shared-memory process backend for the fused round pipeline.
+
+The legacy process backend pickled every shard payload — the full
+candidate CSR, entity columns, the works — through a
+``ProcessPoolExecutor`` every round, which is why its committed
+numbers ran *below* serial (K4-process ≈ 0.88×).  This backend
+replaces that exchange wholesale:
+
+- **Persistent pre-pinned workers.** A fixed pool of forked processes
+  is spawned once per engine; each owns a static subset of tiles and
+  holds those tiles' :class:`~repro.streaming.pipeline.TilePipeline`
+  state (entity lists + delta pool caches) across rounds.  Round
+  messages shrink to churn deltas: the tile's slice of the index
+  journal, arrival objects, and consistency bounds — O(churn), not
+  O(state).
+- **Array exchange over ``multiprocessing.shared_memory``.** The
+  parent packs the round's predicted-entity columns into a
+  shared-memory arena that workers map as NumPy views (no
+  serialization); each worker packs its tiles' emission arrays into
+  its own grow-by-doubling arena and replies with byte offsets.  The
+  parent reads the arrays back as views and copies them out in one
+  memcpy — nothing downstream may alias a buffer the worker will
+  overwrite next round.  Pipe traffic is bookkept per byte and
+  surfaced as ``ipc_bytes_per_round``.
+- **Deterministic hygiene.** Python 3.11 registers a segment with the
+  resource tracker on *attach* as well as create (bpo-39959), and the
+  forked workers share the parent's tracker process — so the
+  tracker's name set must see each segment unregistered exactly once,
+  or it prints KeyError/leak noise at shutdown.  The registrations
+  themselves are idempotent (the tracker keeps a set), and
+  ``SharedMemory.unlink()`` performs the single matching unregister;
+  :class:`SegmentRegistry` therefore makes the parent the sole
+  unlinker — on replacement, on :meth:`ShmTileRunner.close`, or from
+  a pid-guarded ``atexit`` hook if the engine is dropped without
+  closing — and nobody unregisters manually.  A worker killed
+  mid-round leaks nothing: its segments are still known to (and
+  unlinked by) the parent, and no tracker ever warns.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+from multiprocessing import get_context, resource_tracker
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+
+from repro.model.delta import (
+    DeltaBuildStats,
+    PartitionEmission,
+    PredictedTaskColumns,
+    PredictedWorkerColumns,
+)
+from repro.streaming.pipeline import (
+    PipelineSpec,
+    TileRoundMessage,
+    TileRoundOutcome,
+)
+
+__all__ = ["SegmentRegistry", "ShmTileRunner"]
+
+_ARENA_IDS = itertools.count()
+
+
+class SegmentRegistry:
+    """Parent-side ledger owning every shared-memory segment's unlink.
+
+    ``adopt`` takes custody of a segment (created or attached);
+    ``release`` closes and unlinks one by name; ``close`` sweeps the
+    rest.  A pid guard keeps forked children from running the
+    inherited ``atexit`` hook against the parent's segments.
+    """
+
+    def __init__(self) -> None:
+        self._pid = os.getpid()
+        self._segments: dict[str, SharedMemory] = {}
+        atexit.register(self.close)
+
+    def adopt(self, segment: SharedMemory) -> None:
+        self._segments[segment.name] = segment
+
+    def release(self, name: str) -> None:
+        segment = self._segments.pop(name, None)
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except BufferError:
+            pass  # a live view blocks the munmap, never the unlink
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        if os.getpid() != self._pid:
+            return
+        for name in list(self._segments):
+            self.release(name)
+
+
+class _ShmArena:
+    """A grow-by-doubling shared-memory scratch segment.
+
+    One round's arrays are packed back to back after a single
+    :meth:`begin` sizing call; growth allocates a fresh (larger)
+    segment under a new name, so a peer still mapping the old one is
+    never resized under its feet — the old name is unlinked by the
+    registry (parent) or left to the parent's ledger (worker).
+    """
+
+    def __init__(self, prefix: str, registry: SegmentRegistry | None = None) -> None:
+        self._prefix = prefix
+        self._registry = registry
+        self._shm: SharedMemory | None = None
+        self._capacity = 0
+        self._offset = 0
+        self._serial = 0
+
+    @property
+    def name(self) -> str | None:
+        return self._shm.name if self._shm is not None else None
+
+    def begin(self, total: int) -> None:
+        """Start one round's packing; guarantees ``total`` capacity."""
+        if self._shm is None or self._capacity < total:
+            capacity = max(4096, self._capacity)
+            while capacity < total:
+                capacity *= 2
+            segment = SharedMemory(
+                create=True,
+                size=capacity,
+                name=f"{self._prefix}-{self._serial}",
+            )
+            self._serial += 1
+            if self._registry is not None:
+                self._registry.adopt(segment)
+            if self._shm is not None:
+                old = self._shm
+                try:
+                    old.close()
+                except BufferError:
+                    pass
+                if self._registry is not None:
+                    self._registry.release(old.name)
+            self._shm = segment
+            self._capacity = capacity
+        self._offset = 0
+
+    def put(self, array: np.ndarray) -> tuple[int, int, str]:
+        """Copy one array in; returns ``(offset, count, dtype)``."""
+        array = np.ascontiguousarray(array)
+        offset = self._offset
+        if array.nbytes:
+            view = np.frombuffer(
+                self._shm.buf, dtype=array.dtype, count=array.size, offset=offset
+            )
+            view[:] = array
+        self._offset = offset + array.nbytes
+        return (offset, int(array.size), array.dtype.str)
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+        if self._registry is not None:
+            self._registry.release(self._shm.name)
+        self._shm = None
+        self._capacity = 0
+
+
+def _pack_arrays(arena: _ShmArena, arrays: list) -> list:
+    total = sum(a.nbytes for a in arrays if a is not None)
+    arena.begin(total)
+    return [None if a is None else arena.put(a) for a in arrays]
+
+
+def _take(segment: SharedMemory | None, desc, copy: bool):
+    """One array back out of a segment (``copy`` detaches it)."""
+    if desc is None:
+        return None
+    offset, count, dtype = desc
+    if count == 0:
+        return np.empty(0, dtype=np.dtype(dtype))
+    view = np.frombuffer(
+        segment.buf, dtype=np.dtype(dtype), count=count, offset=offset
+    )
+    return np.array(view) if copy else view
+
+
+#: Flat packing order of one emission's arrays.
+_EMISSION_FIELDS = (
+    "cc_rows", "cc_cols", "cc_dist", "cc_quality", "prev_origin",
+)
+
+
+def _emission_to_arrays(emission: PartitionEmission) -> list:
+    arrays = [getattr(emission, field) for field in _EMISSION_FIELDS]
+    for pair in (emission.pw_ct, emission.cw_pt, emission.pw_pt):
+        arrays.extend(pair)
+    return arrays
+
+
+def _emission_from_arrays(arrays: list) -> PartitionEmission:
+    emission = PartitionEmission()
+    for field, array in zip(_EMISSION_FIELDS, arrays[:5]):
+        setattr(emission, field, array)
+    emission.pw_ct = (arrays[5], arrays[6])
+    emission.cw_pt = (arrays[7], arrays[8])
+    emission.pw_pt = (arrays[9], arrays[10])
+    return emission
+
+
+#: Packing order of the predicted-entity column arrays.
+def _columns_to_arrays(pw: PredictedWorkerColumns | None,
+                       pt: PredictedTaskColumns | None) -> list:
+    arrays: list = []
+    if pw is not None:
+        arrays += [pw.xs, pw.ys, pw.vel, pw.arr, *pw.intervals, pw.reach]
+    if pt is not None:
+        arrays += [pt.xs, pt.ys, pt.deadline, pt.arr, *pt.intervals, pt.reach]
+    return arrays
+
+
+def _unpack_columns(segment: SharedMemory | None, header: dict):
+    """Worker-side: rebuild the packed predicted columns as views."""
+    descs = header["descs"]
+    at = 0
+
+    def grab(count):
+        nonlocal at
+        arrays = [_take(segment, d, copy=False) for d in descs[at:at + count]]
+        at += count
+        return arrays
+
+    pw = pt = None
+    if header["pw"]:
+        xs, ys, vel, arr, ax_lo, ax_hi, ay_lo, ay_hi, reach = grab(9)
+        pw = PredictedWorkerColumns(
+            xs=xs, ys=ys, vel=vel, arr=arr,
+            intervals=(ax_lo, ax_hi, ay_lo, ay_hi), reach=reach,
+        )
+    if header["pt"]:
+        xs, ys, deadline, arr, ax_lo, ax_hi, ay_lo, ay_hi, reach = grab(9)
+        deadline_max, max_reach = header["pt_scalars"]
+        pt = PredictedTaskColumns(
+            xs=xs, ys=ys, deadline=deadline, arr=arr,
+            intervals=(ax_lo, ax_hi, ay_lo, ay_hi), reach=reach,
+            deadline_max=deadline_max, max_reach=max_reach,
+        )
+    return pw, pt
+
+
+def _worker_main(conn, spec: PipelineSpec, tiles: list[int]) -> None:
+    """A pinned worker: holds its tiles' pipelines for the stream's
+    lifetime, answering one churn-delta message per round."""
+    pipelines = {tile: spec.make(tile) for tile in tiles}
+    arena = _ShmArena(prefix=f"repro-w{os.getpid()}-{next(_ARENA_IDS)}")
+    attached: dict[str, SharedMemory] = {}
+
+    def attach(name: str) -> SharedMemory:
+        segment = attached.get(name)
+        if segment is None:
+            for old in attached.values():  # parent replaced its arena
+                old.close()
+            attached.clear()
+            segment = SharedMemory(name=name)
+            attached[name] = segment
+        return segment
+
+    try:
+        while True:
+            try:
+                data = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            message = pickle.loads(data)
+            if message.get("stop"):
+                break
+            pw = pt = None
+            columns = message["columns"]
+            if columns is not None:
+                segment = attach(columns["segment"]) if columns["segment"] else None
+                pw, pt = _unpack_columns(segment, columns)
+            outcomes = []
+            for tile_message in message["messages"]:
+                outcomes.append(
+                    pipelines[tile_message.tile].run_round(
+                        tile_message, message["now"], pw, pt
+                    )
+                )
+            all_arrays: list = []
+            for outcome in outcomes:
+                if outcome is not None:
+                    all_arrays.extend(_emission_to_arrays(outcome.emission))
+            descs = iter(_pack_arrays(arena, all_arrays))
+            entries = []
+            for outcome in outcomes:
+                if outcome is None:
+                    entries.append(None)
+                    continue
+                entries.append({
+                    "tile": outcome.tile,
+                    "incremental": outcome.incremental,
+                    "build_seconds": outcome.emission.build_seconds,
+                    "delta_stats": outcome.delta_stats,
+                    "sparse_stats": outcome.sparse_stats,
+                    "arrays": [next(descs) for _ in range(11)],
+                })
+            conn.send_bytes(
+                pickle.dumps({"segment": arena.name, "outcomes": entries})
+            )
+    finally:
+        conn.close()
+
+
+class ShmTileRunner:
+    """The process backend: persistent forked workers + shm arenas.
+
+    Implements the same runner interface as
+    :class:`~repro.streaming.pipeline.InlineTileRunner`; construct via
+    the engine's ``runner_factory`` hook.  Tiles are assigned to
+    workers statically (round robin), so a tile's pipeline state lives
+    in one process for the whole stream.
+    """
+
+    def __init__(
+        self, spec: PipelineSpec, num_tiles: int, max_workers: int | None = None
+    ) -> None:
+        ctx = get_context("fork")
+        # Start the resource tracker *before* forking: children then
+        # inherit its pipe and the whole family shares one tracker
+        # (and one name set).  Left lazy, each worker would spawn its
+        # own tracker on first attach, and those trackers — never
+        # seeing the parent's unlinks — would warn about (and re-free)
+        # segments at worker exit.
+        resource_tracker.ensure_running()
+        count = max(1, min(max_workers or num_tiles, num_tiles))
+        self._registry = SegmentRegistry()
+        self._arena = _ShmArena(
+            prefix=f"repro-p{os.getpid()}-{next(_ARENA_IDS)}",
+            registry=self._registry,
+        )
+        self._tiles_by_worker = [
+            list(range(num_tiles))[i::count] for i in range(count)
+        ]
+        self._tile_to_worker = {
+            tile: i
+            for i, tiles in enumerate(self._tiles_by_worker)
+            for tile in tiles
+        }
+        self._conns = []
+        self._procs = []
+        for i, tiles in enumerate(self._tiles_by_worker):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, spec, tiles),
+                daemon=True,
+                name=f"repro-shard-{i}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        self._worker_segments: dict[int, SharedMemory] = {}
+        self._latest_stats = [DeltaBuildStats() for _ in range(num_tiles)]
+        #: Cumulative pipe bytes both ways (the shm arrays are not
+        #: counted — they are exchanged, not copied through the pipe).
+        self.ipc_bytes_total = 0
+        self._closed = False
+
+    # -- the runner interface ----------------------------------------------
+
+    def run(self, messages, now, predicted_workers, predicted_tasks):
+        if self._closed:
+            raise RuntimeError("shm tile runner is closed")
+        columns = self._pack_columns(predicted_workers, predicted_tasks)
+        groups: dict[int, list[TileRoundMessage]] = {}
+        for message in messages:
+            groups.setdefault(self._tile_to_worker[message.tile], []).append(message)
+        for worker, group in groups.items():
+            payload = pickle.dumps(
+                {"now": now, "columns": columns, "messages": group}
+            )
+            self.ipc_bytes_total += len(payload)
+            try:
+                self._conns[worker].send_bytes(payload)
+            except (BrokenPipeError, OSError) as exc:
+                self._worker_died(worker, exc)
+        outcome_by_tile: dict[int, TileRoundOutcome | None] = {}
+        for worker, group in groups.items():
+            try:
+                data = self._conns[worker].recv_bytes()
+            except (EOFError, OSError) as exc:
+                self._worker_died(worker, exc)
+            self.ipc_bytes_total += len(data)
+            reply = pickle.loads(data)
+            segment = self._worker_segment(worker, reply["segment"])
+            for tile_message, entry in zip(group, reply["outcomes"]):
+                if entry is None:
+                    outcome_by_tile[tile_message.tile] = None
+                    continue
+                arrays = [
+                    _take(segment, desc, copy=True) for desc in entry["arrays"]
+                ]
+                outcome = TileRoundOutcome(
+                    tile=entry["tile"],
+                    emission=_emission_from_arrays(arrays),
+                    delta_stats=entry["delta_stats"],
+                    sparse_stats=entry["sparse_stats"],
+                    incremental=entry["incremental"],
+                )
+                outcome.emission.incremental = entry["incremental"]
+                outcome.emission.build_seconds = entry["build_seconds"]
+                self._latest_stats[outcome.tile] = outcome.delta_stats
+                outcome_by_tile[outcome.tile] = outcome
+        return [outcome_by_tile.get(message.tile) for message in messages]
+
+    def delta_stats_by_tile(self) -> list[DeltaBuildStats]:
+        return list(self._latest_stats)
+
+    def close(self) -> None:
+        """Stop the workers and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        stop = pickle.dumps({"stop": True})
+        for conn in self._conns:
+            try:
+                conn.send_bytes(stop)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._arena.close()
+        self._registry.close()
+        atexit.unregister(self._registry.close)
+
+    # -- internals -----------------------------------------------------------
+
+    def _worker_died(self, worker: int, exc: Exception):
+        raise RuntimeError(
+            f"shard worker {worker} (pid {self._procs[worker].pid}) died "
+            "mid-round; close() the engine — its shared-memory segments "
+            "are still reclaimed deterministically"
+        ) from exc
+
+    def _pack_columns(self, pw, pt):
+        if pw is None and pt is None:
+            return None
+        descs = _pack_arrays(self._arena, _columns_to_arrays(pw, pt))
+        return {
+            "segment": self._arena.name,
+            "descs": descs,
+            "pw": pw is not None,
+            "pt": pt is not None,
+            "pt_scalars": (pt.deadline_max, pt.max_reach) if pt is not None else None,
+        }
+
+    def _worker_segment(self, worker: int, name: str | None):
+        if name is None:
+            return None
+        current = self._worker_segments.get(worker)
+        if current is not None and current.name == name:
+            return current
+        segment = SharedMemory(name=name)
+        self._registry.adopt(segment)
+        if current is not None:
+            self._registry.release(current.name)
+        self._worker_segments[worker] = segment
+        return segment

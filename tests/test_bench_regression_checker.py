@@ -356,6 +356,96 @@ class TestStreamingRules:
         )
         assert rc == 1
 
+    def _sharded_payload(
+        self,
+        k4_speedup: float = 2.1,
+        k4_ipc: int | None = 800_000,
+        scaling_asserted: bool = True,
+        cpu_count: int = 8,
+        ipc_ceil: int | None = 4_000_000,
+    ) -> dict:
+        payload = _streaming_payload(5000.0, 6.4)
+        k4 = {
+            "backend": "process",
+            "num_shards": 4,
+            "speedup_vs_serial": k4_speedup,
+        }
+        if k4_ipc is not None:
+            k4["ipc_bytes_per_round"] = k4_ipc
+        payload["sharded"] = {
+            "cpu_count": cpu_count,
+            "scaling_asserted": scaling_asserted,
+            "scaling_floor": 1.8,
+            "serial": {"rounds_per_second": 0.55},
+            "variants": {"K4_process": k4},
+        }
+        if ipc_ceil is not None:
+            payload["sharded"]["ipc_bytes_per_round_ceil"] = ipc_ceil
+        return payload
+
+    def _run_sharded(self, checker, tmp_path, base: dict, fresh: dict) -> int:
+        _write(tmp_path / "base", "BENCH_streaming.json", base)
+        _write(tmp_path / "fresh", "BENCH_streaming.json", fresh)
+        return checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+
+    def test_sharded_healthy_passes(self, checker, tmp_path):
+        rc = self._run_sharded(
+            checker, tmp_path, self._sharded_payload(), self._sharded_payload(2.0)
+        )
+        assert rc == 0
+
+    def test_sharded_ipc_over_recorded_ceiling_fails(self, checker, tmp_path):
+        """Round messages swelling past the recorded per-round pipe
+        budget — a regression from churn deltas back toward full
+        pools — must trip the gate even when throughput looks fine."""
+        rc = self._run_sharded(
+            checker, tmp_path,
+            self._sharded_payload(),
+            self._sharded_payload(k4_ipc=9_000_000),
+        )
+        assert rc == 1
+
+    def test_sharded_ipc_silently_dropped_fails(self, checker, tmp_path):
+        rc = self._run_sharded(
+            checker, tmp_path,
+            self._sharded_payload(),
+            self._sharded_payload(k4_ipc=None),
+        )
+        assert rc == 1
+
+    def test_sharded_scaling_floor_armed_fails_below_floor(self, checker, tmp_path):
+        """A fresh run that *asserted* scaling (>= 4 cores) is held to
+        the absolute floor recorded in the baseline."""
+        rc = self._run_sharded(
+            checker, tmp_path,
+            self._sharded_payload(),
+            self._sharded_payload(k4_speedup=1.2),
+        )
+        assert rc == 1
+
+    @pytest.mark.parametrize(
+        "fresh_kwargs",
+        [
+            {"k4_speedup": 1.2, "scaling_asserted": False},
+            {"k4_speedup": 1.2, "cpu_count": 2},
+        ],
+        ids=["not-asserted", "too-few-cores"],
+    )
+    def test_sharded_scaling_floor_disarmed_passes(
+        self, checker, tmp_path, fresh_kwargs
+    ):
+        """A laptop run records its (noisy) speedups without being held
+        to a parallelism bar the machine cannot reach."""
+        rc = self._run_sharded(
+            checker, tmp_path,
+            self._sharded_payload(),
+            self._sharded_payload(**fresh_kwargs),
+        )
+        assert rc == 0
+
     def test_missing_baseline_passes(self, checker, tmp_path):
         (tmp_path / "base").mkdir()
         _write(tmp_path / "fresh", "BENCH_streaming.json", _streaming_payload(5000.0, 6.4))
@@ -441,6 +531,53 @@ class TestAgainstCommittedBaselines:
         corrupted["health"]["delta_incremental_rate_floor"] = 0.999
         (base / "BENCH_streaming.json").write_text(json.dumps(corrupted))
         rc = checker.main(["--baseline", str(base), "--fresh", str(REPO_ROOT)])
+        assert rc == 1
+
+    def test_corrupted_ipc_ceiling_baseline_fails(self, checker, tmp_path):
+        """Lowering the recorded IPC ceiling below the repo's own fresh
+        per-round pipe bytes must trip the gate — the proof the IPC
+        budget bites on the real committed file."""
+        base = tmp_path / "base"
+        base.mkdir()
+        for name in checker.BENCH_FILES:
+            shutil.copy(REPO_ROOT / name, base / name)
+        corrupted = json.loads((base / "BENCH_streaming.json").read_text())
+        sharded = corrupted.get("sharded")
+        assert sharded, "committed baseline lost its sharded section"
+        fresh_ipc = [
+            v["ipc_bytes_per_round"]
+            for v in sharded["variants"].values()
+            if v.get("ipc_bytes_per_round")
+        ]
+        assert fresh_ipc, "committed sharded section records no IPC figures"
+        sharded["ipc_bytes_per_round_ceil"] = min(fresh_ipc) - 1
+        (base / "BENCH_streaming.json").write_text(json.dumps(corrupted))
+        rc = checker.main(["--baseline", str(base), "--fresh", str(REPO_ROOT)])
+        assert rc == 1
+
+    def test_committed_scaling_floor_is_armed_on_capable_runs(self, checker, tmp_path):
+        """The committed baseline records the scaling floor that arms
+        on >= 4-core scaling-asserted runs: a fresh result asserting
+        scaling below that floor must fail against the real file."""
+        base = tmp_path / "base"
+        base.mkdir()
+        for name in checker.BENCH_FILES:
+            shutil.copy(REPO_ROOT / name, base / name)
+        committed = json.loads((base / "BENCH_streaming.json").read_text())
+        floor = committed["sharded"].get("scaling_floor")
+        assert floor is not None, "committed baseline lost its scaling floor"
+        fresh = json.loads(json.dumps(committed))
+        fresh["sharded"]["scaling_asserted"] = True
+        fresh["sharded"]["cpu_count"] = checker._SCALING_MIN_CORES
+        fresh["sharded"]["variants"]["K4_process"]["speedup_vs_serial"] = (
+            floor - 0.5
+        )
+        fresh_dir = tmp_path / "fresh"
+        fresh_dir.mkdir()
+        for name in checker.BENCH_FILES:
+            shutil.copy(REPO_ROOT / name, fresh_dir / name)
+        (fresh_dir / "BENCH_streaming.json").write_text(json.dumps(fresh))
+        rc = checker.main(["--baseline", str(base), "--fresh", str(fresh_dir)])
         assert rc == 1
 
     def test_tolerance_validation(self, checker, tmp_path):

@@ -221,11 +221,14 @@ class TestStreamCommand:
             ]
         ) == 0
         out = capsys.readouterr().out
-        assert "citywide / greedy / sparse / 4 shards (serial)" in out
+        # The sharded path runs the fused delta pipeline by default,
+        # and the label must say so (it used to silently read sparse).
+        assert "citywide / greedy / delta / 4 shards (serial)" in out
         assert "tile build mean ms:" in out
         summary = json.loads(path.read_text())
         assert summary["shards"] == 4
         assert summary["backend"] == "serial"
+        assert summary["builder"] == "delta"
 
     def test_stream_sharded_matches_unsharded(self, capsys, tmp_path):
         import json
@@ -252,6 +255,46 @@ class TestStreamCommand:
             ["stream", "--shards", "2", "--dense", "--workers", "10", "--tasks", "10"]
         ) == 2
         assert "sparse builder" in capsys.readouterr().err
+
+    def test_stream_shards_reject_delta_slack(self, capsys):
+        """--shards + --delta + positive --delta-slack is unsupported
+        (per-tile pools have no motion slack) and must error, not
+        silently drop the incremental flags."""
+        assert main(
+            [
+                "stream", "--shards", "2", "--delta-slack", "0.05",
+                "--workers", "10", "--tasks", "10",
+            ]
+        ) == 2
+        assert "motion slack" in capsys.readouterr().err
+
+    def test_stream_sharded_no_delta_uses_fresh_builds(self, capsys, tmp_path):
+        """The sharded engine honors --no-delta (legacy fresh path)
+        and the slack combination becomes legal again."""
+        import json
+
+        path = tmp_path / "fresh.json"
+        assert main(
+            [
+                "stream", "--scenario", "bursty", "--workers", "40",
+                "--tasks", "40", "--instances", "2", "--shards", "2",
+                "--backend", "serial", "--no-delta", "--delta-slack", "0.05",
+                "--json", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        summary = json.loads(path.read_text())
+        assert summary["builder"] == "sparse"
+
+    def test_stream_sharded_delta_slack_zero_allowed(self, capsys):
+        assert main(
+            [
+                "stream", "--scenario", "bursty", "--workers", "30",
+                "--tasks", "30", "--instances", "2", "--shards", "2",
+                "--backend", "serial", "--delta-slack", "0.0",
+            ]
+        ) == 0
+        capsys.readouterr()
 
     def test_stream_dense_mode(self, capsys):
         assert main(

@@ -150,6 +150,104 @@ class TestObserverSpans:
         assert obs.metrics.counter("delta_primes_total").value == 1.0
         assert obs.metrics.histogram("stream_price_seconds").count == 1
 
+    def test_tile_pool_events_land_on_shard_tracks(self):
+        """Per-tile delta lifecycle events (repair / prime /
+        border_rejoin) book tile-labelled counters and instants with
+        the same tid convention as the tile build spans."""
+        obs = StreamObserver(MetricsRegistry(), TraceRecorder())
+        timer = obs.begin_round(0, 0.0)
+        # Zero durations keep the end-anchored tile spans inside this
+        # (instant-length) synthetic round.
+        obs.record_tile_phases([(0, 0.0), (1, 0.0), (-1, 0.0)])
+        obs.record_tile_pool_events(
+            [(0, "repair"), (1, "prime"), (1, "border_rejoin"), (1, "repair")]
+        )
+        timer.finish()
+        obs.end_round(timer)
+
+        metrics = obs.metrics
+        assert (
+            metrics.counter("tile_delta_repairs_total", labels={"tile": "0"}).value
+            == 1.0
+        )
+        assert (
+            metrics.counter("tile_delta_repairs_total", labels={"tile": "1"}).value
+            == 1.0
+        )
+        assert (
+            metrics.counter("tile_delta_primes_total", labels={"tile": "1"}).value
+            == 1.0
+        )
+        assert (
+            metrics.counter(
+                "tile_border_rejoins_total", labels={"tile": "1"}
+            ).value
+            == 1.0
+        )
+
+        trace = obs.trace.to_chrome_trace()
+        assert validate_chrome_trace(trace) == []
+        instants = {
+            (e["name"], e["tid"])
+            for e in trace["traceEvents"]
+            if e["ph"] == "i" and e["cat"] == "shard"
+        }
+        assert {
+            ("tile0.repair", 1),
+            ("tile1.prime", 2),
+            ("tile1.border_rejoin", 2),
+            ("tile1.repair", 2),
+        } <= instants
+        # Instants share the tile's track with its build span.
+        build_tids = {
+            e["tid"]
+            for e in trace["traceEvents"]
+            if e["name"] == "tile1.build"
+        }
+        assert build_tids == {2}
+
+    def test_tile_pool_events_disabled_and_unknown_kind(self):
+        obs = StreamObserver(MetricsRegistry(enabled=False), TraceRecorder(False))
+        obs.record_tile_pool_events([(0, "repair")])  # no-op when disabled
+        obs2 = StreamObserver(MetricsRegistry(), TraceRecorder())
+        obs2.record_tile_pool_events([(0, "not_a_kind")])
+        assert not obs2.trace.to_chrome_trace()["traceEvents"]
+
+    def test_sharded_stream_emits_pool_event_instants(self):
+        """End to end: a traced sharded run produces per-tile prime
+        instants (round 1 primes every tile) on the shard tracks."""
+        from repro.core import MQAGreedy
+        from repro.streaming import (
+            ShardingConfig,
+            StreamConfig,
+            prepared_sharded_engine,
+        )
+        from repro.workloads import BurstyWorkload, WorkloadParams
+
+        workload = BurstyWorkload(
+            WorkloadParams(num_workers=50, num_tasks=50, num_instances=2),
+            seed=11,
+        )
+        engine, _ = prepared_sharded_engine(
+            workload,
+            MQAGreedy(),
+            config=StreamConfig(
+                round_interval=0.5, budget=20.0, enable_tracing=True
+            ),
+            sharding=ShardingConfig(num_shards=2, backend="serial"),
+            seed=11,
+        )
+        with engine:
+            engine.advance_to(2.0)
+            trace = engine.observer.trace.to_chrome_trace()
+        assert validate_chrome_trace(trace) == []
+        names = {
+            e["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "i" and e["cat"] == "shard"
+        }
+        assert {"tile0.prime", "tile1.prime"} <= names
+
     def test_stats_diffed_not_recounted(self):
         obs = StreamObserver(MetricsRegistry(), TraceRecorder(enabled=False))
 

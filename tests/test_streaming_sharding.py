@@ -428,7 +428,13 @@ class TestTileSliceCache:
             ),
             seed=9,
         )
-        config = StreamConfig(round_interval=0.25, budget=0.0, use_prediction=False)
+        # use_delta_builder=False: the slice cache serves the legacy
+        # fresh-build path; the fused pipeline keeps per-tile state in
+        # its own pools and never touches it.
+        config = StreamConfig(
+            round_interval=0.25, budget=0.0, use_prediction=False,
+            use_delta_builder=False,
+        )
         engine, _ = prepared_sharded_engine(
             workload, MQAGreedy(), config=config,
             sharding=ShardingConfig(num_shards=4, backend="serial"), seed=9,
