@@ -19,7 +19,11 @@ The job fails when:
   recorded in the baseline (round messages regressing from churn
   deltas back to full pools), or — on a scaling-asserted fresh run
   with at least 4 cores — the K=4 process backend falls below the
-  recorded ``scaling_floor``.
+  recorded ``scaling_floor``, or
+- the ``serving`` section regresses: recovery stops being
+  ``bit_identical``, admission control stops engaging, the tenant
+  count falls below its recorded floor, or the admission-latency /
+  recovery-time measurements silently disappear.
 
 A baseline file that does not exist passes with a note (first run); a
 *fresh* file that does not exist fails, because that means the bench
@@ -298,6 +302,65 @@ def check_streaming(
     errors.extend(_check_warm_select_section(baseline, fresh, tolerance))
     errors.extend(_check_health_section(baseline, fresh))
     errors.extend(_check_sharded_section(baseline, fresh, tolerance))
+    errors.extend(_check_serving_section(baseline, fresh))
+    return errors
+
+
+def _check_serving_section(baseline: dict, fresh: dict) -> list[str]:
+    """Guards for the serving-layer section.
+
+    Everything gated here is machine-independent: recovery
+    ``bit_identical`` is a digest comparison, admission ``engaged`` is
+    a deterministic queue-overflow construction, and the tenant count
+    is a configuration fact checked against the floor recorded in the
+    baseline.  The wall-clock figures (admission wait percentiles,
+    checkpoint/recovery milliseconds) are trajectory data: their
+    *presence* is enforced — the measurement silently disappearing is
+    a regression — but their values are not.
+    """
+    errors: list[str] = []
+    base_serving = baseline.get("serving")
+    fresh_serving = fresh.get("serving")
+    if base_serving is None:
+        return errors
+    if fresh_serving is None:
+        errors.append(
+            "streaming: the baseline has a 'serving' section but the fresh "
+            "results do not — the serving bench silently stopped running"
+        )
+        return errors
+    floor = base_serving.get("tenants_floor")
+    tenants = fresh_serving.get("tenants")
+    if floor is not None and (tenants is None or tenants < floor):
+        errors.append(
+            f"streaming serving: tenants {tenants} fell below the recorded "
+            f"floor {floor}"
+        )
+    admission = fresh_serving.get("admission") or {}
+    if admission.get("engaged") is not True:
+        errors.append(
+            "streaming serving: admission control did not engage — the "
+            "bounded queue never produced a typed rejection"
+        )
+    wait_ms = admission.get("wait_ms") or {}
+    for quantile in ("p50", "p95", "p99"):
+        if not isinstance(wait_ms.get(quantile), (int, float)):
+            errors.append(
+                f"streaming serving: admission wait_ms misses {quantile} — "
+                "the admission-latency measurement silently stopped"
+            )
+    recovery = fresh_serving.get("recovery") or {}
+    if recovery.get("bit_identical") is not True:
+        errors.append(
+            "streaming serving: recovery is not bit_identical — "
+            "checkpoint+journal replay diverged from the uninterrupted run"
+        )
+    for key in ("checkpoint_ms", "recovery_ms", "replayed_ops"):
+        if not isinstance(recovery.get(key), (int, float)):
+            errors.append(
+                f"streaming serving: recovery section misses {key} — the "
+                "recovery-time measurement silently stopped"
+            )
     return errors
 
 

@@ -1,0 +1,312 @@
+"""Serving-layer bench: admission latency and recovery time.
+
+Two tiers, like every streaming bench:
+
+- ``test_serving_small_ci`` — always on: four concurrent tenants over
+  the async server reproduce their serial references bit-identically,
+  admission control engages (a deterministic queue_full burst against
+  a gated tenant), and a checkpoint+replay reopen is digest-identical.
+- ``test_serving_bench`` — gated by ``REPRO_SCALING_BENCH=1`` (the CI
+  bench job): records the ``serving`` section of
+  ``BENCH_streaming.json`` — tenant count, admission wait percentiles,
+  queue_full engagement counts, checkpoint/recovery wall times and the
+  bit-identity verdict — gated downstream by
+  ``check_bench_regression.py`` (bit_identical and engaged must stay
+  true, tenant count must hold its floor; wall-clock figures are
+  recorded for the trajectory, not hard-gated).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+from time import perf_counter
+
+import pytest
+
+from _bench_utils import merge_bench_json
+from repro.core import MQAGreedy
+from repro.streaming import (
+    AdmissionError,
+    JournaledService,
+    ServerConfig,
+    StreamConfig,
+    StreamingService,
+    StreamServer,
+    TenantSpec,
+    state_digest,
+    workload_events,
+)
+from repro.streaming.events import WorkerArrival
+from repro.workloads import BurstyWorkload, WorkloadParams
+
+NUM_TENANTS = 4
+TENANTS_FLOOR = 4
+
+
+def _schedule(seed: int, num_workers=30, num_tasks=36, num_instances=5):
+    workload = BurstyWorkload(
+        WorkloadParams(
+            num_workers=num_workers,
+            num_tasks=num_tasks,
+            num_instances=num_instances,
+        ),
+        seed=seed,
+    )
+    quality_model = workload.quality_model
+
+    def factory():
+        return StreamingService(
+            MQAGreedy(),
+            quality_model,
+            config=StreamConfig(round_interval=0.5),
+            seed=seed,
+        )
+
+    ops = []
+    boundary = 0.5
+    for event in workload_events(workload):
+        while event.time > boundary:
+            ops.append(("drain", boundary))
+            boundary += 0.5
+        if isinstance(event, WorkerArrival):
+            ops.append(("worker", event.worker, event.time))
+        else:
+            ops.append(("task", event.task, event.time))
+    ops.append(("drain", boundary + 1.0))
+    return factory, ops
+
+
+def _apply(service, op):
+    if op[0] == "drain":
+        return service.drain(op[1])
+    if op[0] == "worker":
+        return service.submit_worker(op[1], op[2])
+    return service.submit_task(op[1], op[2])
+
+
+async def _replay(server, tenant, ops):
+    for op in ops:
+        if op[0] == "drain":
+            await server.drain(tenant, op[1])
+        elif op[0] == "worker":
+            await server.submit_worker(tenant, op[1], op[2])
+        else:
+            await server.submit_task(tenant, op[1], op[2])
+
+
+class _GatedService:
+    """Blocks mutating ops on an event: deterministic backpressure."""
+
+    def __init__(self, inner, gate):
+        self._inner = inner
+        self._gate = gate
+
+    def submit_worker(self, worker, at=None):
+        self._gate.wait(timeout=10)
+        return self._inner.submit_worker(worker, at)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+async def _force_queue_full(server, factory, workers) -> int:
+    """Engage admission control: gate the pump, overflow the queue.
+
+    Returns the number of typed queue_full rejections (>= 1 by
+    construction: depth 2, one op executing, two queued, the rest
+    bounce).
+    """
+    gate = threading.Event()
+    server.add_tenant(
+        TenantSpec(name="gated", max_queue_depth=2),
+        lambda: _GatedService(factory(), gate),
+    )
+    first = asyncio.ensure_future(server.submit_worker("gated", workers[0], 0.0))
+    wait_hist = server.registry.histogram(
+        "server_admission_wait_seconds", {"tenant": "gated"}
+    )
+    for _ in range(1000):
+        if wait_hist.count >= 1:
+            break
+        await asyncio.sleep(0.005)
+    pending = [
+        asyncio.ensure_future(server.submit_worker("gated", w, 0.0))
+        for w in workers[1:3]
+    ]
+    await asyncio.sleep(0)
+    rejected = 0
+    for worker in workers[3:8]:
+        try:
+            await server.submit_worker("gated", worker, 0.0)
+        except AdmissionError as exc:
+            assert exc.reason == "queue_full"
+            rejected += 1
+    gate.set()
+    await asyncio.gather(first, *pending)
+    return rejected
+
+
+def _admission_run(num_tenants: int) -> dict:
+    """Serve ``num_tenants`` concurrent tenants; measure admission."""
+    tenants = {f"tenant-{i}": _schedule(seed=40 + i) for i in range(num_tenants)}
+    gate_factory, gate_ops = _schedule(seed=99)
+    gate_workers = [op[1] for op in gate_ops if op[0] == "worker"]
+
+    async def serve():
+        async with StreamServer(ServerConfig(num_workers=2)) as server:
+            for name, (factory, _) in tenants.items():
+                server.add_tenant(TenantSpec(name=name, max_queue_depth=512), factory)
+            started = perf_counter()
+            await asyncio.gather(
+                *(_replay(server, n, ops) for n, (_, ops) in tenants.items())
+            )
+            wall = perf_counter() - started
+            rejected = await _force_queue_full(server, gate_factory, gate_workers)
+            digests = {
+                name: state_digest(server.service(name).engine) for name in tenants
+            }
+            waits = [
+                h
+                for h in server.registry.find("server_admission_wait_seconds")
+                if dict(h.labels).get("tenant") != "gated"
+            ]
+            count = sum(h.count for h in waits)
+            # Pool the per-tenant histograms by observation count.
+            wait_ms = {
+                q: round(
+                    1000.0
+                    * sum(h.percentile(p) * h.count for h in waits)
+                    / max(count, 1),
+                    6,
+                )
+                for q, p in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+            }
+            admitted = sum(
+                c.value for c in server.registry.find("server_admitted_total")
+            )
+            prometheus = server.metrics_prometheus()
+            return {
+                "digests": digests,
+                "wall_seconds": wall,
+                "admitted": int(admitted),
+                "rejected_queue_full": rejected,
+                "wait_ms": wait_ms,
+                "ops": sum(len(ops) for _, ops in tenants.values()),
+                "prometheus": prometheus,
+            }
+
+    run = asyncio.run(serve())
+    for name, (factory, ops) in tenants.items():
+        reference = factory()
+        for op in ops:
+            _apply(reference, op)
+        assert run["digests"][name] == state_digest(reference.engine), (
+            f"{name}: served engine diverged from its serial reference"
+        )
+        reference.close()
+    # Per-tenant SLO really exported for every tenant:
+    for name in tenants:
+        assert (
+            f'tenant_phase_latency_ms{{phase="round",quantile="p99",'
+            f'tenant="{name}"}}' in run["prometheus"]
+        )
+    assert run["rejected_queue_full"] >= 1, "admission control never engaged"
+    return run
+
+
+def _recovery_run(tmp_path) -> dict:
+    """Measure checkpoint cost and crash-recovery time.
+
+    Applies the schedule with periodic checkpoints, abandons the
+    service without a final checkpoint (the crash), times the
+    :meth:`JournaledService.open` replay, and verifies bit-identity
+    against an uninterrupted run.
+    """
+    factory, ops = _schedule(seed=77, num_workers=40, num_tasks=48, num_instances=6)
+    directory = tmp_path / "serving-recovery"
+
+    crashed = JournaledService.open(
+        factory, directory, checkpoint_every=4, fsync=False
+    )
+    for op in ops:
+        _apply(crashed, op)
+    rounds_total = crashed.engine.rounds_run
+    started = perf_counter()
+    checkpoint_path = crashed.checkpoint()
+    checkpoint_seconds = perf_counter() - started
+    checkpoint_bytes = checkpoint_path.stat().st_size
+    # The crash: more ops land in the journal after the checkpoint,
+    # then the process "dies" without closing.
+    extra = [("drain", float(rounds_total) / 2 + offset) for offset in (1.0, 1.5, 2.0)]
+    for op in extra:
+        _apply(crashed, op)
+    del crashed
+
+    started = perf_counter()
+    recovered = JournaledService.open(
+        factory, directory, checkpoint_every=10_000, fsync=False
+    )
+    recovery_seconds = perf_counter() - started
+    replayed_ops = recovered.ops_applied - (len(ops))
+
+    reference = factory()
+    for op in ops + extra:
+        _apply(reference, op)
+    bit_identical = state_digest(recovered.engine) == state_digest(reference.engine)
+    rounds = recovered.engine.rounds_run
+    recovered.close(checkpoint=False)
+    reference.close()
+    assert bit_identical, "recovery diverged from the uninterrupted run"
+    assert replayed_ops == len(extra)
+    return {
+        "checkpoint_ms": round(1000.0 * checkpoint_seconds, 3),
+        "checkpoint_bytes": checkpoint_bytes,
+        "recovery_ms": round(1000.0 * recovery_seconds, 3),
+        "replayed_ops": replayed_ops,
+        "rounds_recovered": rounds,
+        "bit_identical": bool(bit_identical),
+    }
+
+
+def test_serving_small_ci(tmp_path):
+    """Always-on serving differential at CI scale: concurrency never
+    leaks into results, admission engages, recovery is bit-identical."""
+    run = _admission_run(num_tenants=2)
+    assert run["admitted"] >= run["ops"]
+    recovery = _recovery_run(tmp_path)
+    assert recovery["bit_identical"]
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SCALING_BENCH") != "1",
+    reason="serving bench section; set REPRO_SCALING_BENCH=1 (the CI bench job does)",
+)
+def test_serving_bench(tmp_path):
+    """Record the ``serving`` section of BENCH_streaming.json."""
+    run = _admission_run(num_tenants=NUM_TENANTS)
+    recovery = _recovery_run(tmp_path)
+    ops_per_second = run["ops"] / run["wall_seconds"] if run["wall_seconds"] else 0.0
+    section = {
+        "tenants": NUM_TENANTS,
+        "tenants_floor": TENANTS_FLOOR,
+        "num_worker_slots": 2,
+        "ops_per_second": round(ops_per_second, 1),
+        "admission": {
+            "admitted": run["admitted"],
+            "rejected_queue_full": run["rejected_queue_full"],
+            "engaged": run["rejected_queue_full"] >= 1,
+            "wait_ms": run["wait_ms"],
+        },
+        "recovery": recovery,
+    }
+    merge_bench_json("streaming", {"serving": section})
+    print(
+        f"serving: {NUM_TENANTS} tenants, {ops_per_second:.0f} ops/s, "
+        f"admission wait p99 {run['wait_ms']['p99']:.3f} ms, "
+        f"checkpoint {recovery['checkpoint_ms']:.1f} ms "
+        f"({recovery['checkpoint_bytes']} B), "
+        f"recovery {recovery['recovery_ms']:.1f} ms "
+        f"({recovery['replayed_ops']} ops replayed)"
+    )

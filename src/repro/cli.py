@@ -6,10 +6,13 @@ Usage::
     mqa-experiments fig11 --scale 0.1 --seed 7
     mqa-experiments all --scale 0.05 --csv out/
     mqa-experiments stream --scenario bursty --round-interval 0.5
+    mqa-experiments serve --tenants 4 --num-workers 2
 
 Each figure command runs the corresponding sweep and prints the quality
 and runtime series (the same rows the paper plots); ``stream`` replays
-a scenario through the event-driven engine and reports throughput.
+a scenario through the event-driven engine and reports throughput;
+``serve`` runs the async multi-tenant serving layer (admission
+control, per-tenant SLO metrics, optional checkpoint/replay recovery).
 """
 
 from __future__ import annotations
@@ -35,7 +38,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        help="figure id (see `list`), `all`, `list`, or `stream`",
+        help="figure id (see `list`), `all`, `list`, `stream`, or `serve`",
     )
     parser.add_argument(
         "--scale",
@@ -443,12 +446,194 @@ def _run_stream_command(argv: list[str]) -> int:
     return 0
 
 
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mqa-experiments serve",
+        description="Run the async multi-tenant serving layer: N tenant "
+        "engines (one scenario replay each) multiplexed over a worker "
+        "pool with admission control and per-tenant SLO metrics.",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=4,
+        help="concurrent tenant instances (default 4)",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=("bursty", "hotspot", "citywide", "synthetic"),
+        default="bursty",
+        help="arrival scenario replayed by every tenant (default bursty)",
+    )
+    parser.add_argument("--workers", type=int, default=30, help="workers per instance")
+    parser.add_argument("--tasks", type=int, default=40, help="tasks per instance")
+    parser.add_argument("--instances", type=int, default=4, help="instances per tenant")
+    parser.add_argument(
+        "--hotspots", type=int, default=4, help="hotspots for citywide (default 4)"
+    )
+    parser.add_argument(
+        "--velocity",
+        type=float,
+        nargs=2,
+        default=(0.2, 0.4),
+        metavar=("LO", "HI"),
+        help="worker velocity range (default 0.2 0.4)",
+    )
+    parser.add_argument(
+        "--round-interval", type=float, default=0.5, help="round cadence (default 0.5)"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="base seed (default 7)")
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=2,
+        help="concurrent engine execution slots across tenants (default 2)",
+    )
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=64,
+        help="per-tenant submit queue bound (default 64)",
+    )
+    parser.add_argument(
+        "--recovery-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="journal + checkpoint every tenant under DIR/<tenant> "
+        "(crash recovery via replay; see docs/operations.md)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the server registry (admission counters, queue "
+        "depth, per-tenant SLO gauges) as a JSON snapshot",
+    )
+    parser.add_argument(
+        "--prometheus-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the same registry in Prometheus text exposition",
+    )
+    return parser
+
+
+def _run_serve_command(argv: list[str] | None) -> int:
+    args = _build_serve_parser().parse_args(argv)
+    if args.tenants < 1:
+        print("--tenants must be >= 1", file=sys.stderr)
+        return 2
+    import asyncio
+
+    from repro.core import MQAGreedy
+    from repro.streaming import (
+        ServerConfig,
+        StreamConfig,
+        StreamingService,
+        StreamServer,
+        TenantSpec,
+        workload_events,
+    )
+    from repro.streaming.events import WorkerArrival
+
+    config = StreamConfig(round_interval=args.round_interval)
+
+    def tenant_factory(seed):
+        workload = _stream_workload(argparse.Namespace(**{**vars(args), "seed": seed}))
+        quality_model = workload.quality_model
+
+        def factory():
+            return StreamingService(
+                MQAGreedy(), quality_model, config=config, seed=seed
+            )
+
+        return workload, factory
+
+    async def _serve() -> dict:
+        server = StreamServer(ServerConfig(num_workers=args.num_workers))
+        async with server:
+            workloads = {}
+            for i in range(args.tenants):
+                name = f"tenant-{i}"
+                workload, factory = tenant_factory(args.seed + i)
+                recovery = (
+                    args.recovery_dir / name if args.recovery_dir is not None else None
+                )
+                server.add_tenant(
+                    TenantSpec(
+                        name=name,
+                        max_queue_depth=args.max_queue_depth,
+                        recovery_dir=recovery,
+                    ),
+                    factory,
+                )
+                workloads[name] = workload
+
+            async def run_tenant(name, workload):
+                boundary = args.round_interval
+                for event in workload_events(workload):
+                    while event.time > boundary:
+                        await server.drain(name, boundary)
+                        boundary += args.round_interval
+                    if isinstance(event, WorkerArrival):
+                        await server.submit_worker(name, event.worker, event.time)
+                    else:
+                        await server.submit_task(name, event.task, event.time)
+                await server.drain(name, boundary + 1.0)
+                return await server.snapshot(name)
+
+            started = monotonic()
+            snapshots = await asyncio.gather(
+                *(run_tenant(n, w) for n, w in workloads.items())
+            )
+            wall = monotonic() - started
+            for name, snap in zip(workloads, snapshots):
+                print(
+                    f"{name}: {snap.rounds_run} rounds, "
+                    f"{snap.assignments} assignments, "
+                    f"quality {snap.total_quality:.3f}"
+                )
+            admitted = sum(
+                c.value for c in server.registry.find("server_admitted_total")
+            )
+            rejected = sum(
+                c.value for c in server.registry.find("server_rejected_total")
+            )
+            print(
+                f"served {args.tenants} tenants in {wall:.2f}s "
+                f"({args.num_workers} slots): {admitted:.0f} ops admitted, "
+                f"{rejected:.0f} rejected"
+            )
+            return {
+                "prometheus": server.metrics_prometheus(),
+                "json": server.metrics_json(),
+            }
+
+    exports = asyncio.run(_serve())
+    if args.metrics_out is not None:
+        args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        args.metrics_out.write_text(
+            json.dumps(exports["json"], indent=1) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.metrics_out}")
+    if args.prometheus_out is not None:
+        args.prometheus_out.parent.mkdir(parents=True, exist_ok=True)
+        args.prometheus_out.write_text(exports["prometheus"], encoding="utf-8")
+        print(f"wrote {args.prometheus_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "stream":
         return _run_stream_command(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve_command(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.figure == "list":

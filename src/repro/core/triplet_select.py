@@ -63,6 +63,10 @@ failure (non-monotone origin, inconsistent occupancy keys, churn past
 ``repair_ratio``) falls back to a full cold build, so warm selections
 are bit-identical to cold ones by construction; the hypothesis suite
 in ``tests/test_selection_state.py`` enforces it end to end.
+
+How this layer composes with the delta pool and the sharded tile
+pipelines is described in ``docs/architecture.md`` (the incremental
+round pipeline section).
 """
 
 from __future__ import annotations

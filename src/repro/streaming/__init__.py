@@ -30,6 +30,19 @@ from repro.streaming.adapters import (
     workload_events,
 )
 from repro.streaming.service import StreamSnapshot, StreamingService
+from repro.streaming.recovery import (
+    CheckpointWriter,
+    JournaledService,
+    OpJournal,
+    RecoveryError,
+    state_digest,
+)
+from repro.streaming.server import (
+    AdmissionError,
+    ServerConfig,
+    StreamServer,
+    TenantSpec,
+)
 from repro.streaming.sharding import (
     ShardedStreamingEngine,
     ShardingConfig,
@@ -53,6 +66,15 @@ __all__ = [
     "run_stream",
     "StreamSnapshot",
     "StreamingService",
+    "OpJournal",
+    "CheckpointWriter",
+    "JournaledService",
+    "RecoveryError",
+    "state_digest",
+    "AdmissionError",
+    "ServerConfig",
+    "StreamServer",
+    "TenantSpec",
     "ShardingConfig",
     "ShardedStreamingEngine",
     "build_problem_sharded",

@@ -382,6 +382,64 @@ class StreamingEngine:
         """
         return self._log[start:]
 
+    # -- lifecycle / durability ---------------------------------------------
+
+    def close(self) -> None:
+        """Release build-path resources (idempotent).
+
+        The serial engine's fused builder runs inline, so this is
+        cheap — it exists so every engine in the family shares one
+        lifecycle surface (the sharded engine's process backend *must*
+        be closed to stop its pinned workers).
+        """
+        if self._fused_builder is not None:
+            self._fused_builder.close()
+
+    def __enter__(self) -> "StreamingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def export_state(self) -> bytes:
+        """The engine's full round state as one opaque durable blob.
+
+        This is the journal-export hook the recovery layer
+        (:mod:`repro.streaming.recovery`) checkpoints: the candidate
+        pool caches, persistent selection state, predictor windows,
+        RNG state, event queue and audit log all travel in the blob,
+        so :meth:`restore_state` + a replay of the operations issued
+        after the export reaches bit-identical state to an engine
+        that never stopped (the kill-and-replay differential suite
+        proves it).  Only in-process engines are exportable — a
+        process-backed sharded engine holds pinned workers and shared
+        memory that cannot be serialized.
+        """
+        import pickle
+
+        from repro.streaming.pipeline import InlineTileRunner
+
+        runner = getattr(self._fused_builder, "_runner", None)
+        if runner is not None and not isinstance(runner, InlineTileRunner):
+            raise ValueError(
+                "only engines with in-process build backends are "
+                f"exportable; this engine runs {type(runner).__name__}"
+            )
+        return pickle.dumps(self)
+
+    @classmethod
+    def restore_state(cls, blob: bytes) -> "StreamingEngine":
+        """Rebuild an engine from an :meth:`export_state` blob."""
+        import pickle
+
+        engine = pickle.loads(blob)
+        if not isinstance(engine, StreamingEngine):
+            raise ValueError(
+                f"blob does not contain a streaming engine "
+                f"(got {type(engine).__name__})"
+            )
+        return engine
+
     # -- event intake -------------------------------------------------------
 
     def submit(self, event: Event) -> None:

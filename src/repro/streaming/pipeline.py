@@ -45,6 +45,25 @@ monotone, tile-local canonical (row, col) order maps into global
 canonical order, and per-tile ``prev_origin`` ranks compose into a
 strictly increasing global origin map — the precondition the
 selection layer's trusted repair path checks for.
+
+The refresh-retry protocol
+--------------------------
+
+A churn message is a *claim* about a tile's state that the tile
+itself re-verifies (population counts, consistency bounds, journal
+contiguity).  A pipeline that cannot apply its delta trustworthily —
+a stale worker restarted mid-stream, an expectation mismatch, any
+verification guard — does **not** guess: it returns ``None`` as its
+round outcome.  The parent then re-sends that tile a *refresh*
+message (``_refresh_message``: the tile's wholesale entity lists
+instead of a delta) within the same round, the tile cold-primes from
+it, and the round's emission is still exact — a refresh is the
+always-correct slow path, so degraded rounds lose speed, never
+bit-identity.  A tile that rejects its own refresh payload has no
+correct state to fall back to, and the parent raises ``RuntimeError``
+rather than emit an unverified pool.  Retry traffic is counted into
+the same round's ``ipc_bytes`` total, so the observability layer
+(:mod:`repro.obs`) surfaces refresh storms instead of hiding them.
 """
 
 from __future__ import annotations

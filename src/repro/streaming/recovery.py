@@ -1,0 +1,557 @@
+"""Checkpoint/restore crash recovery for the streaming service.
+
+The streaming engine is deterministic: given a seed and the exact
+sequence of operations applied to it (submits and time advances), it
+reproduces the same pools, selections, predictions and assignments
+bit for bit — the property every differential suite in this repo
+already leans on.  That determinism makes crash recovery a
+write-ahead-log problem, not a distributed-systems problem:
+
+- :class:`OpJournal` is the WAL.  Every mutating facade call is
+  appended as a length- and CRC-framed pickled record *before* it is
+  applied (log intent, then apply).  A SIGKILL can therefore leave at
+  most a torn final frame — which the reader drops, exactly the
+  persist-partial-progress discipline — or a fully journaled op whose
+  application never finished, which replay simply re-executes.
+- :class:`CheckpointWriter` bounds replay time.  Every N drained
+  rounds it snapshots the engine's full round state (candidate-pool
+  CSR caches, persistent :class:`~repro.core.triplet_select.
+  SelectionState`, predictor windows, RNG, event queue, audit log —
+  all inside :meth:`~repro.streaming.engine.StreamingEngine.
+  export_state`) plus the journal cursor, atomically
+  (tmp + fsync + rename), keeping the last ``keep`` snapshots so a
+  checkpoint torn by a crash falls back to its predecessor.
+- :meth:`JournaledService.open` is ``replay()``: load the newest
+  valid checkpoint, re-apply the journal tail past its cursor, and
+  the service stands exactly where a process that never died would —
+  proven by the kill-and-replay differential test
+  (``tests/test_streaming_recovery.py``), which SIGKILLs a worker
+  mid-round and compares :func:`state_digest` component by component
+  against an uninterrupted run, for both prediction legs.
+
+Delivery semantics: an op is durable once its frame is flushed (and
+fsynced when ``fsync=True``); an op whose append was torn by the
+crash was never acknowledged to the caller, so dropping it is the
+correct at-most-once outcome.  Assignments already handed out by
+``drain`` are never re-delivered after recovery — the drain cursor
+rides in the checkpoint and the replayed drains advance it silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import os
+import pickle
+import struct
+import zlib
+from collections import deque
+from collections.abc import Callable
+from pathlib import Path
+
+import numpy as np
+
+from repro.simulation.metrics import AssignmentRecord
+from repro.streaming.engine import StreamingEngine
+from repro.streaming.service import StreamingService
+
+__all__ = [
+    "CheckpointWriter",
+    "JournaledService",
+    "OpJournal",
+    "RecoveryError",
+    "state_digest",
+]
+
+_FRAME_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+_CHECKPOINT_SCHEMA = "repro.recovery/v1"
+_CHECKPOINT_GLOB = "checkpoint-*.ckpt"
+
+
+class RecoveryError(RuntimeError):
+    """A recovery directory holds no usable state for the request."""
+
+
+# ---------------------------------------------------------------------------
+# OpJournal — the write-ahead log
+# ---------------------------------------------------------------------------
+
+
+class OpJournal:
+    """Append-only framed op log that survives SIGKILL.
+
+    Frames are ``<u32 length><u32 crc32><payload>`` with a pickled op
+    tuple as payload.  :meth:`append` flushes every frame (and fsyncs
+    when ``fsync=True``, the durable default); :func:`read_ops` stops
+    cleanly at the first truncated or corrupt frame, so a crash mid
+    append loses at most the op that was never acknowledged.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fsync = bool(fsync)
+        self._file = open(self.path, "ab")
+
+    def append(self, op: tuple) -> None:
+        payload = pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL)
+        frame = _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        self._file.write(frame)
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    @staticmethod
+    def read_ops(path: str | Path) -> list[tuple]:
+        """Every intact op in the journal, in append order.
+
+        Tolerates a torn tail (truncated frame, short header, CRC
+        mismatch): reading stops at the first bad frame and returns
+        the intact prefix — the WAL discipline for a log whose writer
+        was killed mid-append.
+        """
+        path = Path(path)
+        if not path.exists():
+            return []
+        ops: list[tuple] = []
+        data = path.read_bytes()
+        view = io.BytesIO(data)
+        while True:
+            header = view.read(_FRAME_HEADER.size)
+            if len(header) < _FRAME_HEADER.size:
+                break
+            length, crc = _FRAME_HEADER.unpack(header)
+            payload = view.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                break
+            try:
+                ops.append(pickle.loads(payload))
+            except Exception:
+                break
+        return ops
+
+
+# ---------------------------------------------------------------------------
+# CheckpointWriter — atomic snapshots, pruned, torn-safe
+# ---------------------------------------------------------------------------
+
+
+class CheckpointWriter:
+    """Atomic engine-state snapshots with bounded retention.
+
+    A checkpoint is one pickled dict: schema tag, the journal cursor
+    (ops fully applied when the snapshot was taken), the service's
+    drain cursor, and the engine's :meth:`~repro.streaming.engine.
+    StreamingEngine.export_state` blob.  Writes go to a tmp file,
+    fsync, then an atomic rename — a crash can only ever leave a tmp
+    turd (ignored) or a previous complete checkpoint.  ``keep``
+    snapshots are retained so a checkpoint corrupted at rest degrades
+    to its predecessor plus a longer journal replay, never to data
+    loss.
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 2, fsync: bool = True) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._keep = int(keep)
+        self._fsync = bool(fsync)
+
+    def write(
+        self, engine: StreamingEngine, journal_seq: int, drained_assignments: int
+    ) -> Path:
+        payload = pickle.dumps(
+            {
+                "schema": _CHECKPOINT_SCHEMA,
+                "journal_seq": int(journal_seq),
+                "drained_assignments": int(drained_assignments),
+                "engine": engine.export_state(),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        final = self.directory / f"checkpoint-{journal_seq:012d}.ckpt"
+        tmp = final.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            if self._fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        checkpoints = sorted(self.directory.glob(_CHECKPOINT_GLOB))
+        for stale in checkpoints[: -self._keep]:
+            stale.unlink(missing_ok=True)
+
+    @staticmethod
+    def load_latest(directory: str | Path) -> dict | None:
+        """The newest checkpoint that parses and validates, else None.
+
+        Walks newest → oldest so a snapshot torn or corrupted at rest
+        silently falls back to its intact predecessor.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            return None
+        for path in sorted(directory.glob(_CHECKPOINT_GLOB), reverse=True):
+            try:
+                record = pickle.loads(path.read_bytes())
+            except Exception:
+                continue
+            if (
+                isinstance(record, dict)
+                and record.get("schema") == _CHECKPOINT_SCHEMA
+                and isinstance(record.get("journal_seq"), int)
+                and isinstance(record.get("engine"), bytes)
+            ):
+                return record
+        return None
+
+
+# ---------------------------------------------------------------------------
+# JournaledService — the recoverable facade
+# ---------------------------------------------------------------------------
+
+
+class JournaledService:
+    """A :class:`StreamingService` whose operations are durable.
+
+    Same facade surface as the plain service (submit / drain /
+    snapshot / metric exports), with every mutating op journaled
+    before it is applied and a checkpoint written every
+    ``checkpoint_every`` newly drained rounds.  Construct through
+    :meth:`open`, which doubles as the ``replay()`` path: an empty
+    directory starts fresh, a directory with prior state recovers to
+    exactly the state the killed process would have reached had its
+    last journaled op completed.
+    """
+
+    _OPS = ("worker", "task", "drain")
+
+    def __init__(
+        self,
+        service: StreamingService,
+        journal: OpJournal,
+        writer: CheckpointWriter,
+        ops_applied: int,
+        checkpoint_every: int,
+    ) -> None:
+        self._service = service
+        self._journal = journal
+        self._writer = writer
+        self._ops_applied = int(ops_applied)
+        self._checkpoint_every = int(checkpoint_every)
+        self._rounds_at_checkpoint = service.engine.rounds_run
+        self._closed = False
+
+    # -- construction / recovery -------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        factory: Callable[[], StreamingService],
+        directory: str | Path,
+        *,
+        checkpoint_every: int = 8,
+        keep: int = 2,
+        fsync: bool = True,
+    ) -> "JournaledService":
+        """Open (or recover) a durable service rooted at ``directory``.
+
+        ``factory`` builds the pristine service — it runs only when no
+        checkpoint exists, and it must be deterministic (same
+        assigner, quality model, config, seed every time) because the
+        journal tail is replayed against whatever base state is
+        loaded.  ``checkpoint_every`` counts *rounds drained* between
+        snapshots, so checkpoint cost scales with round cadence, not
+        submit volume.
+        """
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        directory = Path(directory)
+        journal_path = directory / "ops.journal"
+        record = CheckpointWriter.load_latest(directory)
+        if record is None:
+            service = factory()
+            applied_base = 0
+        else:
+            engine = StreamingEngine.restore_state(record["engine"])
+            service = StreamingService.from_engine(
+                engine, record.get("drained_assignments", 0)
+            )
+            applied_base = record["journal_seq"]
+        ops = OpJournal.read_ops(journal_path)
+        if applied_base > len(ops):
+            raise RecoveryError(
+                f"checkpoint covers {applied_base} ops but the journal "
+                f"holds only {len(ops)} — journal and checkpoints are "
+                "from different histories"
+            )
+        for op in ops[applied_base:]:
+            cls._apply(service, op)
+        journal = OpJournal(journal_path, fsync=fsync)
+        writer = CheckpointWriter(directory, keep=keep, fsync=fsync)
+        return cls(service, journal, writer, len(ops), checkpoint_every)
+
+    @staticmethod
+    def _apply(service: StreamingService, op: tuple):
+        kind = op[0]
+        if kind == "worker":
+            return service.submit_worker(op[1], op[2])
+        if kind == "task":
+            return service.submit_task(op[1], op[2])
+        if kind == "drain":
+            return service.drain(op[1])
+        raise RecoveryError(f"journal holds an unknown op kind {kind!r}")
+
+    # -- the durable facade -------------------------------------------------
+
+    @property
+    def service(self) -> StreamingService:
+        """The wrapped service (read-only surface; prefer the facade)."""
+        return self._service
+
+    @property
+    def engine(self) -> StreamingEngine:
+        return self._service.engine
+
+    @property
+    def ops_applied(self) -> int:
+        """Ops journaled *and* applied by this process (recovery included)."""
+        return self._ops_applied
+
+    def _journaled(self, op: tuple):
+        self._journal.append(op)
+        result = self._apply(self._service, op)
+        self._ops_applied += 1
+        return result
+
+    def submit_worker(self, worker, at: float | None = None) -> None:
+        self._journaled(("worker", worker, at))
+
+    def submit_task(self, task, at: float | None = None) -> None:
+        self._journaled(("task", task, at))
+
+    def drain(self, until: float | None = None) -> list[AssignmentRecord]:
+        fresh = self._journaled(("drain", until))
+        engine = self._service.engine
+        if engine.rounds_run - self._rounds_at_checkpoint >= self._checkpoint_every:
+            self.checkpoint()
+        return fresh
+
+    def snapshot_metrics(self):
+        return self._service.snapshot_metrics()
+
+    def metrics_json(self) -> dict:
+        return self._service.metrics_json()
+
+    def metrics_prometheus(self) -> str:
+        return self._service.metrics_prometheus()
+
+    def result(self):
+        return self._service.result()
+
+    def checkpoint(self) -> Path:
+        """Snapshot now (also called automatically from :meth:`drain`)."""
+        path = self._writer.write(
+            self._service.engine,
+            self._ops_applied,
+            self._service.drained_assignments,
+        )
+        self._rounds_at_checkpoint = self._service.engine.rounds_run
+        return path
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Checkpoint (by default), close the journal, close the service."""
+        if self._closed:
+            return
+        self._closed = True
+        if checkpoint:
+            self.checkpoint()
+        self._journal.close()
+        self._service.close()
+
+    def __enter__(self) -> "JournaledService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# state_digest — the bit-identity witness
+# ---------------------------------------------------------------------------
+
+#: Attribute names excluded from the structural walk: wall-clock
+#: measurements (legitimately different between a recovered and an
+#: uninterrupted run) and the observability hub (whose histograms
+#: record those same wall-clock reads).
+_EXCLUDED_ATTRS = frozenset(
+    {
+        "_observer",
+        "build_seconds",
+        "price_seconds",
+        "assign_seconds",
+        "select_seconds",
+        "finalize_seconds",
+        "cpu_seconds",
+        "last_finalize_seconds",
+        "ipc_bytes_last_round",
+    }
+)
+
+_PRIMITIVES = (bool, int, str, bytes, type(None))
+
+
+def _canonical(obj, out: list[bytes], memo: set[int]) -> None:
+    """Append a canonical byte encoding of ``obj`` to ``out``.
+
+    Deterministic across processes and across different mutation
+    histories that reach the same logical state: floats are hex-coded
+    (bit-exact), arrays carry dtype+shape+raw bytes, sets are sorted,
+    dict/attribute orders are sorted by key — so two states digest
+    equal iff their *values* are equal, regardless of hash-table
+    internals or ``__dict__`` insertion order.
+    """
+    if isinstance(obj, _PRIMITIVES):
+        out.append(repr(obj).encode())
+        return
+    if isinstance(obj, float):
+        out.append(obj.hex().encode())
+        return
+    if isinstance(obj, np.ndarray):
+        out.append(f"nd:{obj.dtype.str}:{obj.shape}".encode())
+        out.append(np.ascontiguousarray(obj).tobytes())
+        return
+    if isinstance(obj, np.generic):
+        _canonical(obj.item(), out, memo)
+        return
+    key = id(obj)
+    if key in memo:
+        out.append(b"<cycle>")
+        return
+    memo.add(key)
+    try:
+        if isinstance(obj, (list, tuple, deque)):
+            out.append(f"seq:{len(obj)}".encode())
+            for item in obj:
+                _canonical(item, out, memo)
+        elif isinstance(obj, dict):
+            out.append(f"map:{len(obj)}".encode())
+            for k in sorted(obj, key=repr):
+                out.append(repr(k).encode())
+                _canonical(obj[k], out, memo)
+        elif isinstance(obj, (set, frozenset)):
+            out.append(f"set:{len(obj)}".encode())
+            for item in sorted(obj, key=repr):
+                out.append(repr(item).encode())
+        elif dataclasses.is_dataclass(obj) or hasattr(obj, "__dict__") or hasattr(
+            obj, "__slots__"
+        ):
+            state = {}
+            if hasattr(obj, "__dict__"):
+                state.update(vars(obj))
+            for slot_owner in type(obj).__mro__:
+                for name in getattr(slot_owner, "__slots__", ()):
+                    if hasattr(obj, name):
+                        state.setdefault(name, getattr(obj, name))
+            out.append(f"obj:{type(obj).__name__}".encode())
+            for name in sorted(state):
+                if name in _EXCLUDED_ATTRS:
+                    continue
+                out.append(name.encode())
+                _canonical(state[name], out, memo)
+        else:
+            out.append(repr(obj).encode())
+    finally:
+        memo.discard(key)
+
+
+def _digest(*roots) -> str:
+    chunks: list[bytes] = []
+    for root in roots:
+        _canonical(root, chunks, set())
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk)
+        h.update(b"\x1f")
+    return h.hexdigest()
+
+
+def state_digest(engine: StreamingEngine) -> dict[str, str]:
+    """Canonical digests of every recoverable engine component.
+
+    The kill-and-replay differential test compares these between a
+    recovered engine and an uninterrupted reference — per component,
+    so a mismatch names the subsystem that diverged:
+
+    - ``pool``: the per-tile delta builders' cached candidate CSRs
+      plus the fused builder's entity-column mirror;
+    - ``selection``: the persistent warm-select orders and carry;
+    - ``predictors``: both grid predictors' count windows;
+    - ``rng``: the engine's PCG64 state, JSON-canonicalized;
+    - ``queue``: the pending event heap;
+    - ``entities``: the live worker/task pools in list order;
+    - ``log``: the full assignment audit trail plus running totals.
+
+    Wall-clock measurements and the metrics/trace hub are excluded —
+    they legitimately differ between runs that are otherwise
+    bit-identical.
+    """
+    fused = engine._fused_builder
+    pipelines = []
+    if fused is not None:
+        runner = fused._runner
+        pipelines = list(getattr(runner, "_pipelines", []))
+    rng_state = json.dumps(
+        engine._rng.bit_generator.state, sort_keys=True, default=repr
+    )
+    return {
+        "pool": _digest(
+            [pipe.builder for pipe in pipelines],
+            [pipe.workers for pipe in pipelines],
+            [pipe.tasks for pipe in pipelines],
+            None
+            if fused is None
+            else (
+                fused._w_ids, fused._wx, fused._wy, fused._wvel, fused._warr,
+                fused._w_owner, fused._t_ids, fused._tx, fused._ty, fused._tdl,
+                fused._tarr, fused._t_cells, fused._prev_pos, fused._last_total,
+                fused._trusted,
+            ),
+        ),
+        "selection": _digest(engine._selection_state),
+        "predictors": _digest(
+            engine._worker_predictor,
+            engine._task_predictor,
+            engine._last_worker_prediction,
+            engine._last_task_prediction,
+        ),
+        "rng": _digest(rng_state),
+        "queue": _digest(engine._queue),
+        "entities": _digest(
+            engine._available_workers,
+            engine._available_tasks,
+            sorted(engine._available_worker_ids),
+            sorted(engine._available_task_ids),
+            engine._task_index,
+        ),
+        "log": _digest(
+            engine._log,
+            engine.total_quality,
+            engine.total_cost,
+            engine.rounds_run,
+            engine.events_processed,
+            engine._assignment_seq,
+            engine._next_released_id,
+        ),
+    }

@@ -75,18 +75,71 @@ class StreamingService:
             assigner, quality_model, config=config, predictor=predictor, seed=seed
         )
         self._drained_assignments = 0
+        self._closed = False
+
+    @classmethod
+    def from_engine(
+        cls, engine: StreamingEngine, drained_assignments: int = 0
+    ) -> "StreamingService":
+        """Wrap an existing engine (the recovery layer's constructor).
+
+        ``drained_assignments`` positions the drain cursor so a
+        restored service does not re-deliver assignments the killed
+        process already handed out.
+        """
+        service = cls.__new__(cls)
+        service._engine = engine
+        service._drained_assignments = int(drained_assignments)
+        service._closed = False
+        return service
 
     @property
     def engine(self) -> StreamingEngine:
         """The underlying engine (for inspection; prefer the facade)."""
         return self._engine
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; mutating calls then raise."""
+        return self._closed
+
+    @property
+    def drained_assignments(self) -> int:
+        """Position of the drain cursor (assignments already handed out)."""
+        return self._drained_assignments
+
+    def close(self) -> None:
+        """Release the engine's resources; idempotent.
+
+        Further :meth:`submit_worker` / :meth:`submit_task` /
+        :meth:`drain` calls raise ``RuntimeError``; the read-only
+        surface (:meth:`snapshot_metrics`, :meth:`result`, metric
+        exports) keeps working so a supervisor can still inspect a
+        closed tenant.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._engine.close()
+
+    def __enter__(self) -> "StreamingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self, op: str) -> None:
+        if self._closed:
+            raise RuntimeError(f"service is closed; cannot {op}")
+
     def submit_worker(self, worker: Worker, at: float | None = None) -> None:
         """Register a worker arrival (defaults to ``worker.arrival``)."""
+        self._check_open("submit_worker")
         self._engine.submit_worker(worker, at)
 
     def submit_task(self, task: Task, at: float | None = None) -> None:
         """Post a task (defaults to ``task.arrival``)."""
+        self._check_open("submit_task")
         self._engine.submit_task(task, at)
 
     def drain(self, until: float | None = None) -> list[AssignmentRecord]:
@@ -97,6 +150,7 @@ class StreamingService:
                 When omitted, advance far enough that every queued
                 arrival has been seen by at least one round.
         """
+        self._check_open("drain")
         if until is None:
             self._engine.drain_pending()
         else:

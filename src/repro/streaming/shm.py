@@ -35,6 +35,11 @@ replaces that exchange wholesale:
   closing — and nobody unregisters manually.  A worker killed
   mid-round leaks nothing: its segments are still known to (and
   unlinked by) the parent, and no tracker ever warns.
+
+This module is the process-backend leg of the incremental round
+pipeline described in ``docs/architecture.md``; the inline/thread
+legs and the refresh-retry protocol live in
+:mod:`repro.streaming.pipeline`.
 """
 
 from __future__ import annotations

@@ -456,6 +456,109 @@ class TestStreamingRules:
         assert rc == 0
 
 
+class TestServingRules:
+    @staticmethod
+    def _serving_payload(
+        *,
+        tenants: int = 4,
+        engaged: bool = True,
+        bit_identical: bool = True,
+        drop_wait: str | None = None,
+        drop_recovery: str | None = None,
+    ) -> dict:
+        payload = _streaming_payload(5000.0, 6.4)
+        wait_ms = {"p50": 0.1, "p95": 4.2, "p99": 18.0}
+        if drop_wait:
+            del wait_ms[drop_wait]
+        recovery = {
+            "bit_identical": bit_identical,
+            "checkpoint_ms": 1.0,
+            "recovery_ms": 2.5,
+            "replayed_ops": 3,
+        }
+        if drop_recovery:
+            del recovery[drop_recovery]
+        payload["serving"] = {
+            "tenants": tenants,
+            "tenants_floor": 4,
+            "admission": {
+                "admitted": 300,
+                "rejected_queue_full": 5,
+                "engaged": engaged,
+                "wait_ms": wait_ms,
+            },
+            "recovery": recovery,
+        }
+        return payload
+
+    def _run(self, checker, tmp_path, base: dict, fresh: dict) -> int:
+        _write(tmp_path / "base", "BENCH_streaming.json", base)
+        _write(tmp_path / "fresh", "BENCH_streaming.json", fresh)
+        return checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+
+    def test_healthy_serving_passes(self, checker, tmp_path):
+        rc = self._run(
+            checker, tmp_path, self._serving_payload(), self._serving_payload()
+        )
+        assert rc == 0
+
+    def test_missing_fresh_serving_section_fails(self, checker, tmp_path):
+        fresh = self._serving_payload()
+        del fresh["serving"]
+        rc = self._run(checker, tmp_path, self._serving_payload(), fresh)
+        assert rc == 1
+
+    def test_recovery_not_bit_identical_fails(self, checker, tmp_path):
+        rc = self._run(
+            checker, tmp_path,
+            self._serving_payload(),
+            self._serving_payload(bit_identical=False),
+        )
+        assert rc == 1
+
+    def test_admission_not_engaged_fails(self, checker, tmp_path):
+        rc = self._run(
+            checker, tmp_path,
+            self._serving_payload(),
+            self._serving_payload(engaged=False),
+        )
+        assert rc == 1
+
+    def test_tenants_below_recorded_floor_fails(self, checker, tmp_path):
+        rc = self._run(
+            checker, tmp_path,
+            self._serving_payload(),
+            self._serving_payload(tenants=3),
+        )
+        assert rc == 1
+
+    def test_missing_wait_percentile_fails(self, checker, tmp_path):
+        rc = self._run(
+            checker, tmp_path,
+            self._serving_payload(),
+            self._serving_payload(drop_wait="p99"),
+        )
+        assert rc == 1
+
+    def test_missing_recovery_timing_fails(self, checker, tmp_path):
+        rc = self._run(
+            checker, tmp_path,
+            self._serving_payload(),
+            self._serving_payload(drop_recovery="recovery_ms"),
+        )
+        assert rc == 1
+
+    def test_no_serving_baseline_passes(self, checker, tmp_path):
+        """First run: the fresh side introduces the section."""
+        rc = self._run(
+            checker, tmp_path, _streaming_payload(5000.0, 6.4), self._serving_payload()
+        )
+        assert rc == 0
+
+
 class TestMatchingRules:
     @staticmethod
     def _payload(speedup: float, floor: float = 5.0) -> dict:
@@ -551,6 +654,22 @@ class TestAgainstCommittedBaselines:
         ]
         assert fresh_ipc, "committed sharded section records no IPC figures"
         sharded["ipc_bytes_per_round_ceil"] = min(fresh_ipc) - 1
+        (base / "BENCH_streaming.json").write_text(json.dumps(corrupted))
+        rc = checker.main(["--baseline", str(base), "--fresh", str(REPO_ROOT)])
+        assert rc == 1
+
+    def test_corrupted_serving_baseline_fails(self, checker, tmp_path):
+        """Raising the recorded tenant floor above the repo's own fresh
+        tenant count must trip the gate — the proof the serving checks
+        bite on the real committed file."""
+        base = tmp_path / "base"
+        base.mkdir()
+        for name in checker.BENCH_FILES:
+            shutil.copy(REPO_ROOT / name, base / name)
+        corrupted = json.loads((base / "BENCH_streaming.json").read_text())
+        serving = corrupted.get("serving")
+        assert serving, "committed baseline lost its serving section"
+        serving["tenants_floor"] = serving["tenants"] + 1
         (base / "BENCH_streaming.json").write_text(json.dumps(corrupted))
         rc = checker.main(["--baseline", str(base), "--fresh", str(REPO_ROOT)])
         assert rc == 1

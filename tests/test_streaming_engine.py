@@ -283,6 +283,69 @@ class TestStreamingService:
         assert snapshot.dense_pairs_equivalent > 0
         assert 0 < snapshot.candidate_pairs_examined
 
+    def test_drain_with_zero_rounds_elapsed(self):
+        """A drain that advances no rounds is a clean no-op: empty
+        result, clock untouched, drain cursor unmoved."""
+        config = StreamConfig(round_interval=1.0, budget=50.0, use_prediction=False)
+        service = StreamingService(MQAGreedy(), _quality_model(), config)
+        # No events at all — drain_pending finds nothing to target.
+        assert service.drain() == []
+        assert service.snapshot_metrics().rounds_run == 0
+        assert service.drained_assignments == 0
+        # With future-stamped events, a drain before their arrival
+        # runs only the empty t=0 round: nothing applied, nothing
+        # assigned, the cursor stays put.
+        service.submit_worker(_worker(1, 0.4, 0.4, arrival=0.9))
+        service.submit_task(_task(2, 0.45, 0.4, deadline=3.0, arrival=0.9))
+        assert service.drain(until=0.5) == []
+        assert service.snapshot_metrics().events_processed == 0
+        assert service.drained_assignments == 0
+        # The queued events are not lost: the next real round sees them.
+        assert len(service.drain(until=1.0)) == 1
+
+    def test_submit_after_close_raises(self):
+        config = StreamConfig(round_interval=1.0, budget=50.0, use_prediction=False)
+        service = StreamingService(MQAGreedy(), _quality_model(), config)
+        service.submit_worker(_worker(1, 0.4, 0.4))
+        service.submit_task(_task(2, 0.45, 0.4, deadline=2.0))
+        service.drain()
+        service.close()
+        assert service.closed
+        with pytest.raises(RuntimeError, match="closed; cannot submit_worker"):
+            service.submit_worker(_worker(3, 0.5, 0.5))
+        with pytest.raises(RuntimeError, match="closed; cannot submit_task"):
+            service.submit_task(_task(4, 0.5, 0.5, deadline=9.0))
+        with pytest.raises(RuntimeError, match="closed; cannot drain"):
+            service.drain()
+        # The read-only surface stays up for post-mortem inspection.
+        assert service.snapshot_metrics().assignments == 1
+        assert service.metrics_json()["schema"] == "repro.obs.metrics/v1"
+        service.close()  # idempotent
+
+    def test_close_via_context_manager(self):
+        config = StreamConfig(round_interval=1.0, use_prediction=False)
+        with StreamingService(MQAGreedy(), _quality_model(), config) as service:
+            assert not service.closed
+        assert service.closed
+
+    def test_snapshot_under_empty_history(self):
+        """A snapshot before any round: zeroed totals, no phase
+        latencies, and a None clock — never an exception."""
+        config = StreamConfig(round_interval=1.0, budget=50.0)
+        service = StreamingService(MQAGreedy(), _quality_model(), config)
+        snapshot = service.snapshot_metrics()
+        assert snapshot.clock is None
+        assert snapshot.rounds_run == 0
+        assert snapshot.events_processed == 0
+        assert snapshot.assignments == 0
+        assert snapshot.total_quality == 0.0
+        assert snapshot.total_cost == 0.0
+        assert snapshot.phase_latencies == {}
+        # The exports work on the same empty registry (no instruments
+        # registered yet, so the exposition is empty but well-formed).
+        assert service.metrics_prometheus().strip() == ""
+        assert service.metrics_json()["histograms"] == []
+
 
 class TestStreamingScenariosEndToEnd:
     def test_hotspot_scenario_runs_microbatched(self):
