@@ -303,6 +303,74 @@ def check_streaming(
     errors.extend(_check_health_section(baseline, fresh))
     errors.extend(_check_sharded_section(baseline, fresh, tolerance))
     errors.extend(_check_serving_section(baseline, fresh))
+    errors.extend(_check_resilience_section(baseline, fresh))
+    return errors
+
+
+def _check_resilience_section(baseline: dict, fresh: dict) -> list[str]:
+    """Guards for the self-healing supervision section.
+
+    Machine-independent facts are hard-gated: ``completed_with_faults``
+    is a digest comparison (the faulted run must be bit-identical to
+    the fault-free one), and ``rounds_to_recover`` is a deterministic
+    count of extra runner invocations per injected fault — creeping
+    past the baseline means recovery started needing multiple retry
+    passes.  The no-fault polling overhead ratio is gated against the
+    ``deadline_overhead_ceil`` recorded in the baseline.  Respawn wall
+    time is trajectory data: its presence is enforced, its value is
+    not.
+    """
+    errors: list[str] = []
+    base_res = baseline.get("resilience")
+    fresh_res = fresh.get("resilience")
+    if base_res is None:
+        return errors
+    if fresh_res is None:
+        errors.append(
+            "streaming: the baseline has a 'resilience' section but the "
+            "fresh results do not — the chaos bench silently stopped running"
+        )
+        return errors
+    if fresh_res.get("completed_with_faults") is not True:
+        errors.append(
+            "streaming resilience: completed_with_faults is not true — the "
+            "faulted run no longer matches the fault-free digest"
+        )
+    base_rounds = base_res.get("rounds_to_recover")
+    rounds = fresh_res.get("rounds_to_recover")
+    if base_rounds is not None:
+        if rounds is None:
+            errors.append(
+                "streaming resilience: fresh results miss rounds_to_recover "
+                "— the recovery-cost measurement silently stopped"
+            )
+        elif rounds > base_rounds:
+            errors.append(
+                f"streaming resilience: rounds_to_recover {rounds} exceeds "
+                f"the baseline {base_rounds} — recovery now needs extra "
+                "retry passes per fault"
+            )
+    ceiling = base_res.get("deadline_overhead_ceil")
+    overhead = fresh_res.get("deadline_overhead_ratio")
+    if ceiling is not None:
+        if overhead is None:
+            errors.append(
+                "streaming resilience: fresh results miss "
+                "deadline_overhead_ratio — the no-fault overhead "
+                "measurement silently stopped"
+            )
+        elif overhead > ceiling:
+            errors.append(
+                f"streaming resilience: deadline_overhead_ratio {overhead} "
+                f"exceeds the recorded ceiling {ceiling} — supervised "
+                "polling is slowing down the fault-free path"
+            )
+    for key in ("respawn_seconds", "respawns"):
+        if not isinstance(fresh_res.get(key), (int, float)):
+            errors.append(
+                f"streaming resilience: fresh results miss {key} — the "
+                "respawn-cost measurement silently stopped"
+            )
     return errors
 
 

@@ -504,6 +504,15 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "(crash recovery via replay; see docs/operations.md)",
     )
     parser.add_argument(
+        "--op-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-operation execution deadline; an overrunning op "
+        "fails with a typed timeout error and wedges its tenant "
+        "instead of holding a worker slot (default: no deadline)",
+    )
+    parser.add_argument(
         "--metrics-out",
         type=Path,
         default=None,
@@ -530,6 +539,7 @@ def _run_serve_command(argv: list[str] | None) -> int:
 
     from repro.core import MQAGreedy
     from repro.streaming import (
+        RecoveryError,
         ServerConfig,
         StreamConfig,
         StreamingService,
@@ -553,7 +563,11 @@ def _run_serve_command(argv: list[str] | None) -> int:
         return workload, factory
 
     async def _serve() -> dict:
-        server = StreamServer(ServerConfig(num_workers=args.num_workers))
+        server = StreamServer(
+            ServerConfig(
+                num_workers=args.num_workers, op_timeout_s=args.op_timeout
+            )
+        )
         async with server:
             workloads = {}
             for i in range(args.tenants):
@@ -612,7 +626,20 @@ def _run_serve_command(argv: list[str] | None) -> int:
                 "json": server.metrics_json(),
             }
 
-    exports = asyncio.run(_serve())
+    try:
+        exports = asyncio.run(_serve())
+    except RecoveryError as exc:
+        print(f"error: cannot recover tenant state: {exc}", file=sys.stderr)
+        print(
+            "the recovery directory holds corrupt or divergent state "
+            "(checkpoints and journal from different histories, or an "
+            "unreadable journal tail).  Follow the recovery procedure in "
+            "docs/operations.md: inspect the newest intact checkpoint, "
+            "then either restore the matching journal or move the "
+            "directory aside to start the tenant fresh.",
+            file=sys.stderr,
+        )
+        return 2
     if args.metrics_out is not None:
         args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
         args.metrics_out.write_text(

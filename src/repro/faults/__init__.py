@@ -1,0 +1,53 @@
+"""Deterministic fault injection for the streaming stack.
+
+Chaos testing only proves something when the chaos is reproducible: a
+fault that fires "sometimes" cannot anchor a bit-identity assertion.
+This package therefore describes faults as *data* — a
+:class:`FaultPlan` of typed, addressable fault specs (kill shard
+worker 1 at round 3, tear WAL frame 5, corrupt checkpoint 0) — and
+arms them through a :class:`FaultInjector` whose call sites are
+threaded through :mod:`repro.streaming.shm`,
+:mod:`repro.streaming.recovery` and :mod:`repro.streaming.server`.
+
+Design rules:
+
+- **One-shot.**  Each fault fires at most once; firing consumes it
+  and appends a record to :attr:`FaultInjector.fired`, so a respawned
+  worker never re-trips the fault that killed its predecessor.
+- **Zero cost when absent.**  Every hook is behind an
+  ``if faults is not None`` guard held by the instrumented layer; a
+  run without an injector executes the exact pre-existing code path,
+  and the differential suites prove a run with an *empty* plan is
+  bit-identical to one with no injector at all.
+- **Deterministic addressing.**  Faults address engine-visible
+  coordinates (worker slot, runner round, WAL frame ordinal,
+  checkpoint ordinal, per-tenant op ordinal) — never wall-clock time.
+
+See ``docs/scenarios.md`` for the fault-injection howto and
+``docs/operations.md`` for the failure-modes matrix these faults
+exercise.
+"""
+
+from repro.faults.plan import (
+    CheckpointCorrupt,
+    FaultInjector,
+    FaultPlan,
+    MessageDrop,
+    MessageGarble,
+    OpDelay,
+    WalTear,
+    WorkerHang,
+    WorkerKill,
+)
+
+__all__ = [
+    "CheckpointCorrupt",
+    "FaultInjector",
+    "FaultPlan",
+    "MessageDrop",
+    "MessageGarble",
+    "OpDelay",
+    "WalTear",
+    "WorkerHang",
+    "WorkerKill",
+]

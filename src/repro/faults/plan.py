@@ -1,0 +1,260 @@
+"""The fault DSL: typed fault specs, the plan parser, the injector.
+
+A :class:`FaultPlan` is an immutable list of fault specs, built
+programmatically or parsed from a tiny line-oriented DSL (one fault
+per line, ``#`` comments allowed)::
+
+    kill worker 1 at round 3
+    hang worker 0 at round 2 for 1.5s
+    drop message to worker 1 at round 4
+    garble message to worker 0 at round 2
+    tear wal frame 5
+    corrupt checkpoint 0
+    delay op 2 for 0.4s
+    delay op 7 of tenant-b for 1s
+
+Rounds, frames, checkpoints and ops are 1-based ordinals of the
+instrumented call site's own counter (the Nth runner invocation, the
+Nth journal append, ...), so a plan replays identically on any
+machine.  :meth:`FaultPlan.injector` arms the plan; the injector's
+query methods consume matching faults (one-shot) and log what fired.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CheckpointCorrupt",
+    "FaultInjector",
+    "FaultPlan",
+    "MessageDrop",
+    "MessageGarble",
+    "OpDelay",
+    "WalTear",
+    "WorkerHang",
+    "WorkerKill",
+]
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """Shard worker ``worker`` exits (hard, ``os._exit``) when it
+    receives the ``round``-th runner message addressed to it."""
+
+    worker: int
+    round: int
+
+
+@dataclass(frozen=True)
+class WorkerHang:
+    """Shard worker ``worker`` sleeps ``seconds`` before processing
+    the ``round``-th runner message — long enough and the parent's
+    recv deadline fires and the worker is treated as hung."""
+
+    worker: int
+    round: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class MessageDrop:
+    """The parent's ``round``-th message to ``worker`` is never sent;
+    the worker stays healthy but silent, so only the recv deadline
+    can notice."""
+
+    worker: int
+    round: int
+
+
+@dataclass(frozen=True)
+class MessageGarble:
+    """The parent's ``round``-th message to ``worker`` is replaced by
+    garbage bytes; the worker cannot decode it and exits, surfacing
+    as an EOF on the pipe."""
+
+    worker: int
+    round: int
+
+
+@dataclass(frozen=True)
+class WalTear:
+    """The ``frame``-th (1-based) journal append is torn mid-frame,
+    as if the process died inside ``write()`` — the frame's tail is
+    truncated after the bytes hit the file."""
+
+    frame: int
+
+
+@dataclass(frozen=True)
+class CheckpointCorrupt:
+    """The ``index``-th (1-based) checkpoint write is corrupted at
+    rest after its atomic rename — the torn-checkpoint fallback walk
+    must recover from the predecessor."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class OpDelay:
+    """The ``op``-th (1-based) pump-executed operation stalls for
+    ``seconds`` inside its worker thread; ``tenant=None`` matches any
+    tenant's counter."""
+
+    op: int
+    seconds: float
+    tenant: str | None = None
+
+
+_LINE_PATTERNS: list[tuple[re.Pattern, object]] = [
+    (
+        re.compile(r"^kill worker (\d+) at round (\d+)$"),
+        lambda m: WorkerKill(worker=int(m[1]), round=int(m[2])),
+    ),
+    (
+        re.compile(r"^hang worker (\d+) at round (\d+) for ([0-9.]+)s$"),
+        lambda m: WorkerHang(worker=int(m[1]), round=int(m[2]), seconds=float(m[3])),
+    ),
+    (
+        re.compile(r"^drop message to worker (\d+) at round (\d+)$"),
+        lambda m: MessageDrop(worker=int(m[1]), round=int(m[2])),
+    ),
+    (
+        re.compile(r"^garble message to worker (\d+) at round (\d+)$"),
+        lambda m: MessageGarble(worker=int(m[1]), round=int(m[2])),
+    ),
+    (
+        re.compile(r"^tear wal frame (\d+)$"),
+        lambda m: WalTear(frame=int(m[1])),
+    ),
+    (
+        re.compile(r"^corrupt checkpoint (\d+)$"),
+        lambda m: CheckpointCorrupt(index=int(m[1])),
+    ),
+    (
+        re.compile(r"^delay op (\d+) for ([0-9.]+)s$"),
+        lambda m: OpDelay(op=int(m[1]), seconds=float(m[2])),
+    ),
+    (
+        re.compile(r"^delay op (\d+) of (\S+) for ([0-9.]+)s$"),
+        lambda m: OpDelay(op=int(m[1]), tenant=m[2], seconds=float(m[3])),
+    ),
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, ordered collection of fault specs."""
+
+    faults: tuple = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the line DSL; raises ``ValueError`` on any bad line."""
+        faults = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            for pattern, build in _LINE_PATTERNS:
+                match = pattern.match(line)
+                if match:
+                    faults.append(build(match))
+                    break
+            else:
+                raise ValueError(f"fault plan line {lineno}: cannot parse {line!r}")
+        return cls(faults=tuple(faults))
+
+    def injector(self) -> "FaultInjector":
+        """Arm the plan (a fresh injector; plans are reusable)."""
+        return FaultInjector(self)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+
+@dataclass
+class FaultInjector:
+    """An armed :class:`FaultPlan`: query methods consume faults.
+
+    The instrumented layers guard every call behind
+    ``if faults is not None``, so absence costs nothing; an injector
+    over an empty plan answers every query negatively in O(pending),
+    i.e. O(0).
+    """
+
+    plan: FaultPlan
+    fired: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._pending = list(self.plan.faults)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    @property
+    def pending(self) -> tuple:
+        """Faults not yet fired (exhausted plans report empty)."""
+        return tuple(self._pending)
+
+    @property
+    def active(self) -> bool:
+        return bool(self._pending)
+
+    def _consume(self, fault, **detail) -> None:
+        self._pending.remove(fault)
+        self.fired.append({"fault": fault, **detail})
+
+    # -- shard runner hooks (repro.streaming.shm) ---------------------------
+
+    def shard_directive(self, worker: int, round: int) -> dict | None:
+        """A kill/hang directive to ride inside the round message."""
+        for fault in self._pending:
+            if isinstance(fault, WorkerKill) and (fault.worker, fault.round) == (worker, round):
+                self._consume(fault, worker=worker, round=round)
+                return {"kind": "kill"}
+            if isinstance(fault, WorkerHang) and (fault.worker, fault.round) == (worker, round):
+                self._consume(fault, worker=worker, round=round)
+                return {"kind": "hang", "seconds": fault.seconds}
+        return None
+
+    def pipe_fault(self, worker: int, round: int) -> str | None:
+        """``"drop"`` / ``"garble"`` for this round's send, or None."""
+        for fault in self._pending:
+            if isinstance(fault, MessageDrop) and (fault.worker, fault.round) == (worker, round):
+                self._consume(fault, worker=worker, round=round)
+                return "drop"
+            if isinstance(fault, MessageGarble) and (fault.worker, fault.round) == (worker, round):
+                self._consume(fault, worker=worker, round=round)
+                return "garble"
+        return None
+
+    # -- durability hooks (repro.streaming.recovery) ------------------------
+
+    def tear_wal(self, frame: int) -> bool:
+        """Should the ``frame``-th journal append be torn?"""
+        for fault in self._pending:
+            if isinstance(fault, WalTear) and fault.frame == frame:
+                self._consume(fault, frame=frame)
+                return True
+        return False
+
+    def corrupt_checkpoint(self, index: int) -> bool:
+        """Should the ``index``-th checkpoint write be corrupted?"""
+        for fault in self._pending:
+            if isinstance(fault, CheckpointCorrupt) and fault.index == index:
+                self._consume(fault, index=index)
+                return True
+        return False
+
+    # -- serving hooks (repro.streaming.server) -----------------------------
+
+    def delay_op(self, op: int, tenant: str | None = None) -> float | None:
+        """Seconds to stall the ``op``-th executed op, or None."""
+        for fault in self._pending:
+            if isinstance(fault, OpDelay) and fault.op == op and (
+                fault.tenant is None or fault.tenant == tenant
+            ):
+                self._consume(fault, op=op, tenant=tenant)
+                return fault.seconds
+        return None

@@ -214,6 +214,50 @@ class StreamObserver:
                     args={"tile": tile},
                 )
 
+    def record_supervision_events(self, events: list[tuple[str, dict]]) -> None:
+        """Book shard-supervision fault events: ``(kind, detail)``.
+
+        Kinds map to counters — ``deadline_timeout`` →
+        ``shard_deadline_timeouts_total``, ``worker_death`` →
+        ``shard_worker_deaths_total``, ``respawn`` →
+        ``shard_respawns_total`` (plus ``shard_respawn_seconds_total``
+        by the respawn's duration), ``backoff_wait`` →
+        ``shard_backoff_seconds_total`` (by the wait), ``degraded`` →
+        ``shard_degraded_total`` — and each books a trace instant on
+        the affected worker's shard track (``tid`` convention of
+        :meth:`record_tile_phases`), so a respawn is visible inline
+        with the tile spans it interrupted.
+        """
+        if not events or not self.enabled:
+            return
+        counters = {
+            "deadline_timeout": "shard_deadline_timeouts_total",
+            "worker_death": "shard_worker_deaths_total",
+            "respawn": "shard_respawns_total",
+            "degraded": "shard_degraded_total",
+        }
+        for kind, detail in events:
+            if self.metrics.enabled:
+                counter = counters.get(kind)
+                if counter is not None:
+                    self.metrics.counter(counter).inc()
+                if kind == "respawn":
+                    self.metrics.counter("shard_respawn_seconds_total").inc(
+                        float(detail.get("seconds", 0.0))
+                    )
+                elif kind == "backoff_wait":
+                    self.metrics.counter("shard_backoff_seconds_total").inc(
+                        float(detail.get("seconds", 0.0))
+                    )
+            if self.trace.enabled:
+                worker = detail.get("worker")
+                self.trace.add_instant(
+                    f"supervision.{kind}",
+                    cat="supervision",
+                    tid=(worker + 1) if isinstance(worker, int) else 0,
+                    args=dict(detail),
+                )
+
     # -- round close-out ----------------------------------------------------
 
     def _diff(self, kind: str, stats) -> list[tuple[str, float]]:

@@ -109,7 +109,20 @@ __all__ = [
     "TilePipeline",
     "TileRoundMessage",
     "TileRoundOutcome",
+    "TileRunnerBroken",
 ]
+
+
+class TileRunnerBroken(RuntimeError):
+    """A parallel tile runner that can no longer make progress.
+
+    Raised by a supervised backend (the shm process runner) once its
+    crash-loop respawn budget is exhausted — the signal for
+    :class:`FusedRoundBuilder` to degrade the stream to the inline
+    serial path instead of dying.  The runner has already settled its
+    surviving workers when this is raised, so ``close()`` starts from
+    a known state.
+    """
 
 _EMPTY_F = np.zeros(0)
 
@@ -589,10 +602,18 @@ class FusedRoundBuilder:
             include_future_future_pairs=include_future_future_pairs,
             exact_predicted_quality=exact_predicted_quality,
         )
+        self._spec = spec
         if runner_factory is not None:
             self._runner = runner_factory(spec, tiles.num_tiles)
         else:
             self._runner = InlineTileRunner(tiles.num_tiles, spec, executor)
+        #: True once a broken parallel backend has been swapped for the
+        #: inline serial path (see :meth:`_degrade`).
+        self.degraded = False
+        self._supervision_events: list[tuple[str, dict]] = []
+        self._ipc_bytes_base = 0
+        self._respawns_base = 0
+        self._respawn_seconds_base = 0.0
 
         # Parent-side mirror of the global entity columns, repaired in
         # O(churn) per round and verified against the engine's lists.
@@ -625,8 +646,30 @@ class FusedRoundBuilder:
     @property
     def ipc_bytes_total(self) -> int:
         """Cumulative bytes exchanged with the runner backend (0 for
-        the inline backends, whose arrays are shared in-process)."""
-        return int(getattr(self._runner, "ipc_bytes_total", 0))
+        the inline backends, whose arrays are shared in-process).
+
+        Survives a mid-stream degradation: bytes exchanged with a
+        runner that was later replaced stay counted.
+        """
+        return self._ipc_bytes_base + int(
+            getattr(self._runner, "ipc_bytes_total", 0)
+        )
+
+    @property
+    def respawns_total(self) -> int:
+        """Worker respawns across the builder's lifetime (0 for the
+        inline backends; survives a mid-stream degradation)."""
+        return self._respawns_base + int(
+            getattr(self._runner, "respawns_total", 0)
+        )
+
+    @property
+    def respawn_seconds_total(self) -> float:
+        """Wall-clock seconds spent respawning workers (backoff +
+        process start; survives a mid-stream degradation)."""
+        return self._respawn_seconds_base + float(
+            getattr(self._runner, "respawn_seconds_total", 0.0)
+        )
 
     @property
     def delta_stats(self) -> DeltaBuildStats:
@@ -652,6 +695,65 @@ class FusedRoundBuilder:
     def close(self) -> None:
         """Release the runner backend (workers, shared memory)."""
         self._runner.close()
+
+    # -- supervision ---------------------------------------------------------
+
+    def _run_tiles(
+        self, messages, now, pw_cols, pt_cols, refresh_message, refresh_tiles
+    ):
+        """One runner invocation, degradation-protected.
+
+        A supervised backend whose respawn budget is exhausted raises
+        :class:`TileRunnerBroken`; the response is to swap in the
+        inline serial runner and re-prime every requested tile through
+        the wholesale-refresh path — the always-correct slow path, so
+        the round (and the stream) completes bit-identically.
+        """
+        try:
+            return self._runner.run(messages, now, pw_cols, pt_cols)
+        except TileRunnerBroken as exc:
+            self._degrade(exc)
+            refresh_tiles.update(message.tile for message in messages)
+            fresh = [refresh_message(message.tile) for message in messages]
+            outcomes = self._runner.run(fresh, now, pw_cols, pt_cols)
+            if any(outcome is None for outcome in outcomes):
+                raise RuntimeError(
+                    "tile pipeline rejected its own refresh payload"
+                ) from exc
+            return outcomes
+
+    def _degrade(self, exc: "TileRunnerBroken") -> None:
+        """Swap the broken parallel backend for the inline serial path."""
+        self._drain_runner_events()
+        self._ipc_bytes_base += int(getattr(self._runner, "ipc_bytes_total", 0))
+        self._respawns_base += int(getattr(self._runner, "respawns_total", 0))
+        self._respawn_seconds_base += float(
+            getattr(self._runner, "respawn_seconds_total", 0.0)
+        )
+        try:
+            self._runner.close()
+        except Exception:
+            pass  # the backend is already broken; reclaim what we can
+        self._runner = InlineTileRunner(
+            self._tiles.num_tiles, self._spec, self._executor
+        )
+        self.degraded = True
+        self._supervision_events.append(("degraded", {"reason": str(exc)}))
+
+    def _drain_runner_events(self) -> None:
+        runner_events = getattr(self._runner, "events", None)
+        if runner_events:
+            self._supervision_events.extend(runner_events)
+            runner_events.clear()
+
+    def drain_supervision_events(self) -> list[tuple[str, dict]]:
+        """Fault-handling events since the last drain: ``(kind,
+        detail)`` with kind ∈ ``deadline_timeout`` / ``worker_death`` /
+        ``backoff_wait`` / ``respawn`` / ``degraded`` — the engine
+        forwards them to the observer after each round."""
+        self._drain_runner_events()
+        events, self._supervision_events = self._supervision_events, []
+        return events
 
     # -- the round ----------------------------------------------------------
 
@@ -682,7 +784,7 @@ class FusedRoundBuilder:
         k, l = len(predicted_workers), len(predicted_tasks)
         # The runner counts pipe bytes cumulatively so a mid-round
         # retry (refresh re-send) still lands in this round's total.
-        ipc_before = int(getattr(self._runner, "ipc_bytes_total", 0))
+        ipc_before = self.ipc_bytes_total
         local = SparseBuildStats()
         local.dense_equivalent = n * m + k * m + n * l
         if self._future_future:
@@ -785,20 +887,36 @@ class FusedRoundBuilder:
             messages.append(message)
 
         # ---- run the tiles (retrying distrusted ones with a refresh) ------
-        outcomes = self._runner.run(messages, now, pw_cols, pt_cols)
+        outcomes = self._run_tiles(
+            messages, now, pw_cols, pt_cols, _refresh_message, refresh_tiles
+        )
         retry = [
             _refresh_message(message.tile)
             for message, outcome in zip(messages, outcomes)
             if outcome is None
         ]
-        if retry:
+        while retry:
             refresh_tiles.update(message.tile for message in retry)
-            for redo in self._runner.run(retry, now, pw_cols, pt_cols):
+            redos = self._run_tiles(
+                retry, now, pw_cols, pt_cols, _refresh_message, refresh_tiles
+            )
+            # A worker can die *during* the refresh run too; its tiles
+            # come back None with the runner marking them failed (the
+            # respawn already happened), so they re-prime on the next
+            # pass — bounded by the runner's finite respawn budget,
+            # whose exhaustion degrades to the inline path instead.
+            failed = set(getattr(self._runner, "last_failed_tiles", ()))
+            next_retry = []
+            for message, redo in zip(retry, redos):
                 if redo is None:
+                    if message.tile in failed:
+                        next_retry.append(_refresh_message(message.tile))
+                        continue
                     raise RuntimeError(
                         "tile pipeline rejected its own refresh payload"
                     )
                 outcomes[redo.tile] = redo  # messages[i].tile == i
+            retry = next_retry
         outcomes = {outcome.tile: outcome for outcome in outcomes}
 
         # ---- map tile emissions into global coordinates -------------------
@@ -891,9 +1009,7 @@ class FusedRoundBuilder:
         if tile_phases is not None:
             tile_phases.extend(phase_entries)
             tile_phases.append((-1, monotonic() - reconcile_started))
-        self.ipc_bytes_last_round = int(
-            getattr(self._runner, "ipc_bytes_total", 0) - ipc_before
-        )
+        self.ipc_bytes_last_round = self.ipc_bytes_total - ipc_before
         if self._stats is not None:
             self._stats.merge(local)
         self._trusted = True

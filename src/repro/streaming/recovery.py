@@ -89,17 +89,32 @@ class OpJournal:
     append loses at most the op that was never acknowledged.
     """
 
-    def __init__(self, path: str | Path, fsync: bool = True) -> None:
+    def __init__(
+        self, path: str | Path, fsync: bool = True, faults=None
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fsync = bool(fsync)
         self._file = open(self.path, "ab")
+        self._faults = faults
+        self._frames_appended = 0
 
     def append(self, op: tuple) -> None:
         payload = pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL)
         frame = _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         self._file.write(frame)
         self._file.flush()
+        self._frames_appended += 1
+        if self._faults is not None and self._faults.tear_wal(
+            self._frames_appended
+        ):
+            # Deterministic torn-tail injection (repro.faults): cut the
+            # frame mid-payload, exactly the state a SIGKILL inside
+            # write() leaves behind — read_ops must drop it cleanly.
+            end = self._file.tell()
+            self._file.truncate(end - (len(payload) // 2 + 1))
+            self._file.seek(0, os.SEEK_END)
+            self._file.flush()
         if self._fsync:
             os.fsync(self._file.fileno())
 
@@ -156,13 +171,21 @@ class CheckpointWriter:
     loss.
     """
 
-    def __init__(self, directory: str | Path, keep: int = 2, fsync: bool = True) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        keep: int = 2,
+        fsync: bool = True,
+        faults=None,
+    ) -> None:
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._keep = int(keep)
         self._fsync = bool(fsync)
+        self._faults = faults
+        self._writes = 0
 
     def write(
         self, engine: StreamingEngine, journal_seq: int, drained_assignments: int
@@ -184,6 +207,15 @@ class CheckpointWriter:
             if self._fsync:
                 os.fsync(fh.fileno())
         os.replace(tmp, final)
+        self._writes += 1
+        if self._faults is not None and self._faults.corrupt_checkpoint(
+            self._writes
+        ):
+            # Deterministic at-rest corruption (repro.faults): stomp
+            # the pickle header so load_latest must fall back to the
+            # predecessor — the keep>=2 retention policy under test.
+            with open(final, "r+b") as fh:
+                fh.write(b"\x00" * 16)
         self._prune()
         return final
 
@@ -264,6 +296,7 @@ class JournaledService:
         checkpoint_every: int = 8,
         keep: int = 2,
         fsync: bool = True,
+        faults=None,
     ) -> "JournaledService":
         """Open (or recover) a durable service rooted at ``directory``.
 
@@ -298,8 +331,8 @@ class JournaledService:
             )
         for op in ops[applied_base:]:
             cls._apply(service, op)
-        journal = OpJournal(journal_path, fsync=fsync)
-        writer = CheckpointWriter(directory, keep=keep, fsync=fsync)
+        journal = OpJournal(journal_path, fsync=fsync, faults=faults)
+        writer = CheckpointWriter(directory, keep=keep, fsync=fsync, faults=faults)
         return cls(service, journal, writer, len(ops), checkpoint_every)
 
     @staticmethod

@@ -41,6 +41,7 @@ submits stay responsive while rounds run.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
@@ -59,19 +60,24 @@ __all__ = [
 ]
 
 #: The closed set of typed rejection reasons.
-ADMISSION_REASONS = ("queue_full", "rate_limited", "unknown_tenant", "closed")
+ADMISSION_REASONS = (
+    "queue_full", "rate_limited", "unknown_tenant", "closed", "timeout",
+)
 
 
 class AdmissionError(Exception):
-    """A request the server refused to enqueue, and why.
+    """A request the server refused to enqueue or execute, and why.
 
     Attributes:
         tenant: the tenant the request addressed.
         reason: one of :data:`ADMISSION_REASONS` — ``queue_full``
             (bounded submit queue at capacity: shed load or drain),
             ``rate_limited`` (token bucket empty: slow down),
-            ``unknown_tenant`` (no such tenant registered), or
-            ``closed`` (server or tenant already shut down).
+            ``unknown_tenant`` (no such tenant registered),
+            ``closed`` (server or tenant already shut down), or
+            ``timeout`` (an op overran ``ServerConfig.op_timeout_s``;
+            the tenant is wedged and further requests fail fast so it
+            cannot hold a worker slot hostage).
     """
 
     def __init__(self, tenant: str, reason: str) -> None:
@@ -123,10 +129,22 @@ class ServerConfig:
             all tenants (the thread-pool slot count).
         checkpoint_every: rounds between checkpoints for tenants that
             opted into recovery.
+        op_timeout_s: per-operation execution deadline enforced by the
+            pump; an op overrunning it resolves its future with a
+            typed ``timeout`` :class:`AdmissionError`, releases the
+            worker slot, and wedges the tenant (the runaway thread may
+            still hold the engine, so further ops on that tenant fail
+            fast rather than queue behind it).  ``None`` disables.
+        faults: an armed :class:`repro.faults.FaultInjector` whose
+            ``delay op`` faults stall chosen ops inside their worker
+            thread — the deterministic way to exercise the timeout
+            path; ``None`` injects nothing.
     """
 
     num_workers: int = 2
     checkpoint_every: int = 8
+    op_timeout_s: float | None = None
+    faults: object | None = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -135,6 +153,21 @@ class ServerConfig:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
             )
+        if self.op_timeout_s is not None and self.op_timeout_s <= 0:
+            raise ValueError(
+                f"op_timeout_s must be positive or None, got {self.op_timeout_s}"
+            )
+
+
+def _stalled(op: Callable, seconds: float) -> Callable:
+    """Wrap an op to sleep inside its worker thread first (the
+    ``delay op`` fault: deterministic wedged-tenant simulation)."""
+
+    def call(service):
+        time.sleep(seconds)
+        return op(service)
+
+    return call
 
 
 class _TokenBucket:
@@ -174,6 +207,11 @@ class _Tenant:
         )
         self.pump: asyncio.Task | None = None
         self.closed = False
+        #: Set when an op overran the server's op deadline: the
+        #: runaway thread may still hold the engine, so the tenant
+        #: fails fast until the process is restarted or recovered.
+        self.wedged = False
+        self.ops_executed = 0
 
 
 class StreamServer:
@@ -286,6 +324,8 @@ class StreamServer:
         labels = {"tenant": name}
         if self._closed or tenant.closed:
             self._reject(name, "closed")
+        if tenant.wedged:
+            self._reject(name, "timeout")
         if tenant.bucket is not None and not tenant.bucket.try_take():
             self._reject(name, "rate_limited")
         if tenant.queue.full():
@@ -318,11 +358,44 @@ class StreamServer:
         while True:
             op, future, enqueued = await tenant.queue.get()
             try:
+                if tenant.wedged:
+                    # The runaway thread may still hold the engine —
+                    # running more ops against it is not safe.  Fail
+                    # queued backlog fast instead of blocking close().
+                    if not future.cancelled():
+                        future.set_exception(AdmissionError(name, "timeout"))
+                    continue
                 assert self._slots is not None
                 async with self._slots:
                     wait.observe(monotonic() - enqueued)
+                    tenant.ops_executed += 1
+                    call = op
+                    if self.config.faults is not None:
+                        delay = self.config.faults.delay_op(
+                            tenant.ops_executed, name
+                        )
+                        if delay is not None:
+                            call = _stalled(op, delay)
                     try:
-                        result = await asyncio.to_thread(op, tenant.service)
+                        work = asyncio.to_thread(call, tenant.service)
+                        if self.config.op_timeout_s is not None:
+                            result = await asyncio.wait_for(
+                                work, self.config.op_timeout_s
+                            )
+                        else:
+                            result = await work
+                    except (asyncio.TimeoutError, TimeoutError):
+                        # Deadline overrun: free the slot (leaving this
+                        # block releases the semaphore), wedge the
+                        # tenant, surface a typed op error.  The thread
+                        # itself cannot be killed; wedging keeps it
+                        # from being joined by more work.
+                        tenant.wedged = True
+                        self.registry.counter(
+                            "server_op_timeouts_total", {"tenant": name}
+                        ).inc()
+                        if not future.cancelled():
+                            future.set_exception(AdmissionError(name, "timeout"))
                     except BaseException as exc:
                         if not future.cancelled():
                             future.set_exception(exc)

@@ -48,6 +48,7 @@ import atexit
 import itertools
 import os
 import pickle
+import time
 from multiprocessing import get_context, resource_tracker
 from multiprocessing.shared_memory import SharedMemory
 
@@ -59,10 +60,12 @@ from repro.model.delta import (
     PredictedTaskColumns,
     PredictedWorkerColumns,
 )
+from repro.obs.metrics import monotonic
 from repro.streaming.pipeline import (
     PipelineSpec,
     TileRoundMessage,
     TileRoundOutcome,
+    TileRunnerBroken,
 )
 
 __all__ = ["SegmentRegistry", "ShmTileRunner"]
@@ -285,9 +288,26 @@ def _worker_main(conn, spec: PipelineSpec, tiles: list[int]) -> None:
                 data = conn.recv_bytes()
             except (EOFError, OSError):
                 break
-            message = pickle.loads(data)
+            try:
+                message = pickle.loads(data)
+            except Exception:
+                # An undecodable frame (a garbled pipe, or injected
+                # corruption) leaves nothing to act on: exit quietly
+                # and let the parent's supervisor respawn this slot.
+                break
             if message.get("stop"):
                 break
+            fault = message.get("fault")
+            if fault is not None:
+                # Deterministic fault injection (repro.faults): the
+                # parent rides a one-shot directive inside the round
+                # message, so the fault lands at an exact round on an
+                # exact worker — and a respawned worker, primed with a
+                # directive-free refresh, can never re-trip it.
+                if fault["kind"] == "kill":
+                    os._exit(1)
+                if fault["kind"] == "hang":
+                    time.sleep(fault["seconds"])
             pw = pt = None
             columns = message["columns"]
             if columns is not None:
@@ -333,12 +353,40 @@ class ShmTileRunner:
     the engine's ``runner_factory`` hook.  Tiles are assigned to
     workers statically (round robin), so a tile's pipeline state lives
     in one process for the whole stream.
+
+    **Supervision.**  Replies are awaited with a per-round deadline
+    (``round_deadline_s``; poll-then-recv, never a blocking read), so
+    a dead, hung or silenced worker is *detected* instead of wedging
+    the stream.  A failed worker is killed and respawned from the
+    stored :class:`~repro.streaming.pipeline.PipelineSpec` under
+    capped exponential backoff; its tiles report ``None`` outcomes,
+    which routes them through the builder's wholesale-refresh retry —
+    the respawned worker is cold-primed on the always-correct slow
+    path, so the round completes bit-identically.  Once
+    ``max_respawns`` is exhausted the runner settles its surviving
+    workers and raises :class:`~repro.streaming.pipeline.
+    TileRunnerBroken`, which the builder answers by degrading to the
+    inline serial path.
+
+    ``faults`` arms a :class:`repro.faults.FaultInjector` whose
+    shard-domain faults (kill/hang directives ride inside the round
+    message; drop/garble act on the parent's send) fire one-shot at
+    deterministic (worker, round) coordinates; ``None`` costs nothing.
     """
 
     def __init__(
-        self, spec: PipelineSpec, num_tiles: int, max_workers: int | None = None
+        self,
+        spec: PipelineSpec,
+        num_tiles: int,
+        max_workers: int | None = None,
+        *,
+        round_deadline_s: float | None = 30.0,
+        max_respawns: int = 3,
+        respawn_backoff_s: float = 0.05,
+        respawn_backoff_max_s: float = 1.0,
+        faults=None,
     ) -> None:
-        ctx = get_context("fork")
+        self._ctx = get_context("fork")
         # Start the resource tracker *before* forking: children then
         # inherit its pipe and the whole family shares one tracker
         # (and one name set).  Left lazy, each worker would spawn its
@@ -347,6 +395,7 @@ class ShmTileRunner:
         # segments at worker exit.
         resource_tracker.ensure_running()
         count = max(1, min(max_workers or num_tiles, num_tiles))
+        self._spec = spec
         self._registry = SegmentRegistry()
         self._arena = _ShmArena(
             prefix=f"repro-p{os.getpid()}-{next(_ARENA_IDS)}",
@@ -360,51 +409,82 @@ class ShmTileRunner:
             for i, tiles in enumerate(self._tiles_by_worker)
             for tile in tiles
         }
-        self._conns = []
-        self._procs = []
-        for i, tiles in enumerate(self._tiles_by_worker):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, spec, tiles),
-                daemon=True,
-                name=f"repro-shard-{i}",
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+        self._conns = [None] * count
+        self._procs = [None] * count
+        for i in range(count):
+            self._spawn(i)
         self._worker_segments: dict[int, SharedMemory] = {}
         self._latest_stats = [DeltaBuildStats() for _ in range(num_tiles)]
         #: Cumulative pipe bytes both ways (the shm arrays are not
         #: counted — they are exchanged, not copied through the pipe).
+        #: Only *delivered* payloads count: a send that fails, or a
+        #: reply never received, books nothing.
         self.ipc_bytes_total = 0
         self._closed = False
+        self._round = 0
+        self._faults = faults
+        self._deadline = round_deadline_s
+        self._max_respawns = int(max_respawns)
+        self._backoff = float(respawn_backoff_s)
+        self._backoff_max = float(respawn_backoff_max_s)
+        #: Supervision events since the last drain (``(kind, detail)``);
+        #: the builder forwards them to the observer each round.
+        self.events: list[tuple[str, dict]] = []
+        self.respawns_total = 0
+        self.respawn_seconds_total = 0.0
 
     # -- the runner interface ----------------------------------------------
 
     def run(self, messages, now, predicted_workers, predicted_tasks):
         if self._closed:
             raise RuntimeError("shm tile runner is closed")
+        self._round += 1
+        round_index = self._round
+        #: Tiles whose ``None`` outcome this call means "worker failed,
+        #: fresh worker needs a re-prime" — distinguishing them from a
+        #: pipeline genuinely rejecting a payload.
+        self.last_failed_tiles: set[int] = set()
         columns = self._pack_columns(predicted_workers, predicted_tasks)
         groups: dict[int, list[TileRoundMessage]] = {}
         for message in messages:
             groups.setdefault(self._tile_to_worker[message.tile], []).append(message)
+        failed: dict[int, str] = {}
         for worker, group in groups.items():
-            payload = pickle.dumps(
-                {"now": now, "columns": columns, "messages": group}
-            )
-            self.ipc_bytes_total += len(payload)
+            body = {"now": now, "columns": columns, "messages": group}
+            if self._faults is not None:
+                directive = self._faults.shard_directive(worker, round_index)
+                if directive is not None:
+                    body["fault"] = directive
+            payload = pickle.dumps(body)
+            if self._faults is not None:
+                action = self._faults.pipe_fault(worker, round_index)
+                if action == "drop":
+                    # Never sent: the worker stays silently healthy and
+                    # only the recv deadline can tell — the detection
+                    # path a lost message exercises in production.
+                    continue
+                if action == "garble":
+                    payload = b"\xde\xad" + payload[:32]
             try:
                 self._conns[worker].send_bytes(payload)
-            except (BrokenPipeError, OSError) as exc:
-                self._worker_died(worker, exc)
+            except (BrokenPipeError, OSError):
+                failed[worker] = "worker_death"
+                continue
+            self.ipc_bytes_total += len(payload)
         outcome_by_tile: dict[int, TileRoundOutcome | None] = {}
         for worker, group in groups.items():
+            if worker in failed:
+                continue
             try:
+                if self._deadline is not None and not self._conns[worker].poll(
+                    self._deadline
+                ):
+                    failed[worker] = "deadline_timeout"
+                    continue
                 data = self._conns[worker].recv_bytes()
-            except (EOFError, OSError) as exc:
-                self._worker_died(worker, exc)
+            except (EOFError, OSError):
+                failed[worker] = "worker_death"
+                continue
             self.ipc_bytes_total += len(data)
             reply = pickle.loads(data)
             segment = self._worker_segment(worker, reply["segment"])
@@ -426,6 +506,18 @@ class ShmTileRunner:
                 outcome.emission.build_seconds = entry["build_seconds"]
                 self._latest_stats[outcome.tile] = outcome.delta_stats
                 outcome_by_tile[outcome.tile] = outcome
+        # Surviving workers are fully settled (sent + received) by the
+        # time any failure is acted on, so a respawn — or a
+        # crash-loop abort — always starts from a known state.
+        for worker, cause in failed.items():
+            self.events.append(
+                ("worker_death" if cause == "worker_death" else "deadline_timeout",
+                 {"worker": worker, "round": round_index}),
+            )
+            self._respawn(worker)
+            for tile_message in groups[worker]:
+                outcome_by_tile[tile_message.tile] = None
+                self.last_failed_tiles.add(tile_message.tile)
         return [outcome_by_tile.get(message.tile) for message in messages]
 
     def delta_stats_by_tile(self) -> list[DeltaBuildStats]:
@@ -445,22 +537,78 @@ class ShmTileRunner:
         for proc in self._procs:
             proc.join(timeout=5.0)
             if proc.is_alive():
-                proc.terminate()
+                # SIGKILL, not SIGTERM: a SIGSTOPped worker queues
+                # SIGTERM until continued, but nothing stops SIGKILL.
+                proc.kill()
                 proc.join(timeout=5.0)
         for conn in self._conns:
-            conn.close()
+            try:
+                conn.close()
+            except OSError:
+                pass
         self._arena.close()
         self._registry.close()
         atexit.unregister(self._registry.close)
 
     # -- internals -----------------------------------------------------------
 
-    def _worker_died(self, worker: int, exc: Exception):
-        raise RuntimeError(
-            f"shard worker {worker} (pid {self._procs[worker].pid}) died "
-            "mid-round; close() the engine — its shared-memory segments "
-            "are still reclaimed deterministically"
-        ) from exc
+    def _spawn(self, worker: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._spec, self._tiles_by_worker[worker]),
+            daemon=True,
+            name=f"repro-shard-{worker}",
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[worker] = parent_conn
+        self._procs[worker] = proc
+
+    def _respawn(self, worker: int) -> None:
+        """Replace a failed worker, budgeted and backed off.
+
+        The dead/hung process is SIGKILLed (works on stopped processes
+        too), its pipe and reply segment reclaimed, and a fresh worker
+        forked over the same tile set.  The fresh worker's pipelines
+        are cold; the caller reports its tiles as ``None`` so the
+        builder's refresh retry re-primes them this same round.
+        Exhausting ``max_respawns`` raises
+        :class:`~repro.streaming.pipeline.TileRunnerBroken` instead.
+        """
+        if self.respawns_total >= self._max_respawns:
+            raise TileRunnerBroken(
+                f"shard worker {worker} failed after {self.respawns_total} "
+                f"respawns (budget {self._max_respawns}); degrading to the "
+                "serial path"
+            )
+        started = monotonic()
+        self.respawns_total += 1
+        proc = self._procs[worker]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5.0)
+        try:
+            self._conns[worker].close()
+        except OSError:
+            pass
+        segment = self._worker_segments.pop(worker, None)
+        if segment is not None:
+            self._registry.release(segment.name)
+        delay = min(
+            self._backoff * (2.0 ** (self.respawns_total - 1)), self._backoff_max
+        )
+        if delay > 0.0:
+            self.events.append(
+                ("backoff_wait", {"worker": worker, "seconds": delay})
+            )
+            time.sleep(delay)
+        self._spawn(worker)
+        elapsed = monotonic() - started
+        self.respawn_seconds_total += elapsed
+        self.events.append(
+            ("respawn", {"worker": worker, "seconds": elapsed})
+        )
 
     def _pack_columns(self, pw, pt):
         if pw is None and pt is None:

@@ -559,6 +559,94 @@ class TestServingRules:
         assert rc == 0
 
 
+class TestResilienceRules:
+    @staticmethod
+    def _resilience_payload(
+        *,
+        completed: bool = True,
+        rounds_to_recover: float = 1.0,
+        overhead: float = 1.05,
+        ceil: float = 1.5,
+        drop: str | None = None,
+    ) -> dict:
+        payload = _streaming_payload(5000.0, 6.4)
+        section = {
+            "num_shards": 2,
+            "faults_injected": 2,
+            "completed_with_faults": completed,
+            "respawns": 2,
+            "respawn_seconds": 0.02,
+            "rounds_to_recover": rounds_to_recover,
+            "deadline_overhead_ratio": overhead,
+            "deadline_overhead_ceil": ceil,
+        }
+        if drop:
+            del section[drop]
+        payload["resilience"] = section
+        return payload
+
+    def _run(self, checker, tmp_path, base: dict, fresh: dict) -> int:
+        _write(tmp_path / "base", "BENCH_streaming.json", base)
+        _write(tmp_path / "fresh", "BENCH_streaming.json", fresh)
+        return checker.main(
+            ["--baseline", str(tmp_path / "base"), "--fresh", str(tmp_path / "fresh"),
+             "--bench", "BENCH_streaming.json"]
+        )
+
+    def test_healthy_resilience_passes(self, checker, tmp_path):
+        rc = self._run(
+            checker, tmp_path,
+            self._resilience_payload(), self._resilience_payload(),
+        )
+        assert rc == 0
+
+    def test_missing_fresh_resilience_section_fails(self, checker, tmp_path):
+        fresh = self._resilience_payload()
+        del fresh["resilience"]
+        rc = self._run(checker, tmp_path, self._resilience_payload(), fresh)
+        assert rc == 1
+
+    def test_not_completed_with_faults_fails(self, checker, tmp_path):
+        rc = self._run(
+            checker, tmp_path,
+            self._resilience_payload(),
+            self._resilience_payload(completed=False),
+        )
+        assert rc == 1
+
+    def test_rounds_to_recover_regression_fails(self, checker, tmp_path):
+        rc = self._run(
+            checker, tmp_path,
+            self._resilience_payload(rounds_to_recover=1.0),
+            self._resilience_payload(rounds_to_recover=2.0),
+        )
+        assert rc == 1
+
+    def test_overhead_past_recorded_ceiling_fails(self, checker, tmp_path):
+        rc = self._run(
+            checker, tmp_path,
+            self._resilience_payload(ceil=1.5),
+            self._resilience_payload(overhead=1.8),
+        )
+        assert rc == 1
+
+    def test_missing_respawn_timing_fails(self, checker, tmp_path):
+        rc = self._run(
+            checker, tmp_path,
+            self._resilience_payload(),
+            self._resilience_payload(drop="respawn_seconds"),
+        )
+        assert rc == 1
+
+    def test_no_resilience_baseline_passes(self, checker, tmp_path):
+        """First run: the fresh side introduces the section."""
+        rc = self._run(
+            checker, tmp_path,
+            _streaming_payload(5000.0, 6.4), self._resilience_payload(),
+        )
+        assert rc == 0
+
+
 class TestMatchingRules:
     @staticmethod
     def _payload(speedup: float, floor: float = 5.0) -> dict:
@@ -670,6 +758,27 @@ class TestAgainstCommittedBaselines:
         serving = corrupted.get("serving")
         assert serving, "committed baseline lost its serving section"
         serving["tenants_floor"] = serving["tenants"] + 1
+        (base / "BENCH_streaming.json").write_text(json.dumps(corrupted))
+        rc = checker.main(["--baseline", str(base), "--fresh", str(REPO_ROOT)])
+        assert rc == 1
+
+    def test_corrupted_resilience_baseline_fails(self, checker, tmp_path):
+        """Lowering the recorded deadline-overhead ceiling below the
+        repo's own fresh ratio must trip the gate — the proof the
+        resilience checks bite on the real committed file."""
+        base = tmp_path / "base"
+        base.mkdir()
+        for name in checker.BENCH_FILES:
+            shutil.copy(REPO_ROOT / name, base / name)
+        corrupted = json.loads((base / "BENCH_streaming.json").read_text())
+        resilience = corrupted.get("resilience")
+        assert resilience, "committed baseline lost its resilience section"
+        resilience["deadline_overhead_ceil"] = (
+            json.loads((REPO_ROOT / "BENCH_streaming.json").read_text())[
+                "resilience"
+            ]["deadline_overhead_ratio"]
+            / 2.0
+        )
         (base / "BENCH_streaming.json").write_text(json.dumps(corrupted))
         rc = checker.main(["--baseline", str(base), "--fresh", str(REPO_ROOT)])
         assert rc == 1

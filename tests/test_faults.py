@@ -1,0 +1,230 @@
+"""The deterministic fault DSL and its durability injection hooks.
+
+Contracts under test:
+
+- the :class:`FaultPlan` line DSL parses to the typed specs and
+  rejects garbage with a line-numbered error;
+- the :class:`FaultInjector` is strictly one-shot per fault, logs
+  what fired, and answers negatively once exhausted — a respawned
+  worker can never re-trip its predecessor's fault;
+- the WAL-tear hook leaves exactly the torn-tail state
+  :meth:`OpJournal.read_ops` is specified to drop, and a
+  :class:`JournaledService` reopened over the torn journal recovers
+  to the intact-prefix state, digest-proved;
+- the checkpoint-corruption hook forces :meth:`CheckpointWriter.
+  load_latest` onto the predecessor snapshot (the keep>=2 retention
+  policy actually engaging);
+- an *empty* plan is indistinguishable from no injector at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MQAGreedy
+from repro.faults import (
+    CheckpointCorrupt,
+    FaultPlan,
+    MessageDrop,
+    MessageGarble,
+    OpDelay,
+    WalTear,
+    WorkerHang,
+    WorkerKill,
+)
+from repro.streaming import (
+    CheckpointWriter,
+    JournaledService,
+    OpJournal,
+    StreamConfig,
+    StreamingService,
+    state_digest,
+)
+from repro.workloads import BurstyWorkload, WorkloadParams
+from repro.streaming import workload_events
+from repro.streaming.events import WorkerArrival
+
+
+_DSL = """
+# one of each, comments and blanks allowed
+kill worker 1 at round 3
+hang worker 0 at round 2 for 1.5s
+
+drop message to worker 1 at round 4
+garble message to worker 0 at round 2
+tear wal frame 5
+corrupt checkpoint 1
+delay op 2 for 0.4s
+delay op 7 of tenant-b for 1s
+"""
+
+
+class TestFaultPlanDSL:
+    def test_parse_all_fault_kinds(self):
+        plan = FaultPlan.parse(_DSL)
+        assert plan.faults == (
+            WorkerKill(worker=1, round=3),
+            WorkerHang(worker=0, round=2, seconds=1.5),
+            MessageDrop(worker=1, round=4),
+            MessageGarble(worker=0, round=2),
+            WalTear(frame=5),
+            CheckpointCorrupt(index=1),
+            OpDelay(op=2, seconds=0.4),
+            OpDelay(op=7, seconds=1.0, tenant="tenant-b"),
+        )
+        assert len(plan) == 8
+
+    def test_bad_line_names_its_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            FaultPlan.parse("kill worker 0 at round 1\nexplode the moon\n")
+
+    def test_empty_text_parses_empty_plan(self):
+        plan = FaultPlan.parse("  \n# nothing\n")
+        assert len(plan) == 0
+        assert not plan.injector().active
+
+
+class TestFaultInjectorOneShot:
+    def test_shard_directive_fires_once(self):
+        injector = FaultPlan.parse("kill worker 1 at round 3").injector()
+        assert injector.shard_directive(1, 2) is None
+        assert injector.shard_directive(0, 3) is None
+        assert injector.shard_directive(1, 3) == {"kind": "kill"}
+        # consumed: the same coordinates never fire again
+        assert injector.shard_directive(1, 3) is None
+        assert not injector.active
+        assert injector.fired == [
+            {"fault": WorkerKill(worker=1, round=3), "worker": 1, "round": 3}
+        ]
+
+    def test_hang_directive_carries_seconds(self):
+        injector = FaultPlan.parse("hang worker 0 at round 2 for 0.25s").injector()
+        assert injector.shard_directive(0, 2) == {"kind": "hang", "seconds": 0.25}
+
+    def test_pipe_faults_fire_once(self):
+        injector = FaultPlan.parse(
+            "drop message to worker 1 at round 4\n"
+            "garble message to worker 0 at round 4\n"
+        ).injector()
+        assert injector.pipe_fault(1, 4) == "drop"
+        assert injector.pipe_fault(1, 4) is None
+        assert injector.pipe_fault(0, 4) == "garble"
+        assert not injector.active
+
+    def test_delay_op_tenant_scoping(self):
+        injector = FaultPlan.parse("delay op 2 of tenant-b for 1s").injector()
+        assert injector.delay_op(2, "tenant-a") is None
+        assert injector.delay_op(2, "tenant-b") == 1.0
+        assert injector.delay_op(2, "tenant-b") is None
+        wildcard = FaultPlan.parse("delay op 2 for 0.5s").injector()
+        assert wildcard.delay_op(2, "anyone") == 0.5
+
+    def test_plans_are_reusable_injectors_are_not(self):
+        plan = FaultPlan.parse("tear wal frame 1")
+        first, second = plan.injector(), plan.injector()
+        assert first.tear_wal(1) is True
+        assert first.tear_wal(1) is False
+        assert second.tear_wal(1) is True  # fresh arm, fresh budget
+
+
+class TestWalTearInjection:
+    def test_torn_frame_drops_cleanly(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        journal = OpJournal(
+            path, fsync=False, faults=FaultPlan.parse("tear wal frame 3").injector()
+        )
+        for i in range(3):
+            journal.append(("drain", float(i)))
+        journal.close()
+        ops = OpJournal.read_ops(path)
+        assert ops == [("drain", 0.0), ("drain", 1.0)]
+
+    def test_reopen_after_torn_tail_recovers_prefix(self, tmp_path):
+        workload = BurstyWorkload(
+            WorkloadParams(num_workers=15, num_tasks=18, num_instances=3), seed=11
+        )
+        quality_model = workload.quality_model
+
+        def factory():
+            return StreamingService(
+                MQAGreedy(), quality_model,
+                config=StreamConfig(round_interval=0.5), seed=11,
+            )
+
+        ops = []
+        for event in workload_events(workload):
+            if isinstance(event, WorkerArrival):
+                ops.append(("worker", event.worker, event.time))
+            else:
+                ops.append(("task", event.task, event.time))
+        ops.append(("drain", 1.5))
+
+        # the last journal append is torn, as if killed mid-write
+        plan = FaultPlan.parse(f"tear wal frame {len(ops)}")
+        torn = JournaledService.open(
+            factory, tmp_path / "torn", checkpoint_every=10_000,
+            fsync=False, faults=plan.injector(),
+        )
+        for op in ops:
+            JournaledService._apply(torn, op)
+        torn._journal.close()  # skip close(): it would checkpoint the full state
+
+        # the reference applies only the intact prefix
+        reference = JournaledService.open(
+            factory, tmp_path / "ref", checkpoint_every=10_000, fsync=False
+        )
+        for op in ops[:-1]:
+            JournaledService._apply(reference, op)
+
+        recovered = JournaledService.open(
+            factory, tmp_path / "torn", checkpoint_every=10_000, fsync=False
+        )
+        assert state_digest(recovered.engine) == state_digest(reference.engine)
+
+
+class TestCheckpointCorruptInjection:
+    def _service(self, seed=5):
+        workload = BurstyWorkload(
+            WorkloadParams(num_workers=10, num_tasks=12, num_instances=2), seed=seed
+        )
+        return StreamingService(
+            MQAGreedy(), workload.quality_model,
+            config=StreamConfig(round_interval=0.5), seed=seed,
+        )
+
+    def test_corrupt_latest_falls_back_to_predecessor(self, tmp_path):
+        writer = CheckpointWriter(
+            tmp_path, keep=2, fsync=False,
+            faults=FaultPlan.parse("corrupt checkpoint 2").injector(),
+        )
+        service = self._service()
+        writer.write(service.engine, journal_seq=1, drained_assignments=0)
+        service.drain(1.0)
+        writer.write(service.engine, journal_seq=2, drained_assignments=0)
+        record = CheckpointWriter.load_latest(tmp_path)
+        assert record is not None
+        assert record["journal_seq"] == 1  # the corrupted newest was skipped
+
+    def test_corrupting_the_only_checkpoint_loads_none(self, tmp_path):
+        writer = CheckpointWriter(
+            tmp_path, keep=2, fsync=False,
+            faults=FaultPlan.parse("corrupt checkpoint 1").injector(),
+        )
+        writer.write(self._service().engine, journal_seq=1, drained_assignments=0)
+        assert CheckpointWriter.load_latest(tmp_path) is None
+
+
+class TestEmptyPlanIsInert:
+    def test_journal_with_empty_plan_matches_no_injector(self, tmp_path):
+        armed = OpJournal(
+            tmp_path / "a.journal", fsync=False,
+            faults=FaultPlan.parse("").injector(),
+        )
+        plain = OpJournal(tmp_path / "b.journal", fsync=False)
+        for journal in (armed, plain):
+            for i in range(4):
+                journal.append(("drain", float(i)))
+            journal.close()
+        assert (tmp_path / "a.journal").read_bytes() == (
+            tmp_path / "b.journal"
+        ).read_bytes()

@@ -356,3 +356,100 @@ class TestRecoveryIntegration:
         _replay_serial(reference, ops)
         assert recovered == state_digest(reference.engine)
         reference.close()
+
+
+class TestOpDeadlines:
+    """``ServerConfig.op_timeout_s``: a wedged tenant cannot hold a
+    worker slot, and its failure is contained to itself."""
+
+    def test_stalled_op_times_out_and_wedges_only_its_tenant(self):
+        from repro.faults import FaultPlan
+
+        slow_factory, slow_ops = _schedule(seed=40)
+        fast_factory, fast_ops = _schedule(seed=41)
+        slow_workers = [op[1] for op in slow_ops if op[0] == "worker"]
+        plan = FaultPlan.parse("delay op 2 of slow for 2s")
+        config = ServerConfig(
+            num_workers=2, op_timeout_s=0.25, faults=plan.injector()
+        )
+
+        async def serve():
+            async with StreamServer(config) as server:
+                server.add_tenant(
+                    TenantSpec(name="slow", max_queue_depth=64), slow_factory
+                )
+                server.add_tenant(
+                    TenantSpec(name="fast", max_queue_depth=256), fast_factory
+                )
+                await server.submit_worker("slow", slow_workers[0], 0.0)
+                with pytest.raises(AdmissionError) as overrun:
+                    await server.drain("slow", 0.5)  # op 2: stalled 30s
+                assert overrun.value.reason == "timeout"
+                assert overrun.value.tenant == "slow"
+                # the wedged tenant now fails fast at admission
+                with pytest.raises(AdmissionError) as rejected:
+                    await server.submit_worker("slow", slow_workers[1], 0.0)
+                assert rejected.value.reason == "timeout"
+                # the healthy tenant is untouched by its neighbour
+                await _replay(server, "fast", fast_ops)
+                digest = state_digest(server.service("fast").engine)
+                timeouts = sum(
+                    c.value
+                    for c in server.registry.find("server_op_timeouts_total")
+                )
+                assert timeouts == 1.0
+            return digest
+
+        digest = asyncio.run(serve())
+        reference = fast_factory()
+        _replay_serial(reference, fast_ops)
+        assert digest == state_digest(reference.engine)
+        reference.close()
+
+    def test_queued_backlog_behind_a_wedge_fails_fast(self):
+        from repro.faults import FaultPlan
+
+        factory, ops = _schedule(seed=42)
+        workers = [op[1] for op in ops if op[0] == "worker"]
+        tasks = [op[1] for op in ops if op[0] == "task"]
+        config = ServerConfig(
+            num_workers=1,
+            op_timeout_s=0.25,
+            faults=FaultPlan.parse("delay op 1 of t for 2s").injector(),
+        )
+
+        async def serve():
+            async with StreamServer(config) as server:
+                server.add_tenant(
+                    TenantSpec(name="t", max_queue_depth=64), factory
+                )
+                results = await asyncio.gather(
+                    server.submit_worker("t", workers[0], 0.0),
+                    server.submit_worker("t", workers[1], 0.0),
+                    server.submit_task("t", tasks[0], 0.0),
+                    return_exceptions=True,
+                )
+            return results
+
+        results = asyncio.run(serve())
+        assert len(results) == 3
+        for outcome in results:
+            assert isinstance(outcome, AdmissionError)
+            assert outcome.reason == "timeout"
+
+    def test_no_timeout_config_never_wedges(self):
+        factory, ops = _schedule(seed=43)
+
+        async def serve():
+            async with StreamServer(ServerConfig()) as server:
+                server.add_tenant(
+                    TenantSpec(name="t", max_queue_depth=256), factory
+                )
+                await _replay(server, "t", ops)
+                return state_digest(server.service("t").engine)
+
+        digest = asyncio.run(serve())
+        reference = factory()
+        _replay_serial(reference, ops)
+        assert digest == state_digest(reference.engine)
+        reference.close()
